@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Continuous-time Markov-chain models cross-validating the simulator.
+//!
+//! The paper's predecessors (Pâris–Burkhard) analyzed dynamic voting with
+//! Markov chains on fully-connected networks of identical sites; the
+//! paper itself turned to simulation because realistic repair
+//! distributions and partitions make chains intractable. This crate
+//! walks the same path in reverse: for the *tractable* special cases —
+//! exponential failures and repairs, no partitions — it solves the chain
+//! exactly, and the integration tests check the simulator against the
+//! closed form, validating the simulation machinery end to end.
+//!
+//! * [`ctmc`] — a dense steady-state solver for finite CTMCs,
+//! * [`models`] — availability models: MCV (binomial closed form), and
+//!   DV / LDV as explicit chains over `(partition-set size, up members)`.
+
+pub mod ctmc;
+pub mod models;
+
+pub use ctmc::Ctmc;
+pub use models::{
+    ac_mttf, ac_unavailability, dv_mttf, dv_unavailability, ldv_mttf, ldv_unavailability, mcv_mttf,
+    mcv_unavailability, odv_mttf, odv_unavailability, site_availability, tdv_mttf,
+    tdv_unavailability, ParSystem,
+};

@@ -1,0 +1,177 @@
+//! The eight copy placements (configurations A–H) of the evaluation.
+
+use dynvote_types::SiteSet;
+
+/// One row of Table 2 / Table 3: a named placement of physical copies
+/// on the Figure 8 network.
+///
+/// Paper site numbers are 1-based; the stored [`SiteSet`] uses 0-based
+/// [`dynvote_types::SiteId`] indices (paper site *k* ↔ index *k − 1*).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    /// The paper's configuration letter.
+    pub name: &'static str,
+    /// Paper site numbers holding copies (for display).
+    pub paper_sites: &'static [usize],
+    /// The copies as 0-based site indices.
+    pub copies: SiteSet,
+    /// The paper's description of the partition structure.
+    pub note: &'static str,
+}
+
+const fn cfg(
+    name: &'static str,
+    paper_sites: &'static [usize],
+    bits: u64,
+    note: &'static str,
+) -> Configuration {
+    Configuration {
+        name,
+        paper_sites,
+        copies: SiteSet::from_bits(bits),
+        note,
+    }
+}
+
+const fn bits_of(paper_sites: &[usize]) -> u64 {
+    let mut b = 0u64;
+    let mut i = 0;
+    while i < paper_sites.len() {
+        b |= 1 << (paper_sites[i] - 1);
+        i += 1;
+    }
+    b
+}
+
+/// Configuration A: copies on sites 1, 2, 4 — no partitions possible.
+pub static CONFIG_A: Configuration = cfg(
+    "A",
+    &[1, 2, 4],
+    bits_of(&[1, 2, 4]),
+    "three copies, all on the main segment: no partitions",
+);
+/// Configuration B: copies on sites 1, 2, 6 — partition point at site 4.
+pub static CONFIG_B: Configuration = cfg(
+    "B",
+    &[1, 2, 6],
+    bits_of(&[1, 2, 6]),
+    "three copies, one partition point (site 4)",
+);
+/// Configuration C: copies on sites 1, 6, 8 — partition points at 4 and 5.
+pub static CONFIG_C: Configuration = cfg(
+    "C",
+    &[1, 6, 8],
+    bits_of(&[1, 6, 8]),
+    "three copies, each on its own segment; partition points at sites 4 and 5",
+);
+/// Configuration D: copies on sites 6, 7, 8 — either gateway partitions.
+pub static CONFIG_D: Configuration = cfg(
+    "D",
+    &[6, 7, 8],
+    bits_of(&[6, 7, 8]),
+    "three copies on the subordinate segments; site 4 or 5 can partition",
+);
+/// Configuration E: copies on sites 1, 2, 3, 4 — no partitions possible.
+pub static CONFIG_E: Configuration = cfg(
+    "E",
+    &[1, 2, 3, 4],
+    bits_of(&[1, 2, 3, 4]),
+    "four copies, all on the main segment (same Ethernet): no partitions",
+);
+/// Configuration F: copies on sites 1, 2, 4, 6 — partition point at site 4.
+pub static CONFIG_F: Configuration = cfg(
+    "F",
+    &[1, 2, 4, 6],
+    bits_of(&[1, 2, 4, 6]),
+    "four copies, one partition point (site 4); single failure can tie",
+);
+/// Configuration G: copies on sites 1, 2, 6, 8 — partition points at 4 and 5.
+pub static CONFIG_G: Configuration = cfg(
+    "G",
+    &[1, 2, 6, 8],
+    bits_of(&[1, 2, 6, 8]),
+    "four copies, partition points at sites 4 and 5",
+);
+/// Configuration H: copies on sites 1, 2, 7, 8 — partition point at site 5.
+pub static CONFIG_H: Configuration = cfg(
+    "H",
+    &[1, 2, 7, 8],
+    bits_of(&[1, 2, 7, 8]),
+    "two pairs of copies separated by a single partition point (site 5)",
+);
+
+/// All eight configurations in Table 2 row order.
+pub static ALL_CONFIGS: [&Configuration; 8] = [
+    &CONFIG_A, &CONFIG_B, &CONFIG_C, &CONFIG_D, &CONFIG_E, &CONFIG_F, &CONFIG_G, &CONFIG_H,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ucsd_network;
+    use dynvote_types::SiteId;
+
+    #[test]
+    fn copy_counts() {
+        for c in &ALL_CONFIGS[..4] {
+            assert_eq!(c.copies.len(), 3, "configuration {}", c.name);
+        }
+        for c in &ALL_CONFIGS[4..] {
+            assert_eq!(c.copies.len(), 4, "configuration {}", c.name);
+        }
+    }
+
+    #[test]
+    fn paper_site_numbers_round_trip() {
+        for c in ALL_CONFIGS {
+            let from_paper: SiteSet = c.paper_sites.iter().map(|&k| SiteId::new(k - 1)).collect();
+            assert_eq!(from_paper, c.copies, "configuration {}", c.name);
+        }
+    }
+
+    /// Audits every configuration's stated partition structure against
+    /// the Figure 8 topology.
+    #[test]
+    fn partition_points_match_paper_claims() {
+        let net = ucsd_network();
+        let gw4 = SiteId::new(3);
+        let gw5 = SiteId::new(4);
+        let splits = |c: &Configuration, without: SiteId| -> usize {
+            let up = net.sites().without(without);
+            let r = net.reachability(up);
+            r.groups()
+                .iter()
+                .filter(|g| !(**g & c.copies).is_empty())
+                .count()
+        };
+        // A and E: no partitions — neither gateway failure splits copies
+        // into more than one populated group (the gateway itself may be a
+        // copy, but the *remaining* copies stay together).
+        for c in [&CONFIG_A, &CONFIG_E] {
+            assert_eq!(splits(c, gw4), 1, "configuration {}", c.name);
+            assert_eq!(splits(c, gw5), 1, "configuration {}", c.name);
+        }
+        // B and F: site 4 splits copies; site 5 does not.
+        for c in [&CONFIG_B, &CONFIG_F] {
+            assert_eq!(splits(c, gw4), 2, "configuration {}", c.name);
+            assert_eq!(splits(c, gw5), 1, "configuration {}", c.name);
+        }
+        // C and G: both gateways split copies.
+        for c in [&CONFIG_C, &CONFIG_G] {
+            assert_eq!(splits(c, gw4), 2, "configuration {}", c.name);
+            assert_eq!(splits(c, gw5), 2, "configuration {}", c.name);
+        }
+        // D: either gateway separates site 6 from {7, 8} or vice versa.
+        assert_eq!(splits(&CONFIG_D, gw4), 2);
+        assert_eq!(splits(&CONFIG_D, gw5), 2);
+        // H: only site 5 splits copies.
+        assert_eq!(splits(&CONFIG_H, gw4), 1);
+        assert_eq!(splits(&CONFIG_H, gw5), 2);
+    }
+
+    #[test]
+    fn table_order() {
+        let names: Vec<&str> = ALL_CONFIGS.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["A", "B", "C", "D", "E", "F", "G", "H"]);
+    }
+}

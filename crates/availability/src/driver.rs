@@ -1,0 +1,427 @@
+//! The discrete-event failure/repair/access process generator.
+//!
+//! The driver owns the stochastic part of the study — *when* sites fail,
+//! how long repairs take, when maintenance windows open, when the single
+//! user accesses the file — and exposes a simple pull API: every call to
+//! [`Driver::step`] advances virtual time to the next *effective* event
+//! and reports whether the topology changed or an access occurred. The
+//! experiment runner layers policies and metrics on top, so the same
+//! stochastic trace can drive all six protocols simultaneously (common
+//! random numbers, which makes the Table 2 columns directly comparable).
+
+use dynvote_sim::{Dist, Duration, EventQueue, SimRng, SimTime};
+use dynvote_topology::{Network, Reachability};
+use dynvote_types::{SiteId, SiteSet};
+
+use crate::sites::SiteModel;
+
+/// An event in the site failure/repair process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteEvent {
+    /// The site fails (hardware or software decided at fire time).
+    Fail {
+        /// The failing site.
+        site: SiteId,
+        /// Generation stamp; stale stamps mark cancelled events.
+        gen: u64,
+    },
+    /// The site's repair completes.
+    Repair {
+        /// The repaired site.
+        site: SiteId,
+        /// Generation stamp; stale stamps mark cancelled events.
+        gen: u64,
+    },
+    /// A preventive-maintenance window opens (skipped if the site is
+    /// already down).
+    MaintStart {
+        /// The maintained site.
+        site: SiteId,
+    },
+    /// The maintenance window closes.
+    MaintEnd {
+        /// The maintained site.
+        site: SiteId,
+        /// Generation stamp; stale stamps mark cancelled events.
+        gen: u64,
+    },
+    /// The user accesses the replicated file.
+    Access,
+}
+
+/// What a [`Driver::step`] reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Change {
+    /// The set of up sites changed (failure, repair, maintenance).
+    Topology,
+    /// A file access occurred (the up set is unchanged).
+    Access,
+}
+
+/// The stochastic site/access process over a fixed [`Network`].
+///
+/// Per-site random sub-streams keep each site's failure process
+/// independent of the others and stable across runs with the same seed.
+pub struct Driver {
+    network: Network,
+    models: Vec<SiteModel>,
+    queue: EventQueue<SiteEvent>,
+    /// Per-site generation counters; events stamped with an old
+    /// generation are stale and ignored (classic DES cancellation).
+    gens: Vec<u64>,
+    up: SiteSet,
+    site_rngs: Vec<SimRng>,
+    access_rng: SimRng,
+    access_rate: f64,
+    reach: Reachability,
+}
+
+impl Driver {
+    /// A new driver with all sites up at time zero (the paper starts
+    /// simulations with every site operating).
+    ///
+    /// `access_rate` is the Poisson file-access rate in accesses/day
+    /// (the paper uses 1.0); a rate of zero disables access events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `models` does not cover every network site.
+    #[must_use]
+    pub fn new(network: Network, models: &[SiteModel], seed: u64, access_rate: f64) -> Self {
+        let n = models.len();
+        assert!(
+            network.sites().iter().all(|s| s.index() < n),
+            "every network site needs a model"
+        );
+        let up: SiteSet = network.sites();
+        let mut driver = Driver {
+            reach: network.reachability(up),
+            network,
+            models: models.to_vec(),
+            queue: EventQueue::new(),
+            gens: vec![0; n],
+            up,
+            site_rngs: (0..n as u64).map(|i| SimRng::substream(seed, i)).collect(),
+            access_rng: SimRng::substream(seed, 0xACCE55),
+            access_rate,
+        };
+        for site in driver.up.iter() {
+            driver.schedule_failure(site, SimTime::ZERO);
+            if let Some((interval, _)) = driver.models[site.index()].maintenance {
+                // Stagger the periodic schedules with a random phase:
+                // real machines are not all maintained at the same
+                // instant, and synchronizing them would make multi-site
+                // drops look far more common than they are.
+                let phase = interval * driver.site_rngs[site.index()].uniform();
+                driver
+                    .queue
+                    .schedule(SimTime::ZERO + phase, SiteEvent::MaintStart { site });
+            }
+        }
+        if access_rate > 0.0 {
+            driver.schedule_access(SimTime::ZERO);
+        }
+        driver
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The currently up sites.
+    #[must_use]
+    pub fn up(&self) -> SiteSet {
+        self.up
+    }
+
+    /// The current reachability (recomputed on every topology change).
+    #[must_use]
+    pub fn reachability(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// The time of the next pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn schedule_failure(&mut self, site: SiteId, now: SimTime) {
+        let ttf = self.models[site.index()]
+            .fail_dist()
+            .sample(&mut self.site_rngs[site.index()]);
+        let gen = self.gens[site.index()];
+        self.queue
+            .schedule(now + ttf, SiteEvent::Fail { site, gen });
+    }
+
+    fn schedule_access(&mut self, now: SimTime) {
+        let gap = Duration::days(self.access_rng.exponential(1.0 / self.access_rate));
+        self.queue.schedule(now + gap, SiteEvent::Access);
+    }
+
+    fn repair_duration(&mut self, site: SiteId) -> Duration {
+        let model = &self.models[site.index()];
+        let rng = &mut self.site_rngs[site.index()];
+        let dist: Dist = if rng.bernoulli(model.hw_fraction) {
+            model.hardware_repair_dist()
+        } else {
+            model.software_repair_dist()
+        };
+        dist.sample(rng)
+    }
+
+    /// Advances to the next effective event. Returns `None` only when no
+    /// events remain (possible only with a zero access rate and no
+    /// sites).
+    pub fn step(&mut self) -> Option<(SimTime, Change)> {
+        loop {
+            let (now, event) = self.queue.pop()?;
+            match event {
+                SiteEvent::Fail { site, gen } => {
+                    if self.gens[site.index()] != gen || !self.up.contains(site) {
+                        continue; // cancelled by a repair or maintenance
+                    }
+                    self.gens[site.index()] += 1;
+                    self.up.remove(site);
+                    let repair = self.repair_duration(site);
+                    let gen = self.gens[site.index()];
+                    self.queue
+                        .schedule(now + repair, SiteEvent::Repair { site, gen });
+                    self.reach = self.network.reachability(self.up);
+                    return Some((now, Change::Topology));
+                }
+                SiteEvent::Repair { site, gen } => {
+                    if self.gens[site.index()] != gen {
+                        continue;
+                    }
+                    self.gens[site.index()] += 1;
+                    self.up.insert(site);
+                    self.schedule_failure(site, now);
+                    self.reach = self.network.reachability(self.up);
+                    return Some((now, Change::Topology));
+                }
+                SiteEvent::MaintStart { site } => {
+                    // Always rearm the periodic schedule.
+                    let (interval, duration) = self.models[site.index()]
+                        .maintenance
+                        .expect("MaintStart only scheduled for maintained sites");
+                    self.queue
+                        .schedule(now + interval, SiteEvent::MaintStart { site });
+                    if !self.up.contains(site) {
+                        continue; // already down: the window is absorbed
+                    }
+                    self.gens[site.index()] += 1; // cancels the pending Fail
+                    self.up.remove(site);
+                    let gen = self.gens[site.index()];
+                    self.queue
+                        .schedule(now + duration, SiteEvent::MaintEnd { site, gen });
+                    self.reach = self.network.reachability(self.up);
+                    return Some((now, Change::Topology));
+                }
+                SiteEvent::MaintEnd { site, gen } => {
+                    if self.gens[site.index()] != gen {
+                        continue;
+                    }
+                    self.gens[site.index()] += 1;
+                    self.up.insert(site);
+                    self.schedule_failure(site, now);
+                    self.reach = self.network.reachability(self.up);
+                    return Some((now, Change::Topology));
+                }
+                SiteEvent::Access => {
+                    self.schedule_access(now);
+                    return Some((now, Change::Access));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ucsd_network;
+    use crate::sites::{identical_sites, UCSD_SITES};
+
+    fn small_driver(seed: u64, rate: f64) -> Driver {
+        let net = Network::single_segment(3);
+        let models = identical_sites(3, Duration::days(10.0), Duration::hours(12.0));
+        Driver::new(net, &models, seed, rate)
+    }
+
+    #[test]
+    fn starts_all_up() {
+        let d = small_driver(1, 1.0);
+        assert_eq!(d.up(), SiteSet::first_n(3));
+        assert_eq!(d.reachability().groups().len(), 1);
+        assert_eq!(d.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn steps_advance_time_monotonically() {
+        let mut d = small_driver(2, 1.0);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let (t, _) = d.step().unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn topology_changes_flip_up_sets() {
+        let mut d = small_driver(3, 0.0);
+        let mut prev = d.up();
+        for _ in 0..500 {
+            let (_, change) = d.step().unwrap();
+            assert_eq!(change, Change::Topology);
+            assert_ne!(d.up(), prev, "a topology event must change the up set");
+            prev = d.up();
+        }
+    }
+
+    #[test]
+    fn long_run_site_unavailability_matches_model() {
+        // One site, MTTF 10 d, deterministic-free exponential repair
+        // 0.5 d: theoretical unavailability = 0.5 / 10.5.
+        let net = Network::single_segment(1);
+        let models = identical_sites(1, Duration::days(10.0), Duration::hours(12.0));
+        let mut d = Driver::new(net, &models, 7, 0.0);
+        let mut down = Duration::ZERO;
+        let mut last = SimTime::ZERO;
+        let mut was_up = true;
+        let horizon = SimTime::at_days(200_000.0);
+        while let Some((t, _)) = d.step() {
+            if t > horizon {
+                break;
+            }
+            if !was_up {
+                down += t - last;
+            }
+            was_up = d.up().contains(SiteId::new(0));
+            last = t;
+        }
+        let frac = down.as_days() / last.as_days();
+        let expect = 0.5 / 10.5;
+        assert!(
+            (frac - expect).abs() < 0.005,
+            "measured {frac}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn access_rate_respected() {
+        let mut d = small_driver(11, 2.0);
+        let mut accesses = 0u64;
+        let horizon = SimTime::at_days(50_000.0);
+        let mut last = SimTime::ZERO;
+        while let Some((t, change)) = d.step() {
+            if t > horizon {
+                break;
+            }
+            last = t;
+            if change == Change::Access {
+                accesses += 1;
+            }
+        }
+        let rate = accesses as f64 / last.as_days();
+        assert!((rate - 2.0).abs() < 0.1, "measured access rate {rate}");
+    }
+
+    #[test]
+    fn zero_access_rate_yields_no_access_events() {
+        let mut d = small_driver(13, 0.0);
+        for _ in 0..200 {
+            let (_, change) = d.step().unwrap();
+            assert_ne!(change, Change::Access);
+        }
+    }
+
+    #[test]
+    fn maintenance_windows_fire_on_schedule() {
+        // A site that never fails (huge MTTF) but has maintenance: the
+        // first window opens at a random phase within the first 90
+        // days, lasts 3 hours, and then recurs every 90 days.
+        let net = Network::single_segment(1);
+        let mut model = identical_sites(1, Duration::days(1e9), Duration::hours(1.0))
+            .pop()
+            .unwrap();
+        model.maintenance = Some((Duration::days(90.0), Duration::hours(3.0)));
+        let mut d = Driver::new(net, &[model], 17, 0.0);
+        let (t1, _) = d.step().unwrap();
+        assert!(t1.as_days() < 90.0, "phase within the first interval");
+        assert!(d.up().is_empty());
+        let (t2, _) = d.step().unwrap();
+        assert!(((t2 - t1).as_hours() - 3.0).abs() < 1e-9);
+        assert_eq!(d.up(), SiteSet::first_n(1));
+        // And again one interval after the first window opened.
+        let (t3, _) = d.step().unwrap();
+        assert!(((t3 - t1).as_days() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maintenance_phases_are_staggered_across_sites() {
+        // Three maintained sites must not all drop at the same instant.
+        let net = Network::single_segment(3);
+        let models: Vec<_> = identical_sites(3, Duration::days(1e9), Duration::hours(1.0))
+            .into_iter()
+            .map(|mut m| {
+                m.maintenance = Some((Duration::days(90.0), Duration::hours(3.0)));
+                m
+            })
+            .collect();
+        let mut d = Driver::new(net, &models, 23, 0.0);
+        let mut first_starts = Vec::new();
+        while first_starts.len() < 3 {
+            let (t, _) = d.step().unwrap();
+            if d.up().len() < 3 - first_starts.len() + 2 {
+                // a new site went down
+            }
+            first_starts.push(t.as_days());
+            // Skip the matching end event.
+            let _ = d.step();
+        }
+        first_starts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert!(
+            first_starts.len() >= 2,
+            "phases should differ: {first_starts:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_trace() {
+        let trace = |seed| {
+            let mut d = small_driver(seed, 1.0);
+            (0..200)
+                .map(|_| {
+                    let (t, c) = d.step().unwrap();
+                    (t.as_days().to_bits(), c == Change::Access, d.up().bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trace(99), trace(99));
+        assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn ucsd_network_runs() {
+        let net = ucsd_network();
+        let mut d = Driver::new(net, &UCSD_SITES, 5, 1.0);
+        let mut topo = 0;
+        let mut partitions_seen = false;
+        for _ in 0..20_000 {
+            let (_, change) = d.step().unwrap();
+            if change == Change::Topology {
+                topo += 1;
+            }
+            if d.reachability().groups().len() > 1 {
+                partitions_seen = true;
+            }
+        }
+        assert!(topo > 1000, "the UCSD fleet fails often");
+        assert!(partitions_seen, "gateway failures must partition");
+    }
+}

@@ -1,0 +1,147 @@
+//! Figure 8: the modelled eight-site, three-segment network.
+
+use dynvote_topology::{Network, NetworkBuilder};
+
+/// Builds the Figure 8 network.
+///
+/// *"Five of the eight sites are connected on the main carrier-sense
+/// segment. One of these sites is the gateway to the second segment, to
+/// which the sixth site is also connected; another of the five sites is
+/// the gateway to the third segment, to which the seventh and eighth
+/// sites are also connected."*
+///
+/// Cross-checking with the stated partition points of configurations
+/// A–H pins down which main-segment sites are the gateways:
+///
+/// * configuration B ({1, 2, 6}) has "a single partition point at
+///   **site 4**" → site 4 gateways to the segment holding site 6;
+/// * configurations C/H place sites 7, 8 behind a partition point at
+///   **site 5** → site 5 gateways to the segment holding sites 7, 8.
+///
+/// Site numbering is 1-based in the paper; [`dynvote_types::SiteId`] is
+/// 0-based, so paper site *k* is `SiteId::new(k - 1)` throughout.
+/// Gateways belong to the *main* segment (the paper's rule: a gateway
+/// host is a member of exactly one segment).
+#[must_use]
+pub fn ucsd_network() -> Network {
+    NetworkBuilder::new()
+        .segment("main", [0, 1, 2, 3, 4]) // paper sites 1-5
+        .segment("second", [5]) // paper site 6
+        .segment("third", [6, 7]) // paper sites 7, 8
+        .bridge(3, "second") // paper site 4 is the gateway to segment 2
+        .bridge(4, "third") // paper site 5 is the gateway to segment 3
+        .build()
+        .expect("the Figure 8 network is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynvote_types::{SiteId, SiteSet};
+
+    #[test]
+    fn shape_matches_figure_8() {
+        let net = ucsd_network();
+        assert_eq!(net.segment_count(), 3);
+        assert_eq!(net.sites(), SiteSet::first_n(8));
+        assert_eq!(net.gateways(), SiteSet::from_indices([3, 4]));
+        // Main segment: paper sites 1-5.
+        assert_eq!(
+            net.co_segment(SiteId::new(0)),
+            SiteSet::from_indices([0, 1, 2, 3, 4])
+        );
+        // Site 6 alone on the second segment.
+        assert_eq!(net.co_segment(SiteId::new(5)), SiteSet::from_indices([5]));
+        // Sites 7, 8 together on the third segment.
+        assert_eq!(
+            net.co_segment(SiteId::new(6)),
+            SiteSet::from_indices([6, 7])
+        );
+    }
+
+    #[test]
+    fn all_up_fully_connected() {
+        let net = ucsd_network();
+        let r = net.reachability(SiteSet::first_n(8));
+        assert_eq!(r.groups(), &[SiteSet::first_n(8)]);
+    }
+
+    #[test]
+    fn gateway_4_failure_detaches_site_6() {
+        // Configuration B's partition point.
+        let net = ucsd_network();
+        let up = SiteSet::first_n(8).without(SiteId::new(3));
+        let r = net.reachability(up);
+        let mut groups = r.groups().to_vec();
+        groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1], SiteSet::from_indices([5]), "site 6 isolated");
+    }
+
+    #[test]
+    fn gateway_5_failure_detaches_sites_7_and_8() {
+        // Configuration H's partition point: sites 7, 8 split off
+        // *together* (they share the third segment).
+        let net = ucsd_network();
+        let up = SiteSet::first_n(8).without(SiteId::new(4));
+        let r = net.reachability(up);
+        let mut groups = r.groups().to_vec();
+        groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1], SiteSet::from_indices([6, 7]));
+    }
+
+    #[test]
+    fn both_gateways_down_three_way_partition() {
+        let net = ucsd_network();
+        let up = SiteSet::first_n(8)
+            .without(SiteId::new(3))
+            .without(SiteId::new(4));
+        let r = net.reachability(up);
+        assert_eq!(r.groups().len(), 3);
+    }
+
+    #[test]
+    fn non_gateway_failures_never_partition() {
+        let net = ucsd_network();
+        // Any combination of non-gateway failures leaves one group.
+        for mask in 0u64..64 {
+            // Map 6 mask bits onto the 6 non-gateway sites {0,1,2,5,6,7}.
+            let nongw = [0usize, 1, 2, 5, 6, 7];
+            let mut up = SiteSet::first_n(8);
+            for (bit, &site) in nongw.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    up.remove(SiteId::new(site));
+                }
+            }
+            let r = net.reachability(up);
+            assert!(
+                r.groups().len() <= 1,
+                "non-gateway mask {mask:#b} partitioned the network"
+            );
+        }
+    }
+
+    /// The paper's §3 four-copy example: the only possible partitions of
+    /// a file on {A, B, C, D} = {1, 2, 6, 8} are {{A,B,C},{D}},
+    /// {{A,B,D},{C}} and {{A,B},{C},{D}} — plus, of course, no partition.
+    #[test]
+    fn possible_partitions_of_config_g_sites() {
+        let net = ucsd_network();
+        let copies = SiteSet::from_indices([0, 1, 5, 7]); // paper 1, 2, 6, 8
+        let parts = net.possible_partitions(copies);
+        // Partitions induced by gateway failures: whole; {1,2,8}|{6};
+        // {1,2,6}|{8}... note: gateway failures isolate 6 or {7,8}.
+        assert!(parts.contains(&vec![copies]));
+        assert!(parts.iter().any(|p| p.len() == 2));
+        assert!(parts.iter().any(|p| p.len() == 3));
+        // No partition ever splits sites 1 and 2 (both on main).
+        for p in &parts {
+            let ones: Vec<_> = p
+                .iter()
+                .filter(|g| g.contains(SiteId::new(0)) || g.contains(SiteId::new(1)))
+                .collect();
+            assert!(ones.len() <= 1, "sites 1 and 2 were separated: {p:?}");
+        }
+    }
+}

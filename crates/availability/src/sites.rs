@@ -1,0 +1,251 @@
+//! Table 1: site characteristics of the modelled UCSD network.
+
+use std::borrow::Cow;
+
+use dynvote_sim::{Dist, Duration};
+
+/// The failure/repair behaviour of one site, exactly as parameterized in
+/// Table 1 of the paper.
+///
+/// * Times to fail are exponential with mean [`SiteModel::mttf`].
+/// * A failure is a **hardware** failure with probability
+///   [`SiteModel::hw_fraction`]; hardware repairs take a constant
+///   minimum-service time plus an exponential actual-repair time.
+/// * Otherwise it is a **software** failure, fixed by a constant-time
+///   restart.
+/// * Some sites additionally take 3 hours of preventive maintenance
+///   every 90 days (Table 1 note: sites 1, 3 and 5).
+#[derive(Clone, Debug)]
+pub struct SiteModel {
+    /// Hostname (for table output).
+    pub name: Cow<'static, str>,
+    /// Mean time to fail.
+    pub mttf: Duration,
+    /// Fraction of failures that are hardware failures (0..=1).
+    pub hw_fraction: f64,
+    /// Constant restart time after a software failure.
+    pub restart: Duration,
+    /// Constant part of the hardware repair time.
+    pub hw_floor: Duration,
+    /// Mean of the exponential part of the hardware repair time.
+    pub hw_mean: Duration,
+    /// Preventive maintenance: `(interval, duration)` when scheduled.
+    pub maintenance: Option<(Duration, Duration)>,
+}
+
+impl SiteModel {
+    /// The time-to-fail distribution.
+    #[must_use]
+    pub fn fail_dist(&self) -> Dist {
+        Dist::Exponential(self.mttf)
+    }
+
+    /// The software-restart distribution.
+    #[must_use]
+    pub fn software_repair_dist(&self) -> Dist {
+        Dist::Constant(self.restart)
+    }
+
+    /// The hardware-repair distribution.
+    #[must_use]
+    pub fn hardware_repair_dist(&self) -> Dist {
+        Dist::ShiftedExponential {
+            floor: self.hw_floor,
+            mean: self.hw_mean,
+        }
+    }
+
+    /// The long-run mean repair time across both failure kinds.
+    #[must_use]
+    pub fn mean_repair(&self) -> Duration {
+        self.hardware_repair_dist().mean() * self.hw_fraction
+            + self.software_repair_dist().mean() * (1.0 - self.hw_fraction)
+    }
+
+    /// Steady-state unavailability of the site alone (ignoring
+    /// maintenance): `MTTR / (MTTF + MTTR)`.
+    #[must_use]
+    pub fn intrinsic_unavailability(&self) -> f64 {
+        let mttr = self.mean_repair();
+        mttr / (self.mttf + mttr)
+    }
+}
+
+/// Table 1, row by row. Index *i* holds the paper's site *i + 1*
+/// (site numbering in the paper is 1-based; `SiteId` is 0-based).
+pub static UCSD_SITES: [SiteModel; 8] = [
+    // 1: csvax — MTTF 36.5 d, 10% hw, 20 min restart, 0 + exp(2 h),
+    //    maintenance.
+    SiteModel {
+        name: Cow::Borrowed("csvax"),
+        mttf: Duration::days(36.5),
+        hw_fraction: 0.10,
+        restart: Duration::days(20.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(0.0),
+        hw_mean: Duration::days(2.0 / 24.0),
+        maintenance: Some((Duration::days(90.0), Duration::days(3.0 / 24.0))),
+    },
+    // 2: beowulf — MTTF 10 d, 10% hw, 15 min restart, 4 h + exp(24 h).
+    SiteModel {
+        name: Cow::Borrowed("beowulf"),
+        mttf: Duration::days(10.0),
+        hw_fraction: 0.10,
+        restart: Duration::days(15.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(4.0 / 24.0),
+        hw_mean: Duration::days(1.0), // 24 hours
+        maintenance: None,
+    },
+    // 3: grendel — MTTF 365 d, 90% hw, 10 min restart, 0 + exp(2 h),
+    //    maintenance.
+    SiteModel {
+        name: Cow::Borrowed("grendel"),
+        mttf: Duration::days(365.0),
+        hw_fraction: 0.90,
+        restart: Duration::days(10.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(0.0),
+        hw_mean: Duration::days(2.0 / 24.0),
+        maintenance: Some((Duration::days(90.0), Duration::days(3.0 / 24.0))),
+    },
+    // 4: wizard — MTTF 50 d, 50% hw, 15 min restart, 168 h + exp(168 h).
+    SiteModel {
+        name: Cow::Borrowed("wizard"),
+        mttf: Duration::days(50.0),
+        hw_fraction: 0.50,
+        restart: Duration::days(15.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(168.0 / 24.0),
+        hw_mean: Duration::days(168.0 / 24.0),
+        maintenance: None,
+    },
+    // 5: amos — MTTF 365 d, 90% hw, 10 min restart, 0 + exp(2 h),
+    //    maintenance.
+    SiteModel {
+        name: Cow::Borrowed("amos"),
+        mttf: Duration::days(365.0),
+        hw_fraction: 0.90,
+        restart: Duration::days(10.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(0.0),
+        hw_mean: Duration::days(2.0 / 24.0),
+        maintenance: Some((Duration::days(90.0), Duration::days(3.0 / 24.0))),
+    },
+    // 6: gremlin — MTTF 50 d, 50% hw, 15 min restart, 168 h + exp(168 h).
+    SiteModel {
+        name: Cow::Borrowed("gremlin"),
+        mttf: Duration::days(50.0),
+        hw_fraction: 0.50,
+        restart: Duration::days(15.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(168.0 / 24.0),
+        hw_mean: Duration::days(168.0 / 24.0),
+        maintenance: None,
+    },
+    // 7: rip — identical to gremlin.
+    SiteModel {
+        name: Cow::Borrowed("rip"),
+        mttf: Duration::days(50.0),
+        hw_fraction: 0.50,
+        restart: Duration::days(15.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(168.0 / 24.0),
+        hw_mean: Duration::days(168.0 / 24.0),
+        maintenance: None,
+    },
+    // 8: mangle — identical to gremlin.
+    SiteModel {
+        name: Cow::Borrowed("mangle"),
+        mttf: Duration::days(50.0),
+        hw_fraction: 0.50,
+        restart: Duration::days(15.0 / (24.0 * 60.0)),
+        hw_floor: Duration::days(168.0 / 24.0),
+        hw_mean: Duration::days(168.0 / 24.0),
+        maintenance: None,
+    },
+];
+
+/// A uniform fleet of identical sites (used by the analytic
+/// cross-validation, where closed forms need identical exponential
+/// failure/repair behaviour and no maintenance).
+#[must_use]
+pub fn identical_sites(n: usize, mttf: Duration, mttr: Duration) -> Vec<SiteModel> {
+    (0..n)
+        .map(|_| SiteModel {
+            name: Cow::Borrowed("uniform"),
+            mttf,
+            hw_fraction: 1.0,
+            restart: Duration::ZERO,
+            hw_floor: Duration::ZERO,
+            hw_mean: mttr,
+            maintenance: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_spot_checks() {
+        assert_eq!(UCSD_SITES[0].name, "csvax");
+        assert_eq!(UCSD_SITES[0].mttf.as_days(), 36.5);
+        assert_eq!(UCSD_SITES[1].hw_floor.as_hours(), 4.0);
+        assert!((UCSD_SITES[1].hw_mean.as_hours() - 24.0).abs() < 1e-9);
+        assert_eq!(UCSD_SITES[3].name, "wizard");
+        assert_eq!(UCSD_SITES[3].hw_fraction, 0.5);
+        assert!((UCSD_SITES[3].hw_floor.as_hours() - 168.0).abs() < 1e-9);
+        // Sites 1, 3, 5 (indices 0, 2, 4) have maintenance; others none.
+        for (i, site) in UCSD_SITES.iter().enumerate() {
+            assert_eq!(
+                site.maintenance.is_some(),
+                matches!(i, 0 | 2 | 4),
+                "site {} ({})",
+                i + 1,
+                site.name
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_is_90_days_3_hours() {
+        let (interval, duration) = UCSD_SITES[0].maintenance.unwrap();
+        assert_eq!(interval.as_days(), 90.0);
+        assert!((duration.as_hours() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_repair_mixes_hardware_and_software() {
+        // beowulf: 10% × (4 + 24) h + 90% × 0.25 h = 3.025 h.
+        let m = UCSD_SITES[1].mean_repair();
+        assert!((m.as_hours() - (0.1 * 28.0 + 0.9 * 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wizard_dominates_intrinsic_unavailability() {
+        // wizard is down ~2 weeks per ~50-day cycle — by far the worst.
+        let wizard = UCSD_SITES[3].intrinsic_unavailability();
+        for (i, site) in UCSD_SITES.iter().enumerate() {
+            if !matches!(i, 3 | 5 | 6 | 7) {
+                assert!(
+                    site.intrinsic_unavailability() < wizard,
+                    "site {} should be more available than wizard",
+                    site.name
+                );
+            }
+        }
+        // Mean repair = 0.5 × (168 + 168) h + 0.5 × 0.25 h ≈ 7 days, so
+        // intrinsic unavailability ≈ 7 / 57 ≈ 0.12.
+        assert!(
+            wizard > 0.10 && wizard < 0.15,
+            "wizard ≈ 7/57 ≈ 0.12, got {wizard}"
+        );
+    }
+
+    #[test]
+    fn identical_sites_are_identical() {
+        let fleet = identical_sites(4, Duration::days(10.0), Duration::hours(12.0));
+        assert_eq!(fleet.len(), 4);
+        for s in &fleet {
+            assert_eq!(s.mttf.as_days(), 10.0);
+            assert_eq!(s.hw_fraction, 1.0);
+            assert!(s.maintenance.is_none());
+            assert!((s.mean_repair().as_hours() - 12.0).abs() < 1e-9);
+        }
+    }
+}

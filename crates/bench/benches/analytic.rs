@@ -1,0 +1,27 @@
+//! Cost of the exact CTMC models: state-space construction plus dense
+//! steady-state solve, as the copy count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynvote_analytic::{dv_unavailability, ldv_unavailability, ParSystem};
+use std::hint::black_box;
+
+fn bench_ctmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmc");
+    for n in [3usize, 4, 5, 6] {
+        let sys = ParSystem {
+            n,
+            mttf: 10.0,
+            mttr: 0.5,
+        };
+        group.bench_with_input(BenchmarkId::new("dv_exact", n), &sys, |b, sys| {
+            b.iter(|| black_box(dv_unavailability(sys)));
+        });
+        group.bench_with_input(BenchmarkId::new("ldv_exact", n), &sys, |b, sys| {
+            b.iter(|| black_box(ldv_unavailability(sys)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctmc);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Latency of Algorithm 1 — the majority-partition decision — across
+//! rules and copy counts.
+//!
+//! The paper's efficiency argument for ODV rests on the decision being
+//! a trivial computation over state gathered at access time; this bench
+//! quantifies "trivial" (it should sit in the tens of nanoseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynvote_core::decision::{decide, Rule};
+use dynvote_core::state::StateTable;
+use dynvote_topology::Network;
+use dynvote_types::SiteSet;
+use std::hint::black_box;
+
+/// A mid-history state: the partition set has shrunk once and one copy
+/// is stale, so the decision exercises the max-op/max-version scans.
+fn mid_history_state(n: usize) -> (SiteSet, StateTable) {
+    let copies = SiteSet::first_n(n);
+    let mut states = StateTable::fresh(copies);
+    let shrunk = copies.without(copies.max().expect("non-empty"));
+    states.commit(shrunk, 7, 5, shrunk);
+    (copies, states)
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision");
+    for n in [3usize, 5, 8, 16, 32] {
+        let (copies, states) = mid_history_state(n);
+        let reachable = copies.without(SiteSet::first_n(n).min().expect("non-empty"));
+
+        group.bench_with_input(BenchmarkId::new("dv", n), &n, |b, _| {
+            let rule = Rule::dv();
+            b.iter(|| decide(black_box(reachable), copies, &states, &rule, None).is_granted());
+        });
+        group.bench_with_input(BenchmarkId::new("ldv", n), &n, |b, _| {
+            let rule = Rule::lexicographic();
+            b.iter(|| decide(black_box(reachable), copies, &states, &rule, None).is_granted());
+        });
+        let network = Network::single_segment(n);
+        group.bench_with_input(BenchmarkId::new("tdv", n), &n, |b, _| {
+            let rule = Rule::topological();
+            b.iter(|| {
+                decide(black_box(reachable), copies, &states, &rule, Some(&network)).is_granted()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    let ucsd = dynvote_availability::network::ucsd_network();
+    group.bench_function("ucsd_all_up", |b| {
+        b.iter(|| ucsd.reachability(black_box(SiteSet::first_n(8))));
+    });
+    group.bench_function("ucsd_gateways_down", |b| {
+        let up = SiteSet::from_indices([0, 1, 2, 5, 6, 7]);
+        b.iter(|| ucsd.reachability(black_box(up)));
+    });
+    let mesh = Network::fully_connected(16);
+    group.bench_function("mesh16_half_up", |b| {
+        let up = SiteSet::from_bits(0xAAAA);
+        b.iter(|| mesh.reachability(black_box(up)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision, bench_reachability);
+criterion_main!(benches);

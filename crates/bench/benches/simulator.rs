@@ -1,0 +1,59 @@
+//! Throughput of the availability simulator — the cost of regenerating
+//! Tables 2 and 3.
+//!
+//! Measures (a) the raw failure/repair/access event stream and (b) a
+//! full single-policy and six-policy measurement year, per
+//! configuration class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynvote_availability::config::{CONFIG_A, CONFIG_G};
+use dynvote_availability::driver::Driver;
+use dynvote_availability::network::ucsd_network;
+use dynvote_availability::run::{simulate, simulate_row, Params};
+use dynvote_availability::sites::UCSD_SITES;
+use dynvote_core::policy::PolicyKind;
+use dynvote_sim::Duration;
+use std::hint::black_box;
+
+fn bench_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("driver");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("raw_events_10k", |b| {
+        b.iter(|| {
+            let mut driver = Driver::new(ucsd_network(), &UCSD_SITES, 1, 1.0);
+            for _ in 0..10_000 {
+                black_box(driver.step());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measurement");
+    group.sample_size(10);
+    // Ten simulated years, single policy vs the full six-policy row.
+    let params = Params {
+        seed: 2,
+        access_rate: 1.0,
+        warmup: Duration::days(100.0),
+        batch_len: Duration::days(365.0),
+        batches: 10,
+    };
+    for (config, label) in [(&CONFIG_A, "A"), (&CONFIG_G, "G")] {
+        group.bench_with_input(BenchmarkId::new("ldv_10y", label), config, |b, config| {
+            b.iter(|| simulate(PolicyKind::Ldv, black_box(config), &params));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("six_policies_10y", label),
+            config,
+            |b, config| {
+                b.iter(|| simulate_row(black_box(config), &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_driver, bench_measurement);
+criterion_main!(benches);

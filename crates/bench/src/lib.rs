@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Criterion benchmarks for the dynamic-voting workspace.
+//!
+//! The measurable claims live in `benches/`:
+//!
+//! * `decision` — latency of Algorithm 1 under each rule and copy count
+//!   (the paper's efficiency claim: the optimistic decision is a handful
+//!   of set operations on information gathered at access time);
+//! * `simulator` — events/second of the availability study, the cost of
+//!   regenerating Tables 2 and 3;
+//! * `replica_ops` — message-level operation latency and message counts
+//!   per protocol (the "much the same message traffic as MCV" claim);
+//! * `analytic` — exact CTMC model construction + solve cost.
+//!
+//! Availability-number ablations (lexicon direction, rejoin timing,
+//! access rates) live in `dynvote-experiments` — they measure protocol
+//! quality, not wall-clock time.
+//!
+//! This library crate intentionally exports nothing; it exists so the
+//! bench targets have a home in the workspace.

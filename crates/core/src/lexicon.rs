@@ -1,0 +1,178 @@
+//! The static linear site ordering used to break ties.
+
+use dynvote_types::{SiteId, SiteSet, MAX_SITES};
+
+/// The static linear ordering of sites used by the lexicographic
+/// tie-breaking rule.
+///
+/// When a group holds *exactly half* of the previous majority partition,
+/// Lexicographic Dynamic Voting grants the access iff the group contains
+/// the **maximum** element of that partition under this ordering
+/// (Jajodia's rule). The ordering must be agreed on ahead of time and
+/// never change — it is configuration, not state.
+///
+/// The paper's worked example orders sites `A > B > C`; mapping `A, B, C`
+/// to sites `S0, S1, S2`, the *default* lexicon ranks **lower indices
+/// higher**, so `max({S0, S2}) = S0`. Custom priorities (e.g. ranking the
+/// most reliable site highest) are supported via [`Lexicon::from_priority`]
+/// and are exercised by the ablation benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_core::Lexicon;
+/// use dynvote_types::{SiteId, SiteSet};
+///
+/// let lex = Lexicon::default();
+/// let p = SiteSet::from_indices([0, 2]);
+/// assert_eq!(lex.max_of(p), Some(SiteId::new(0)), "S0 outranks S2");
+///
+/// // Rank S2 highest instead.
+/// let lex = Lexicon::from_priority([2, 0, 1]);
+/// assert_eq!(lex.max_of(p), Some(SiteId::new(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Lexicon {
+    /// `rank[i]` = priority of site `i`; higher rank wins.
+    rank: [u8; MAX_SITES],
+}
+
+impl Default for Lexicon {
+    /// Lower site index ⇒ higher rank (the paper's `A > B > C`).
+    fn default() -> Self {
+        let mut rank = [0u8; MAX_SITES];
+        for (i, r) in rank.iter_mut().enumerate() {
+            *r = (MAX_SITES - 1 - i) as u8;
+        }
+        Lexicon { rank }
+    }
+}
+
+impl Lexicon {
+    /// Builds a lexicon from an explicit priority list: the first site
+    /// listed ranks highest. Sites not listed rank below all listed
+    /// sites, ordered by ascending index among themselves.
+    #[must_use]
+    pub fn from_priority<I: IntoIterator<Item = usize>>(priority: I) -> Self {
+        let mut rank = [0u8; MAX_SITES];
+        // Unlisted sites get low ranks by descending index distance.
+        let mut listed = [false; MAX_SITES];
+        let order: Vec<usize> = priority.into_iter().collect();
+        let mut next_rank = MAX_SITES as u8;
+        for &site in &order {
+            assert!(site < MAX_SITES, "site index out of range");
+            assert!(!listed[site], "site listed twice in priority order");
+            next_rank -= 1;
+            rank[site] = next_rank;
+            listed[site] = true;
+        }
+        for i in 0..MAX_SITES {
+            if !listed[i] {
+                next_rank -= 1;
+                rank[i] = next_rank;
+            }
+        }
+        Lexicon { rank }
+    }
+
+    /// A lexicon where *higher* site index ranks higher (the reverse of
+    /// the default), used by ablations to test sensitivity to the
+    /// ordering choice.
+    #[must_use]
+    pub fn ascending() -> Self {
+        let mut rank = [0u8; MAX_SITES];
+        for (i, r) in rank.iter_mut().enumerate() {
+            *r = i as u8;
+        }
+        Lexicon { rank }
+    }
+
+    /// The priority rank of a site (higher wins ties).
+    #[inline]
+    #[must_use]
+    pub fn rank(&self, site: SiteId) -> u8 {
+        self.rank[site.index()]
+    }
+
+    /// The maximum element of `set` under this ordering — the paper's
+    /// `max(P_m)`.
+    #[must_use]
+    pub fn max_of(&self, set: SiteSet) -> Option<SiteId> {
+        set.iter().max_by_key(|s| self.rank[s.index()])
+    }
+}
+
+impl core::fmt::Debug for Lexicon {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Print only the first few ranks; full 64-entry dumps are noise.
+        write!(f, "Lexicon(top8: ")?;
+        let mut sites: Vec<usize> = (0..8).collect();
+        sites.sort_by_key(|&i| core::cmp::Reverse(self.rank[i]));
+        for (n, i) in sites.iter().enumerate() {
+            if n > 0 {
+                write!(f, " > ")?;
+            }
+            write!(f, "S{i}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ranks_lower_index_higher() {
+        let lex = Lexicon::default();
+        assert!(lex.rank(SiteId::new(0)) > lex.rank(SiteId::new(1)));
+        assert_eq!(
+            lex.max_of(SiteSet::from_indices([3, 5, 7])),
+            Some(SiteId::new(3))
+        );
+        assert_eq!(lex.max_of(SiteSet::EMPTY), None);
+    }
+
+    #[test]
+    fn ascending_ranks_higher_index_higher() {
+        let lex = Lexicon::ascending();
+        assert_eq!(
+            lex.max_of(SiteSet::from_indices([3, 5, 7])),
+            Some(SiteId::new(7))
+        );
+    }
+
+    #[test]
+    fn explicit_priority_respected() {
+        let lex = Lexicon::from_priority([4, 2, 6]);
+        assert_eq!(
+            lex.max_of(SiteSet::from_indices([2, 4, 6])),
+            Some(SiteId::new(4))
+        );
+        assert_eq!(
+            lex.max_of(SiteSet::from_indices([2, 6])),
+            Some(SiteId::new(2))
+        );
+        // Unlisted sites rank below all listed ones.
+        assert_eq!(
+            lex.max_of(SiteSet::from_indices([0, 6])),
+            Some(SiteId::new(6))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_priority_panics() {
+        let _ = Lexicon::from_priority([1, 1]);
+    }
+
+    #[test]
+    fn paper_worked_example_ordering() {
+        // "Suppose the sites are ordered so that A > B > C" with
+        // A=S0, B=S1, C=S2: after the A–C link fails, A alone is the
+        // majority partition because max({A, C}) = A.
+        let lex = Lexicon::default();
+        let prev_partition = SiteSet::from_indices([0, 2]); // {A, C}
+        assert_eq!(lex.max_of(prev_partition), Some(SiteId::new(0)));
+    }
+}

@@ -1,0 +1,174 @@
+//! The Available-Copy protocol — the non-partitionable-network special case.
+
+use dynvote_topology::Reachability;
+use dynvote_types::SiteSet;
+
+use super::AvailabilityPolicy;
+
+/// Available Copy (Bernstein–Goodman): reads and writes proceed while
+/// **any** copy is available.
+///
+/// The protocol assumes the network *cannot partition* — a safe
+/// assumption on a single carrier-sense segment or token ring (paper,
+/// §3). Writes go to every up copy; a site recovering while a current
+/// copy is up resynchronizes from it; after a **total** failure the file
+/// stays unavailable until a site holding the latest data returns
+/// (tracked here by the persistent `current` set).
+///
+/// The paper proves the sanity check this crate's integration tests
+/// replay: *"When all the sites are on the same segment, the modified
+/// topological algorithm degenerates into an available copy protocol as
+/// a quorum is guaranteed as long as one copy remains available."*
+///
+/// # Caveat
+///
+/// On a partitionable network Available Copy is **unsafe** (two isolated
+/// groups would both accept writes). The implementation keeps a single
+/// global `current` set, which is only meaningful when reachability
+/// never splits the copies; the availability simulator only pairs this
+/// policy with single-segment networks.
+#[derive(Clone, Debug)]
+pub struct AvailableCopyPolicy {
+    copies: SiteSet,
+    /// Sites holding the latest version of the data — up sites receiving
+    /// every write plus, after failures, the down sites that held the
+    /// latest data when they failed.
+    current: SiteSet,
+}
+
+impl AvailableCopyPolicy {
+    /// A new Available-Copy policy for a file replicated on `copies`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `copies` is empty.
+    #[must_use]
+    pub fn new(copies: SiteSet) -> Self {
+        assert!(!copies.is_empty(), "a replicated file needs copies");
+        AvailableCopyPolicy {
+            copies,
+            current: copies,
+        }
+    }
+
+    /// The sites currently known to hold the latest data (up or down).
+    #[must_use]
+    pub fn current(&self) -> SiteSet {
+        self.current
+    }
+
+    fn sync(&mut self, reach: &Reachability) {
+        // Writes flow continuously to all up copies that can see a
+        // current copy; copies that fail drop out of `current` the
+        // moment a write happens without them — i.e. immediately, in the
+        // instantaneous model — unless no current copy is up at all, in
+        // which case the frozen `current` set marks who holds the latest
+        // data.
+        let mut next = SiteSet::EMPTY;
+        for &group in reach.groups() {
+            if !(group & self.current).is_empty() {
+                next |= group & self.copies;
+            }
+        }
+        if !next.is_empty() {
+            self.current = next;
+        }
+    }
+}
+
+impl AvailabilityPolicy for AvailableCopyPolicy {
+    fn name(&self) -> &str {
+        "AC"
+    }
+
+    fn reset(&mut self) {
+        self.current = self.copies;
+    }
+
+    fn on_topology_change(&mut self, reach: &Reachability) {
+        self.sync(reach);
+    }
+
+    fn on_access(&mut self, reach: &Reachability) -> bool {
+        self.sync(reach);
+        self.is_available(reach)
+    }
+
+    fn is_available(&self, reach: &Reachability) -> bool {
+        reach
+            .groups()
+            .iter()
+            .any(|&g| !(g & self.current).is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reach(groups: &[&[usize]]) -> Reachability {
+        Reachability::from_groups(
+            groups
+                .iter()
+                .map(|g| SiteSet::from_indices(g.iter().copied()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn survives_down_to_one_copy() {
+        let mut p = AvailableCopyPolicy::new(SiteSet::first_n(3));
+        for up in [&[0usize, 1][..], &[1][..]] {
+            let r = reach(&[up]);
+            p.on_topology_change(&r);
+            assert!(p.is_available(&r), "AC should survive {up:?}");
+        }
+        assert_eq!(p.current(), SiteSet::from_indices([1]));
+    }
+
+    #[test]
+    fn total_failure_requires_last_site_back() {
+        let mut p = AvailableCopyPolicy::new(SiteSet::first_n(3));
+        // S0 and S1 fail, then S2 (the last current copy) fails.
+        p.on_topology_change(&reach(&[&[2]]));
+        p.on_topology_change(&reach(&[]));
+        assert_eq!(
+            p.current(),
+            SiteSet::from_indices([2]),
+            "S2 froze as current"
+        );
+        // S0 returns first: it missed writes — file still unavailable.
+        let r = reach(&[&[0]]);
+        p.on_topology_change(&r);
+        assert!(!p.is_available(&r));
+        // S2 returns: available again, and S0 resyncs into current.
+        let r = reach(&[&[0, 2]]);
+        p.on_topology_change(&r);
+        assert!(p.is_available(&r));
+        assert_eq!(p.current(), SiteSet::from_indices([0, 2]));
+    }
+
+    #[test]
+    fn recovering_site_resyncs_from_current() {
+        let mut p = AvailableCopyPolicy::new(SiteSet::first_n(2));
+        p.on_topology_change(&reach(&[&[0]]));
+        assert_eq!(p.current(), SiteSet::from_indices([0]));
+        p.on_topology_change(&reach(&[&[0, 1]]));
+        assert_eq!(p.current(), SiteSet::first_n(2));
+    }
+
+    #[test]
+    fn access_reports_availability() {
+        let mut p = AvailableCopyPolicy::new(SiteSet::first_n(2));
+        assert!(p.on_access(&reach(&[&[1]])));
+        assert!(!p.on_access(&reach(&[])));
+    }
+
+    #[test]
+    fn reset_restores_all_current() {
+        let mut p = AvailableCopyPolicy::new(SiteSet::first_n(2));
+        p.on_topology_change(&reach(&[&[0]]));
+        p.reset();
+        assert_eq!(p.current(), SiteSet::first_n(2));
+    }
+}

@@ -1,0 +1,216 @@
+//! Majority Consensus Voting — the static baseline.
+
+use dynvote_topology::Reachability;
+use dynvote_types::{SiteId, SiteSet};
+
+use crate::lexicon::Lexicon;
+
+use super::AvailabilityPolicy;
+
+/// Majority Consensus Voting (Ellis/Gifford/Thomas): an access proceeds
+/// iff a majority of all *n* copies is reachable.
+///
+/// The quorum is fixed for the lifetime of the file — the very rigidity
+/// Dynamic Voting was invented to remove: "a few failures can render
+/// the data inaccessible" even when the surviving copies are mutually
+/// consistent.
+///
+/// # Even copy counts and the tie vote
+///
+/// For even *n* a bare majority rule needs `n/2 + 1` copies, so an even
+/// split strands *both* sides. Gifford's remedy is to skew the vote
+/// assignment so no tie is possible — equivalently, to grant the half
+/// that contains a designated top-ranked site. The paper's Table 2 is
+/// only consistent with that variant: e.g. configuration H
+/// (copies 1, 2, 7, 8) reports an MCV unavailability of 0.0014 ≈ the
+/// gateway's own downtime, which a strict 3-of-4 quorum could never
+/// achieve given that sites 7 and 8 are *each* down ~12% of the time
+/// (`P(7 and 8 down) ≈ 0.015` already exceeds it). [`McvPolicy::new`]
+/// therefore breaks even splits with the same lexicographic ordering
+/// LDV uses; [`McvPolicy::strict`] provides the textbook no-tie-break
+/// rule for comparison (the `mcv_tiebreak` ablation measures the gap).
+///
+/// MCV keeps no adjustable state, so
+/// [`AvailabilityPolicy::on_topology_change`] and
+/// [`AvailabilityPolicy::on_access`] never mutate anything.
+#[derive(Clone, Debug)]
+pub struct McvPolicy {
+    copies: SiteSet,
+    tie_break: Option<SiteId>,
+}
+
+impl McvPolicy {
+    /// MCV with the paper-calibrated tie vote: an exact half that
+    /// contains the top-ranked copy (under the default [`Lexicon`])
+    /// wins. For odd `n` this is exactly the textbook rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `copies` is empty.
+    #[must_use]
+    pub fn new(copies: SiteSet) -> Self {
+        McvPolicy::with_lexicon(copies, &Lexicon::default())
+    }
+
+    /// MCV breaking ties toward the maximum copy of a custom ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `copies` is empty.
+    #[must_use]
+    pub fn with_lexicon(copies: SiteSet, lexicon: &Lexicon) -> Self {
+        assert!(!copies.is_empty(), "a replicated file needs copies");
+        McvPolicy {
+            copies,
+            tie_break: lexicon.max_of(copies),
+        }
+    }
+
+    /// Textbook MCV: strictly more than half, ties strand both sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `copies` is empty.
+    #[must_use]
+    pub fn strict(copies: SiteSet) -> Self {
+        assert!(!copies.is_empty(), "a replicated file needs copies");
+        McvPolicy {
+            copies,
+            tie_break: None,
+        }
+    }
+
+    /// The smallest group size that can win: `⌊n/2⌋ + 1`, or `n/2` for
+    /// the half containing the tie vote.
+    #[must_use]
+    pub fn quorum(&self) -> usize {
+        self.copies.len() / 2 + 1
+    }
+
+    /// Does `group` hold a static quorum?
+    #[must_use]
+    pub fn group_grants(&self, group: SiteSet) -> bool {
+        let held = (group & self.copies).len();
+        if 2 * held > self.copies.len() {
+            return true;
+        }
+        match self.tie_break {
+            Some(max) => 2 * held == self.copies.len() && group.contains(max),
+            None => false,
+        }
+    }
+}
+
+impl AvailabilityPolicy for McvPolicy {
+    fn name(&self) -> &str {
+        "MCV"
+    }
+
+    fn reset(&mut self) {}
+
+    fn on_topology_change(&mut self, _reach: &Reachability) {}
+
+    fn on_access(&mut self, reach: &Reachability) -> bool {
+        self.is_available(reach)
+    }
+
+    fn is_available(&self, reach: &Reachability) -> bool {
+        reach.groups().iter().any(|&g| self.group_grants(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reach(groups: &[&[usize]]) -> Reachability {
+        Reachability::from_groups(
+            groups
+                .iter()
+                .map(|g| SiteSet::from_indices(g.iter().copied()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn three_copies_need_two() {
+        let p = McvPolicy::new(SiteSet::first_n(3));
+        assert_eq!(p.quorum(), 2);
+        assert!(p.is_available(&reach(&[&[0, 1, 2]])));
+        assert!(p.is_available(&reach(&[&[0, 2]])));
+        assert!(!p.is_available(&reach(&[&[0], &[2]])));
+    }
+
+    #[test]
+    fn odd_counts_ignore_the_tie_vote() {
+        // For odd n the tie-break can never fire: both variants agree
+        // on every partition of 5 copies.
+        let a = McvPolicy::new(SiteSet::first_n(5));
+        let b = McvPolicy::strict(SiteSet::first_n(5));
+        for mask in 0u64..32 {
+            let r = reach(&[]);
+            let _ = r;
+            let groups = Reachability::from_groups(vec![SiteSet::from_bits(mask)]);
+            assert_eq!(
+                a.is_available(&groups),
+                b.is_available(&groups),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_copies_half_with_max_wins() {
+        let p = McvPolicy::new(SiteSet::first_n(4));
+        // {S0, S1} holds the tie vote (S0 ranks highest); {S2, S3} not.
+        assert!(p.is_available(&reach(&[&[0, 1], &[2, 3]])));
+        let r = reach(&[&[2, 3]]);
+        assert!(!p.is_available(&r));
+        // Never both sides.
+        let both = reach(&[&[0, 1], &[2, 3]]);
+        let grants: usize = both.groups().iter().filter(|&&g| p.group_grants(g)).count();
+        assert_eq!(grants, 1, "the tie vote preserves mutual exclusion");
+    }
+
+    #[test]
+    fn strict_mcv_strands_even_splits() {
+        let p = McvPolicy::strict(SiteSet::first_n(4));
+        assert_eq!(p.quorum(), 3);
+        assert!(!p.is_available(&reach(&[&[0, 1], &[2, 3]])));
+        assert!(p.is_available(&reach(&[&[0, 1, 3]])));
+    }
+
+    #[test]
+    fn non_copy_sites_do_not_count() {
+        let p = McvPolicy::new(SiteSet::first_n(3));
+        // Group of one copy plus two bystanders: still 1 < 2.
+        assert!(!p.is_available(&reach(&[&[2, 6, 7]])));
+    }
+
+    #[test]
+    fn quorum_never_adapts() {
+        // The defining weakness: even after losing two copies forever,
+        // the quorum stays 2 of 3.
+        let mut p = McvPolicy::new(SiteSet::first_n(3));
+        let degraded = reach(&[&[1]]);
+        p.on_topology_change(&degraded);
+        assert!(!p.on_access(&degraded));
+        assert!(!p.is_available(&degraded));
+    }
+
+    #[test]
+    fn custom_lexicon_moves_the_tie_vote() {
+        let p = McvPolicy::with_lexicon(SiteSet::first_n(4), &Lexicon::ascending());
+        assert!(
+            p.is_available(&reach(&[&[2, 3]])),
+            "S3 now holds the tie vote"
+        );
+        assert!(!p.is_available(&reach(&[&[0, 1]])));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs copies")]
+    fn empty_copies_rejected() {
+        let _ = McvPolicy::new(SiteSet::EMPTY);
+    }
+}

@@ -1,0 +1,184 @@
+//! Consistency policies as availability state machines.
+//!
+//! The paper's simulation (§4) drives each protocol through a stream of
+//! site failures, repairs, maintenance windows, and file accesses, and
+//! measures when the replicated file is available. The
+//! [`AvailabilityPolicy`] trait is exactly that interface:
+//!
+//! * **instantaneous** protocols (MCV, DV, LDV, TDV, Available Copy)
+//!   update their quorum state on every topology change — they model the
+//!   paper's *connection vector*, where "the quorums instantaneously
+//!   reflect any change in the network status";
+//! * **optimistic** protocols (ODV, OTDV) update state **only at access
+//!   time**; between accesses their partition sets go stale, which is
+//!   both their efficiency advantage and, on some configurations, an
+//!   availability advantage (Table 2, configuration F).
+//!
+//! A policy answers, at any instant, *"would an access be granted right
+//! now?"* ([`AvailabilityPolicy::is_available`]) without mutating state —
+//! the probe the simulator integrates over time to measure
+//! unavailability.
+
+pub mod available_copy;
+pub mod dynamic;
+pub mod mcv;
+pub mod reassignment;
+pub mod weighted;
+pub mod witness;
+
+use dynvote_topology::{Network, Reachability};
+use dynvote_types::SiteSet;
+
+pub use available_copy::AvailableCopyPolicy;
+pub use dynamic::DynamicPolicy;
+pub use mcv::McvPolicy;
+pub use reassignment::VoteReassignmentPolicy;
+pub use weighted::WeightedMcvPolicy;
+pub use witness::WitnessPolicy;
+
+/// A consistency protocol viewed as an availability state machine.
+///
+/// The driver contract, identical to the paper's simulation model:
+///
+/// 1. [`reset`](AvailabilityPolicy::reset) at time zero (all sites up,
+///    fresh state).
+/// 2. On every site failure, repair, or maintenance transition, call
+///    [`on_topology_change`](AvailabilityPolicy::on_topology_change)
+///    with the new reachability.
+/// 3. On every file access, call
+///    [`on_access`](AvailabilityPolicy::on_access).
+/// 4. Integrate [`is_available`](AvailabilityPolicy::is_available)
+///    over time.
+pub trait AvailabilityPolicy {
+    /// Short display name ("MCV", "ODV", …).
+    fn name(&self) -> &str;
+
+    /// `true` when the policy exchanges state only at access time.
+    fn optimistic(&self) -> bool {
+        false
+    }
+
+    /// Returns the protocol to its initial state (all copies current,
+    /// partition sets containing every copy).
+    fn reset(&mut self);
+
+    /// Notifies the policy that the set of up/communicating sites
+    /// changed. Instantaneous protocols adjust quorums here; optimistic
+    /// protocols ignore it.
+    fn on_topology_change(&mut self, reach: &Reachability);
+
+    /// Drives one file access: returns `true` when granted, updating
+    /// protocol state (quorum adjustment, reintegration of recovered
+    /// sites) as a successful operation would.
+    fn on_access(&mut self, reach: &Reachability) -> bool;
+
+    /// Non-mutating probe: would an access be granted right now?
+    fn is_available(&self, reach: &Reachability) -> bool;
+
+    /// Number of times two disjoint groups were granted in the same
+    /// state exchange — the sequential-claim hazard's observable
+    /// signature. Zero for every protocol except the topological
+    /// variants (see `DynamicPolicy::rival_grants`).
+    fn hazard_events(&self) -> u64 {
+        0
+    }
+}
+
+/// The six policies of the paper's evaluation (Table 2 / Table 3 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Majority Consensus Voting — static quorums.
+    Mcv,
+    /// Dynamic Voting (Davčev–Burkhard) — instantaneous, no tie-break.
+    Dv,
+    /// Lexicographic Dynamic Voting (Jajodia) — instantaneous, tie-break.
+    Ldv,
+    /// Optimistic Dynamic Voting (this paper) — state at access time.
+    Odv,
+    /// Topological Dynamic Voting (this paper) — instantaneous, claims
+    /// co-segment votes.
+    Tdv,
+    /// Optimistic Topological Dynamic Voting (this paper).
+    Otdv,
+}
+
+impl PolicyKind {
+    /// The Table 2 column order.
+    pub const TABLE: [PolicyKind; 6] = [
+        PolicyKind::Mcv,
+        PolicyKind::Dv,
+        PolicyKind::Ldv,
+        PolicyKind::Odv,
+        PolicyKind::Tdv,
+        PolicyKind::Otdv,
+    ];
+
+    /// Display name matching the paper's column headers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Mcv => "MCV",
+            PolicyKind::Dv => "DV",
+            PolicyKind::Ldv => "LDV",
+            PolicyKind::Odv => "ODV",
+            PolicyKind::Tdv => "TDV",
+            PolicyKind::Otdv => "OTDV",
+        }
+    }
+
+    /// `true` for the optimistic variants.
+    #[must_use]
+    pub fn optimistic(self) -> bool {
+        matches!(self, PolicyKind::Odv | PolicyKind::Otdv)
+    }
+
+    /// Builds the policy for a file replicated on `copies` over
+    /// `network`.
+    #[must_use]
+    pub fn build(self, copies: SiteSet, network: &Network) -> Box<dyn AvailabilityPolicy> {
+        match self {
+            PolicyKind::Mcv => Box::new(McvPolicy::new(copies)),
+            PolicyKind::Dv => Box::new(DynamicPolicy::dv(copies)),
+            PolicyKind::Ldv => Box::new(DynamicPolicy::ldv(copies)),
+            PolicyKind::Odv => Box::new(DynamicPolicy::odv(copies)),
+            PolicyKind::Tdv => Box::new(DynamicPolicy::tdv(copies, network.clone())),
+            PolicyKind::Otdv => Box::new(DynamicPolicy::otdv(copies, network.clone())),
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_order_matches_paper_columns() {
+        let names: Vec<&str> = PolicyKind::TABLE.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["MCV", "DV", "LDV", "ODV", "TDV", "OTDV"]);
+    }
+
+    #[test]
+    fn optimism_flags() {
+        assert!(!PolicyKind::Mcv.optimistic());
+        assert!(!PolicyKind::Ldv.optimistic());
+        assert!(PolicyKind::Odv.optimistic());
+        assert!(PolicyKind::Otdv.optimistic());
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let net = Network::single_segment(3);
+        let copies = SiteSet::first_n(3);
+        for kind in PolicyKind::TABLE {
+            let policy = kind.build(copies, &net);
+            assert_eq!(policy.name(), kind.name());
+            assert_eq!(policy.optimistic(), kind.optimistic());
+        }
+    }
+}

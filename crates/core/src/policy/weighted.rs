@@ -1,0 +1,124 @@
+//! Gifford-style weighted voting — the "weight assignments" future work.
+
+use dynvote_topology::Reachability;
+use dynvote_types::{SiteSet, VoteMap};
+
+use super::AvailabilityPolicy;
+
+/// Weighted Majority Consensus Voting: each copy carries an integer
+/// number of votes and an access proceeds iff a group holds a *strict
+/// majority of all votes*.
+///
+/// With uniform weights this is exactly [`super::McvPolicy`]; skewed
+/// weights let an administrator bias availability toward reliable or
+/// well-connected sites — the paper's closing remark ("to analyze weight
+/// assignments") made concrete. The `weight_study` experiment sweeps
+/// weight vectors over the Table 1 site models to show when a weighted
+/// static scheme can and cannot close the gap to dynamic voting.
+#[derive(Clone, Debug)]
+pub struct WeightedMcvPolicy {
+    votes: VoteMap,
+}
+
+impl WeightedMcvPolicy {
+    /// A new weighted-voting policy with the given vote assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no site holds a vote.
+    #[must_use]
+    pub fn new(votes: VoteMap) -> Self {
+        assert!(votes.total() > 0, "at least one vote must be assigned");
+        WeightedMcvPolicy { votes }
+    }
+
+    /// Uniform weights over `copies` — plain MCV.
+    #[must_use]
+    pub fn uniform(copies: SiteSet) -> Self {
+        WeightedMcvPolicy::new(VoteMap::uniform(copies))
+    }
+
+    /// The vote assignment.
+    #[must_use]
+    pub fn votes(&self) -> &VoteMap {
+        &self.votes
+    }
+}
+
+impl AvailabilityPolicy for WeightedMcvPolicy {
+    fn name(&self) -> &str {
+        "W-MCV"
+    }
+
+    fn reset(&mut self) {}
+
+    fn on_topology_change(&mut self, _reach: &Reachability) {}
+
+    fn on_access(&mut self, reach: &Reachability) -> bool {
+        self.is_available(reach)
+    }
+
+    fn is_available(&self, reach: &Reachability) -> bool {
+        reach
+            .groups()
+            .iter()
+            .any(|&g| self.votes.is_strict_majority(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynvote_types::SiteId;
+
+    fn reach(groups: &[&[usize]]) -> Reachability {
+        Reachability::from_groups(
+            groups
+                .iter()
+                .map(|g| SiteSet::from_indices(g.iter().copied()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn uniform_matches_mcv() {
+        let w = WeightedMcvPolicy::uniform(SiteSet::first_n(3));
+        let mcv = super::super::McvPolicy::new(SiteSet::first_n(3));
+        for mask in 0u64..8 {
+            let groups = if mask == 0 {
+                reach(&[])
+            } else {
+                Reachability::from_groups(vec![SiteSet::from_bits(mask)])
+            };
+            assert_eq!(
+                w.is_available(&groups),
+                mcv.is_available(&groups),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_site_dominates() {
+        let mut votes = VoteMap::uniform(SiteSet::first_n(3));
+        votes.set(SiteId::new(0), 3); // total = 5
+        let p = WeightedMcvPolicy::new(votes);
+        assert!(p.is_available(&reach(&[&[0]])), "3 of 5 votes");
+        assert!(!p.is_available(&reach(&[&[1, 2]])), "2 of 5 votes");
+    }
+
+    #[test]
+    fn even_total_still_needs_strict_majority() {
+        let mut votes = VoteMap::uniform(SiteSet::first_n(2));
+        votes.set(SiteId::new(0), 3); // total = 4
+        let p = WeightedMcvPolicy::new(votes);
+        assert!(p.is_available(&reach(&[&[0]])));
+        assert!(!p.is_available(&reach(&[&[1]])), "1 of 4 votes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vote")]
+    fn zero_votes_rejected() {
+        let _ = WeightedMcvPolicy::new(VoteMap::empty());
+    }
+}

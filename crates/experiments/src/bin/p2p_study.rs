@@ -1,0 +1,97 @@
+//! Point-to-point networks — the contrast class of §3.
+//!
+//! The paper's topological protocols exploit non-partitionable
+//! segments; on a *conventional point-to-point network* every link is a
+//! partition point and vote claiming never applies. This study places
+//! five copies on three classic link graphs — a ring, a star, and a
+//! full mesh — with failing links, and compares the non-topological
+//! protocols. Link failures are modelled by virtual link sites carrying
+//! their own failure model (see `dynvote_topology::point_to_point`).
+//!
+//! ```text
+//! cargo run --release -p dynvote-experiments --bin p2p_study [--quick]
+//! ```
+
+use std::borrow::Cow;
+
+use dynvote_availability::run::run_trace;
+use dynvote_availability::sites::{identical_sites, SiteModel};
+use dynvote_core::policy::{AvailabilityPolicy, DynamicPolicy, McvPolicy};
+use dynvote_experiments::output::{fmt_unavail, Table};
+use dynvote_experiments::CliParams;
+use dynvote_sim::Duration;
+use dynvote_topology::point_to_point;
+use dynvote_types::SiteSet;
+
+const N: usize = 5;
+
+fn link_model() -> SiteModel {
+    // Links fail more often than hosts but repair fast (reroute /
+    // replug): MTTF 20 days, constant 30-minute repair.
+    SiteModel {
+        name: Cow::Borrowed("link"),
+        mttf: Duration::days(20.0),
+        hw_fraction: 0.0,
+        restart: Duration::minutes(30.0),
+        hw_floor: Duration::ZERO,
+        hw_mean: Duration::ZERO,
+        maintenance: None,
+    }
+}
+
+fn main() {
+    let cli = CliParams::from_env();
+    let graphs: [(&str, Vec<(usize, usize)>); 3] = [
+        ("ring", (0..N).map(|i| (i, (i + 1) % N)).collect()),
+        ("star (hub = site 0)", (1..N).map(|i| (0, i)).collect()),
+        (
+            "full mesh",
+            (0..N)
+                .flat_map(|a| ((a + 1)..N).map(move |b| (a, b)))
+                .collect(),
+        ),
+    ];
+
+    println!("# Point-to-point study: {N} copies, hosts MTTF 30 d / MTTR 4 h,");
+    println!("# links MTTF 20 d / 30 min repair. No shared segments — the");
+    println!("# world where topological voting has nothing to claim.");
+    println!();
+    let mut table = Table::new(vec![
+        "link graph".into(),
+        "links".into(),
+        "MCV".into(),
+        "DV".into(),
+        "LDV".into(),
+        "ODV".into(),
+    ]);
+    for (label, links) in graphs {
+        let (network, link_sites) = point_to_point(N, &links);
+        // Host models for the real sites, link model for each virtual
+        // link site.
+        let mut models = identical_sites(N, Duration::days(30.0), Duration::hours(4.0));
+        for _ in &link_sites {
+            models.push(link_model());
+        }
+        let copies = SiteSet::first_n(N);
+        let policies: Vec<Box<dyn AvailabilityPolicy>> = vec![
+            Box::new(McvPolicy::new(copies)),
+            Box::new(DynamicPolicy::dv(copies)),
+            Box::new(DynamicPolicy::ldv(copies)),
+            Box::new(DynamicPolicy::odv(copies)),
+        ];
+        let results = run_trace(&network, &models, policies, &cli.params, label);
+        let mut row = vec![label.to_string(), links.len().to_string()];
+        row.extend(results.iter().map(|r| fmt_unavail(r.unavailability)));
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Reading: the mesh barely notices link failures (any up pair stays \
+         connected, so only multi-host outages count); the star lives and \
+         dies with its hub — once the hub is gone every copy is a singleton \
+         and *no* protocol can help, which is why all four columns agree; \
+         the ring sits between (two link failures split it), and there the \
+         tie-break earns LDV its visible edge."
+    );
+}

@@ -1,0 +1,132 @@
+//! A tiny flag parser shared by the experiment binaries.
+//!
+//! We deliberately avoid a CLI dependency: the binaries take a handful
+//! of numeric flags with sensible paper-faithful defaults.
+
+use dynvote_availability::run::Params;
+use dynvote_sim::Duration;
+
+/// Parsed command-line parameters for an experiment binary.
+///
+/// Flags (all optional):
+///
+/// * `--quick` — reduced run for smoke testing (6 × 3,000 days),
+/// * `--seed N` — master RNG seed,
+/// * `--batches N` — number of batches,
+/// * `--batch-days D` — length of one batch in days,
+/// * `--warmup-days D` — warm-up before measurement,
+/// * `--access-rate R` — file accesses per day (paper: 1.0).
+#[derive(Clone, Debug)]
+pub struct CliParams {
+    /// The simulation parameters after flag application.
+    pub params: Params,
+    /// `true` when `--quick` was given.
+    pub quick: bool,
+}
+
+impl CliParams {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: [--quick] [--seed N] [--batches N] [--batch-days D] \
+                 [--warmup-days D] [--access-rate R]"
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an explicit argument list (testable form of
+    /// [`CliParams::from_env`]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut params = Params::paper();
+        let mut quick = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> Result<f64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match arg.as_str() {
+                "--quick" => {
+                    quick = true;
+                    let q = Params::quick_test();
+                    params.batches = q.batches;
+                    params.batch_len = q.batch_len;
+                }
+                "--seed" => params.seed = take("--seed")? as u64,
+                "--batches" => params.batches = take("--batches")? as usize,
+                "--batch-days" => params.batch_len = Duration::days(take("--batch-days")?),
+                "--warmup-days" => params.warmup = Duration::days(take("--warmup-days")?),
+                "--access-rate" => params.access_rate = take("--access-rate")?,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if params.batches == 0 {
+            return Err("--batches must be at least 1".to_string());
+        }
+        if params.access_rate < 0.0 {
+            return Err("--access-rate must be non-negative".to_string());
+        }
+        Ok(CliParams { params, quick })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliParams, String> {
+        CliParams::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_params() {
+        let c = parse(&[]).unwrap();
+        assert!(!c.quick);
+        assert_eq!(c.params.batches, Params::paper().batches);
+        assert_eq!(c.params.access_rate, 1.0);
+    }
+
+    #[test]
+    fn quick_shrinks_the_run() {
+        let c = parse(&["--quick"]).unwrap();
+        assert!(c.quick);
+        assert_eq!(c.params.batches, Params::quick_test().batches);
+    }
+
+    #[test]
+    fn numeric_flags() {
+        let c = parse(&[
+            "--seed",
+            "7",
+            "--batches",
+            "12",
+            "--batch-days",
+            "500",
+            "--warmup-days",
+            "100",
+            "--access-rate",
+            "2.5",
+        ])
+        .unwrap();
+        assert_eq!(c.params.seed, 7);
+        assert_eq!(c.params.batches, 12);
+        assert_eq!(c.params.batch_len.as_days(), 500.0);
+        assert_eq!(c.params.warmup.as_days(), 100.0);
+        assert_eq!(c.params.access_rate, 2.5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--batches", "0"]).is_err());
+        assert!(parse(&["--access-rate", "-1"]).is_err());
+    }
+}

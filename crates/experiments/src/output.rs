@@ -1,0 +1,166 @@
+//! Markdown table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned markdown table builder.
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_experiments::Table;
+///
+/// let mut t = Table::new(vec!["Sites".into(), "MCV".into()]);
+/// t.row(vec!["A: 1, 2, 4".into(), "0.002130".into()]);
+/// let text = t.render();
+/// assert!(text.contains("| Sites"));
+/// assert!(text.contains("| A: 1, 2, 4"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells that
+    /// contain commas, quotes, or newlines), for downstream plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| field(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as markdown with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {cell:<width$} ", width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        render_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats an unavailability the way Table 2 prints them (6 decimals).
+#[must_use]
+pub fn fmt_unavail(u: f64) -> String {
+    format!("{u:.6}")
+}
+
+/// Formats a paper-vs-measured pair compactly.
+#[must_use]
+pub fn fmt_pair(paper: f64, measured: f64) -> String {
+    format!("{paper:.6} / {measured:.6}")
+}
+
+/// The multiplicative distance between a measured and a reference value,
+/// on a log scale that treats 2× and 0.5× symmetrically. Returns `None`
+/// when either side is zero (common for near-perfect availabilities).
+#[must_use]
+pub fn log_ratio(paper: f64, measured: f64) -> Option<f64> {
+    if paper <= 0.0 || measured <= 0.0 {
+        None
+    } else {
+        Some((measured / paper).ln().abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["a".into(), "long header".into()]);
+        t.row(vec!["wide cell here".into(), "x".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("|--"));
+        // All rows the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["plain".into(), "with, comma".into()]);
+        t.row(vec!["quote \" here".into(), "x".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with, comma\"");
+        assert_eq!(lines[2], "\"quote \"\" here\",x");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_unavail(0.0021304), "0.002130");
+        assert_eq!(fmt_pair(0.1, 0.2), "0.100000 / 0.200000");
+        assert!(log_ratio(0.0, 1.0).is_none());
+        assert!((log_ratio(0.001, 0.002).unwrap() - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(log_ratio(0.5, 0.5), Some(0.0));
+    }
+}

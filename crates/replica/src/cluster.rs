@@ -1,0 +1,1207 @@
+//! The cluster: nodes, the partition-aware message bus, and the
+//! READ / WRITE / RECOVER operations.
+
+use dynvote_core::decision::Rule;
+use dynvote_core::lexicon::Lexicon;
+use dynvote_core::ops::{plan_with_witnesses, OpKind};
+use dynvote_core::state::StateTable;
+use dynvote_topology::Network;
+use dynvote_types::{AccessError, AccessKind, SiteId, SiteSet};
+
+use crate::checker::Checker;
+use crate::message::{Message, MessageKind, Trace};
+use crate::node::{Node, WitnessNode};
+use crate::snapshot::Snapshot;
+
+/// Which consistency protocol the cluster runs.
+///
+/// `Ldv` and `Odv` share a decision rule — at message level the
+/// optimistic/instantaneous distinction is about *when clients invoke
+/// operations*, which is the caller's business — but both names are kept
+/// so call sites document their intent. The same holds for `Tdv`/`Otdv`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Majority Consensus Voting (static quorums, version numbers only).
+    Mcv,
+    /// Dynamic Voting without the tie-break.
+    Dv,
+    /// Lexicographic Dynamic Voting.
+    Ldv,
+    /// Optimistic Dynamic Voting (Figures 1–3).
+    Odv,
+    /// Topological Dynamic Voting.
+    Tdv,
+    /// Optimistic Topological Dynamic Voting (Figures 5–7).
+    Otdv,
+}
+
+impl Protocol {
+    /// All protocols, in the paper's column order.
+    pub const ALL: [Protocol; 6] = [
+        Protocol::Mcv,
+        Protocol::Dv,
+        Protocol::Ldv,
+        Protocol::Odv,
+        Protocol::Tdv,
+        Protocol::Otdv,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Mcv => "MCV",
+            Protocol::Dv => "DV",
+            Protocol::Ldv => "LDV",
+            Protocol::Odv => "ODV",
+            Protocol::Tdv => "TDV",
+            Protocol::Otdv => "OTDV",
+        }
+    }
+
+    fn rule(self, lexicon: Lexicon) -> Option<Rule> {
+        match self {
+            Protocol::Mcv => None,
+            Protocol::Dv => Some(Rule::dv()),
+            Protocol::Ldv | Protocol::Odv => Some(Rule::with_lexicon(lexicon)),
+            Protocol::Tdv | Protocol::Otdv => Some(Rule {
+                tie_break: Some(lexicon),
+                topological: true,
+            }),
+        }
+    }
+}
+
+/// Operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Granted reads.
+    pub reads_ok: u64,
+    /// Refused reads.
+    pub reads_refused: u64,
+    /// Granted writes.
+    pub writes_ok: u64,
+    /// Refused writes.
+    pub writes_refused: u64,
+    /// Successful recoveries.
+    pub recovers_ok: u64,
+    /// Refused recoveries.
+    pub recovers_refused: u64,
+}
+
+impl OpStats {
+    /// Total granted operations.
+    #[must_use]
+    pub fn granted(&self) -> u64 {
+        self.reads_ok + self.writes_ok + self.recovers_ok
+    }
+
+    /// Total refused operations.
+    #[must_use]
+    pub fn refused(&self) -> u64 {
+        self.reads_refused + self.writes_refused + self.recovers_refused
+    }
+}
+
+/// One committed operation, as recorded in the cluster's history log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommittedOp {
+    /// What kind of operation committed.
+    pub kind: AccessKind,
+    /// The coordinating site.
+    pub origin: SiteId,
+    /// The committed operation number.
+    pub op: u64,
+    /// The committed version number.
+    pub version: u64,
+    /// The participants (the new partition set).
+    pub participants: SiteSet,
+}
+
+/// Retention cap for the history log; beyond it the log stops growing
+/// (operation *counting* lives in [`OpStats`] and never stops).
+const HISTORY_CAP: usize = 4096;
+
+/// Builder for [`Cluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    network: Option<Network>,
+    copies: Vec<usize>,
+    witnesses: Vec<usize>,
+    protocol: Protocol,
+    lexicon: Lexicon,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// A builder defaulting to ODV on a single-segment network.
+    #[must_use]
+    pub fn new() -> Self {
+        ClusterBuilder {
+            network: None,
+            copies: Vec::new(),
+            witnesses: Vec::new(),
+            protocol: Protocol::Odv,
+            lexicon: Lexicon::default(),
+        }
+    }
+
+    /// Sets the network (default: one segment covering all copies).
+    #[must_use]
+    pub fn network(mut self, network: Network) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Sets the copy sites (zero-based indices). Required.
+    #[must_use]
+    pub fn copies<I: IntoIterator<Item = usize>>(mut self, copies: I) -> Self {
+        self.copies = copies.into_iter().collect();
+        self
+    }
+
+    /// Adds witness sites: voting participants that store the
+    /// consistency-control state but no data (the paper's §5 "witness
+    /// copies" extension). Not supported with [`Protocol::Mcv`], which
+    /// has no partition sets for a witness to carry.
+    #[must_use]
+    pub fn witnesses<I: IntoIterator<Item = usize>>(mut self, witnesses: I) -> Self {
+        self.witnesses = witnesses.into_iter().collect();
+        self
+    }
+
+    /// Sets the consistency protocol (default ODV).
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets a custom tie-break ordering (default: lower index ranks
+    /// higher).
+    #[must_use]
+    pub fn lexicon(mut self, lexicon: Lexicon) -> Self {
+        self.lexicon = lexicon;
+        self
+    }
+
+    /// Builds the cluster, storing `initial` at every copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no copies were declared, or when a copy site is not
+    /// part of the supplied network.
+    #[must_use]
+    pub fn build_with_value<T: Clone>(self, initial: T) -> Cluster<T> {
+        assert!(!self.copies.is_empty(), "a replicated file needs copies");
+        let copies: SiteSet = SiteSet::from_indices(self.copies.iter().copied());
+        let witnesses: SiteSet = SiteSet::from_indices(self.witnesses.iter().copied());
+        assert!(
+            copies.is_disjoint(witnesses),
+            "a site cannot be both a copy and a witness"
+        );
+        assert!(
+            witnesses.is_empty() || self.protocol != Protocol::Mcv,
+            "witnesses require a dynamic-voting protocol"
+        );
+        let participants = copies | witnesses;
+        let network = self.network.unwrap_or_else(|| {
+            let max = participants.max().expect("non-empty").index();
+            Network::single_segment(max + 1)
+        });
+        assert!(
+            participants.is_subset_of(network.sites()),
+            "every copy and witness must live on a network site"
+        );
+        let nodes = copies
+            .iter()
+            .map(|site| Node::new(site, participants, initial.clone()))
+            .collect();
+        let witness_nodes = witnesses
+            .iter()
+            .map(|site| WitnessNode::new(site, participants))
+            .collect();
+        Cluster {
+            rule: self.protocol.rule(self.lexicon),
+            protocol: self.protocol,
+            up: network.sites(),
+            network,
+            copies,
+            witnesses,
+            nodes,
+            witness_nodes,
+            forced_groups: None,
+            trace: Trace::default(),
+            checker: Checker::new(),
+            stats: OpStats::default(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Builds a cluster that resumes from a durable [`Snapshot`] — a
+    /// whole-service restart: every site comes up holding exactly the
+    /// control state and data it had persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the builder's placement (copies and witnesses) does
+    /// not match the snapshot's, or when the placement is invalid.
+    #[must_use]
+    pub fn build_from_snapshot<T: Clone>(self, snapshot: &Snapshot<T>) -> Cluster<T> {
+        // Seed data is irrelevant: every node is overwritten below. Use
+        // the first captured value.
+        let seed = snapshot
+            .copies
+            .first()
+            .map(|(_, _, value)| value.clone())
+            .expect("a snapshot captures at least one copy");
+        let mut cluster = self.build_with_value(seed);
+        assert!(
+            cluster.copies == snapshot.copy_sites()
+                && cluster.witnesses == snapshot.witness_sites(),
+            "snapshot does not match the builder's placement"
+        );
+        for (site, state, value) in &snapshot.copies {
+            let node = cluster.node_mut(*site);
+            node.apply_commit(state.op, state.version, state.partition);
+            node.store(value.clone());
+        }
+        for (site, state) in &snapshot.witnesses {
+            cluster
+                .witness_node_mut(*site)
+                .apply_commit(state.op, state.version, state.partition);
+        }
+        cluster
+    }
+}
+
+/// A replicated file: one value, `n` copies, one consistency protocol.
+///
+/// All operations are *coordinated from an origin site*: the origin
+/// broadcasts `START`, reachable copies reply with their control state,
+/// the origin runs the majority-partition decision, and — when granted —
+/// sends `COMMIT` (and data) to the participants. Message routing
+/// respects the current failure/partition state: messages to down or
+/// unreachable sites are silently lost, exactly as the paper's fail-stop
+/// model prescribes.
+pub struct Cluster<T> {
+    network: Network,
+    protocol: Protocol,
+    rule: Option<Rule>,
+    copies: SiteSet,
+    witnesses: SiteSet,
+    /// All network sites currently up (gateways included).
+    up: SiteSet,
+    nodes: Vec<Node<T>>,
+    witness_nodes: Vec<WitnessNode>,
+    forced_groups: Option<Vec<SiteSet>>,
+    trace: Trace,
+    checker: Checker,
+    stats: OpStats,
+    history: Vec<CommittedOp>,
+}
+
+impl<T: Clone> Cluster<T> {
+    fn node(&self, site: SiteId) -> &Node<T> {
+        self.nodes
+            .iter()
+            .find(|n| n.id() == site)
+            .expect("site holds a copy")
+    }
+
+    fn node_mut(&mut self, site: SiteId) -> &mut Node<T> {
+        self.nodes
+            .iter_mut()
+            .find(|n| n.id() == site)
+            .expect("site holds a copy")
+    }
+
+    /// The copy sites (full data replicas).
+    #[must_use]
+    pub fn copies(&self) -> SiteSet {
+        self.copies
+    }
+
+    /// The witness sites (state-only voting participants).
+    #[must_use]
+    pub fn witnesses(&self) -> SiteSet {
+        self.witnesses
+    }
+
+    /// All voting participants: copies plus witnesses.
+    #[must_use]
+    pub fn participants(&self) -> SiteSet {
+        self.copies | self.witnesses
+    }
+
+    fn witness_node(&self, site: SiteId) -> &WitnessNode {
+        self.witness_nodes
+            .iter()
+            .find(|n| n.id() == site)
+            .expect("site is a witness")
+    }
+
+    fn witness_node_mut(&mut self, site: SiteId) -> &mut WitnessNode {
+        self.witness_nodes
+            .iter_mut()
+            .find(|n| n.id() == site)
+            .expect("site is a witness")
+    }
+
+    /// The control state stored at any participant (copy or witness).
+    fn participant_state(&self, site: SiteId) -> dynvote_core::state::ReplicaState {
+        if self.copies.contains(site) {
+            self.node(site).state()
+        } else {
+            self.witness_node(site).state()
+        }
+    }
+
+    /// The protocol in use.
+    #[must_use]
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The network topology.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Sites currently up.
+    #[must_use]
+    pub fn up_sites(&self) -> SiteSet {
+        self.up
+    }
+
+    /// The invariant monitor.
+    #[must_use]
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// The message trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Clears the message trace (counters and retained messages).
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    /// The committed-operation history (most recent last), capped at an
+    /// internal retention limit.
+    #[must_use]
+    pub fn history(&self) -> &[CommittedOp] {
+        &self.history
+    }
+
+    fn record_op(&mut self, entry: CommittedOp) {
+        if self.history.len() < HISTORY_CAP {
+            self.history.push(entry);
+        }
+    }
+
+    /// Captures every participant's durable state and data — the image
+    /// a whole-service restart resumes from (see
+    /// [`ClusterBuilder::build_from_snapshot`]).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot<T> {
+        Snapshot {
+            copies: self
+                .nodes
+                .iter()
+                .map(|n| (n.id(), n.state(), n.fetch()))
+                .collect(),
+            witnesses: self
+                .witness_nodes
+                .iter()
+                .map(|w| (w.id(), w.state()))
+                .collect(),
+        }
+    }
+
+    /// The value stored at one copy (test/observability access — not a
+    /// protocol read).
+    #[must_use]
+    pub fn value_at(&self, site: SiteId) -> T {
+        self.node(site).fetch()
+    }
+
+    /// The control state at one participant (copy or witness).
+    #[must_use]
+    pub fn state_at(&self, site: SiteId) -> dynvote_core::state::ReplicaState {
+        self.participant_state(site)
+    }
+
+    // ---- fault surface -----------------------------------------------------
+
+    /// Fails a site (copy, witness, or gateway). Idempotent.
+    pub fn fail_site(&mut self, site: SiteId) {
+        self.up.remove(site);
+        if self.copies.contains(site) {
+            self.node_mut(site).fail();
+        } else if self.witnesses.contains(site) {
+            self.witness_node_mut(site).fail();
+        }
+    }
+
+    /// Repairs a site. For copies this restores *liveness only*; rejoin
+    /// the majority partition with [`Cluster::recover`].
+    pub fn repair_site(&mut self, site: SiteId) {
+        self.up.insert(site);
+        if self.copies.contains(site) {
+            self.node_mut(site).repair();
+        } else if self.witnesses.contains(site) {
+            self.witness_node_mut(site).repair();
+        }
+    }
+
+    /// Forces an explicit partition (groups of mutually-communicating
+    /// sites), overriding the topology-derived reachability. Groups must
+    /// be pairwise disjoint. Down sites are excluded automatically.
+    ///
+    /// Note: with the topological protocols, forced partitions must not
+    /// split a segment — segments are non-partitionable by definition,
+    /// and the vote-claiming rule is only sound under that assumption.
+    pub fn force_partition(&mut self, groups: Vec<SiteSet>) {
+        let mut seen = SiteSet::EMPTY;
+        for g in &groups {
+            assert!(seen.is_disjoint(*g), "groups must be pairwise disjoint");
+            seen |= *g;
+        }
+        self.forced_groups = Some(groups);
+    }
+
+    /// Removes a forced partition; reachability follows the topology
+    /// again.
+    pub fn heal_partition(&mut self) {
+        self.forced_groups = None;
+    }
+
+    /// The group of up sites currently communicating with `origin`.
+    #[must_use]
+    pub fn group_of(&self, origin: SiteId) -> Option<SiteSet> {
+        if !self.up.contains(origin) {
+            return None;
+        }
+        match &self.forced_groups {
+            Some(groups) => groups
+                .iter()
+                .map(|g| *g & self.up)
+                .find(|g| g.contains(origin)),
+            None => self.network.reachability(self.up).group_of(origin),
+        }
+    }
+
+    // ---- the protocol rounds -----------------------------------------------
+
+    /// START: broadcast, collect state replies from reachable copies,
+    /// and assemble the coordinator's view.
+    fn start(&mut self, origin: SiteId, group: SiteSet) -> StateTable {
+        // "A message is broadcast to all sites" — one START per
+        // participant other than the origin (lost if unreachable or
+        // down).
+        let participants = self.participants();
+        for site in (participants.without(origin)).iter() {
+            self.trace.record(Message {
+                from: origin,
+                to: site,
+                kind: MessageKind::StartRequest,
+            });
+        }
+        let mut table = StateTable::fresh(participants);
+        for site in (group & participants).iter() {
+            let state = self.participant_state(site);
+            if site != origin {
+                self.trace.record(Message {
+                    from: site,
+                    to: origin,
+                    kind: MessageKind::StateReply {
+                        op: state.op,
+                        version: state.version,
+                        partition: state.partition,
+                    },
+                });
+            }
+            table.set(site, state);
+        }
+        table
+    }
+
+    fn send_commit(&mut self, origin: SiteId, participants: SiteSet, op: u64, version: u64) {
+        for site in participants.iter() {
+            if site != origin {
+                self.trace.record(Message {
+                    from: origin,
+                    to: site,
+                    kind: MessageKind::Commit {
+                        op,
+                        version,
+                        partition: participants,
+                    },
+                });
+            }
+            if self.copies.contains(site) {
+                self.node_mut(site).apply_commit(op, version, participants);
+            } else {
+                self.witness_node_mut(site)
+                    .apply_commit(op, version, participants);
+            }
+        }
+        self.checker.note_commit(op, participants);
+    }
+
+    fn origin_group(&self, origin: SiteId, kind: AccessKind) -> Result<SiteSet, AccessError> {
+        let _ = kind;
+        self.group_of(origin)
+            .ok_or(AccessError::OriginUnavailable { origin })
+    }
+
+    /// Non-mutating probe: would a read at `origin` be granted right
+    /// now? Exchanges no messages and commits nothing — the same
+    /// question the availability simulator's
+    /// [`dynvote_core::policy::AvailabilityPolicy::is_available`] asks,
+    /// answered by the message-level state (the equivalence of the two
+    /// is an integration test).
+    #[must_use]
+    pub fn probe(&self, origin: SiteId) -> bool {
+        let Some(group) = self.group_of(origin) else {
+            return false;
+        };
+        match &self.rule {
+            None => self.mcv_grants(group & self.copies),
+            Some(rule) => {
+                let participants = self.participants();
+                let mut table = StateTable::fresh(participants);
+                for site in (group & participants).iter() {
+                    table.set(site, self.participant_state(site));
+                }
+                dynvote_core::ops::plan_with_witnesses(
+                    OpKind::Read,
+                    group,
+                    self.copies,
+                    self.witnesses,
+                    &table,
+                    rule,
+                    Some(&self.network),
+                )
+                .is_ok()
+            }
+        }
+    }
+
+    /// Whether *any* up site could currently get a read granted — the
+    /// cluster-level availability signal ("a single user that can
+    /// access any of the sites").
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.up.iter().any(|origin| self.probe(origin))
+    }
+
+    /// Algorithm 1's full decision trace for a (non-mutating) read
+    /// probe at `origin`, rendered for humans. Returns `None` when the
+    /// origin is down; for MCV (which has no partition sets) a short
+    /// quorum summary is produced instead.
+    #[must_use]
+    pub fn explain(&self, origin: SiteId) -> Option<String> {
+        let group = self.group_of(origin)?;
+        match &self.rule {
+            None => {
+                let reachable = group & self.copies;
+                Some(format!(
+                    "R = {} ({} of {} copies reachable)\n=> {}\n",
+                    reachable,
+                    reachable.len(),
+                    self.copies.len(),
+                    if self.mcv_grants(reachable) {
+                        "GRANTED: static quorum met"
+                    } else {
+                        "REFUSED: static quorum not met"
+                    }
+                ))
+            }
+            Some(rule) => {
+                let participants = self.participants();
+                let mut table = StateTable::fresh(participants);
+                for site in (group & participants).iter() {
+                    table.set(site, self.participant_state(site));
+                }
+                let decision = dynvote_core::decision::decide(
+                    group,
+                    participants,
+                    &table,
+                    rule,
+                    Some(&self.network),
+                );
+                Some(dynvote_core::decision::explain(&decision))
+            }
+        }
+    }
+
+    /// READ (Figure 1 / Figure 5): returns the current value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ABORT reason when the origin's group is not the
+    /// majority partition (or, for MCV, holds no quorum).
+    pub fn read(&mut self, origin: SiteId) -> Result<T, AccessError> {
+        let group = self.origin_group(origin, AccessKind::Read)?;
+        let result = match self.rule.clone() {
+            None => self.mcv_read(origin, group),
+            Some(rule) => self.dynamic_read(origin, group, &rule),
+        };
+        match &result {
+            Ok(_) => self.stats.reads_ok += 1,
+            Err(_) => self.stats.reads_refused += 1,
+        }
+        result
+    }
+
+    fn dynamic_read(
+        &mut self,
+        origin: SiteId,
+        group: SiteSet,
+        rule: &Rule,
+    ) -> Result<T, AccessError> {
+        let table = self.start(origin, group);
+        let p = plan_with_witnesses(
+            OpKind::Read,
+            group,
+            self.copies,
+            self.witnesses,
+            &table,
+            rule,
+            Some(&self.network),
+        )?;
+        let value = self.fetch_from(origin, p.data_source);
+        self.send_commit(origin, p.participants, p.new_op, p.new_version);
+        self.checker.note_read(p.new_version);
+        self.record_op(CommittedOp {
+            kind: AccessKind::Read,
+            origin,
+            op: p.new_op,
+            version: p.new_version,
+            participants: p.participants,
+        });
+        Ok(value)
+    }
+
+    /// WRITE (Figure 2 / Figure 6): replaces the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ABORT reason when the origin's group is not the
+    /// majority partition (or, for MCV, holds no quorum).
+    pub fn write(&mut self, origin: SiteId, value: T) -> Result<(), AccessError> {
+        let group = self.origin_group(origin, AccessKind::Write)?;
+        let result = match self.rule.clone() {
+            None => self.mcv_write(origin, group, value),
+            Some(rule) => self.dynamic_write(origin, group, value, &rule),
+        };
+        match &result {
+            Ok(()) => self.stats.writes_ok += 1,
+            Err(_) => self.stats.writes_refused += 1,
+        }
+        result
+    }
+
+    fn dynamic_write(
+        &mut self,
+        origin: SiteId,
+        group: SiteSet,
+        value: T,
+        rule: &Rule,
+    ) -> Result<(), AccessError> {
+        let table = self.start(origin, group);
+        let p = plan_with_witnesses(
+            OpKind::Write,
+            group,
+            self.copies,
+            self.witnesses,
+            &table,
+            rule,
+            Some(&self.network),
+        )?;
+        for site in (p.participants & self.copies).iter() {
+            self.node_mut(site).store(value.clone());
+        }
+        self.send_commit(origin, p.participants, p.new_op, p.new_version);
+        self.checker.note_write(p.new_version);
+        self.record_op(CommittedOp {
+            kind: AccessKind::Write,
+            origin,
+            op: p.new_op,
+            version: p.new_version,
+            participants: p.participants,
+        });
+        Ok(())
+    }
+
+    /// RECOVER (Figure 3 / Figure 7): reintegrates the (repaired)
+    /// `site`, copying the file first when its copy is stale. One
+    /// attempt; the paper's "repeat until successful" loop is the
+    /// caller's retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ABORT reason when the site's group is not the
+    /// majority partition, and [`AccessError::OriginUnavailable`] when
+    /// the site is down (or MCV is in use — MCV has no recovery step;
+    /// a repaired copy is simply consulted again).
+    pub fn recover(&mut self, site: SiteId) -> Result<(), AccessError> {
+        let result = self.recover_inner(site);
+        match &result {
+            Ok(()) => self.stats.recovers_ok += 1,
+            Err(_) => self.stats.recovers_refused += 1,
+        }
+        result
+    }
+
+    fn recover_inner(&mut self, site: SiteId) -> Result<(), AccessError> {
+        let Some(rule) = self.rule.clone() else {
+            // MCV: version numbers already tell readers what is stale;
+            // there is no partition set to rejoin.
+            return Ok(());
+        };
+        let group = self.origin_group(site, AccessKind::Recover)?;
+        let table = self.start(site, group);
+        let p = plan_with_witnesses(
+            OpKind::Recover(site),
+            group,
+            self.copies,
+            self.witnesses,
+            &table,
+            &rule,
+            Some(&self.network),
+        )?;
+        if p.copy_needed {
+            self.trace.record(Message {
+                from: site,
+                to: p.data_source,
+                kind: MessageKind::CopyRequest,
+            });
+            self.trace.record(Message {
+                from: p.data_source,
+                to: site,
+                kind: MessageKind::CopyReply,
+            });
+            let value = self.node(p.data_source).fetch();
+            self.node_mut(site).store(value);
+        }
+        self.send_commit(site, p.participants, p.new_op, p.new_version);
+        self.record_op(CommittedOp {
+            kind: AccessKind::Recover,
+            origin: site,
+            op: p.new_op,
+            version: p.new_version,
+            participants: p.participants,
+        });
+        Ok(())
+    }
+
+    fn fetch_from(&mut self, origin: SiteId, source: SiteId) -> T {
+        if source != origin {
+            self.trace.record(Message {
+                from: origin,
+                to: source,
+                kind: MessageKind::CopyRequest,
+            });
+            self.trace.record(Message {
+                from: source,
+                to: origin,
+                kind: MessageKind::CopyReply,
+            });
+        }
+        self.node(source).fetch()
+    }
+
+    // ---- the MCV paths -----------------------------------------------------
+
+    /// The static-quorum test, with the paper-calibrated tie vote for
+    /// even copy counts (see `dynvote_core::policy::McvPolicy`): an
+    /// exact half wins iff it holds the top-ranked copy.
+    fn mcv_grants(&self, reachable: SiteSet) -> bool {
+        let n = self.copies.len();
+        if 2 * reachable.len() > n {
+            return true;
+        }
+        2 * reachable.len() == n
+            && Lexicon::default()
+                .max_of(self.copies)
+                .is_some_and(|max| reachable.contains(max))
+    }
+
+    fn mcv_view(&mut self, origin: SiteId, group: SiteSet) -> (SiteSet, u64) {
+        let table = self.start(origin, group);
+        let reachable = group & self.copies;
+        let (version, _) = table.max_version(reachable).unwrap_or((0, SiteSet::EMPTY));
+        (reachable, version)
+    }
+
+    fn mcv_read(&mut self, origin: SiteId, group: SiteSet) -> Result<T, AccessError> {
+        let (reachable, version) = self.mcv_view(origin, group);
+        if !self.mcv_grants(reachable) {
+            return Err(AccessError::NoQuorum {
+                kind: AccessKind::Read,
+                reachable,
+                counted: reachable.len(),
+                against: self.copies,
+            });
+        }
+        let source = reachable
+            .iter()
+            .find(|&s| self.node(s).state().version == version)
+            .expect("a max-version copy exists");
+        let value = self.fetch_from(origin, source);
+        self.checker.note_read(version);
+        Ok(value)
+    }
+
+    fn mcv_write(&mut self, origin: SiteId, group: SiteSet, value: T) -> Result<(), AccessError> {
+        let (reachable, version) = self.mcv_view(origin, group);
+        if !self.mcv_grants(reachable) {
+            return Err(AccessError::NoQuorum {
+                kind: AccessKind::Write,
+                reachable,
+                counted: reachable.len(),
+                against: self.copies,
+            });
+        }
+        let new_version = version + 1;
+        let copies = self.copies;
+        // Gifford: the write goes to every reachable representative.
+        for site in reachable.iter() {
+            self.node_mut(site).store(value.clone());
+            let state = self.node(site).state();
+            if site != origin {
+                self.trace.record(Message {
+                    from: origin,
+                    to: site,
+                    kind: MessageKind::Commit {
+                        op: state.op,
+                        version: new_version,
+                        partition: copies,
+                    },
+                });
+            }
+            self.node_mut(site)
+                .apply_commit(state.op, new_version, copies);
+        }
+        self.checker.note_write(new_version);
+        self.record_op(CommittedOp {
+            kind: AccessKind::Write,
+            origin,
+            op: 0, // MCV keeps no operation numbers
+            version: new_version,
+            participants: reachable,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(protocol: Protocol) -> Cluster<String> {
+        ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(protocol)
+            .build_with_value("v1".to_string())
+    }
+
+    #[test]
+    fn quickstart_flow() {
+        let mut c = cluster(Protocol::Odv);
+        assert_eq!(c.read(SiteId::new(1)).unwrap(), "v1");
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        assert_eq!(c.read(SiteId::new(2)).unwrap(), "v2");
+        assert!(c.checker().violations().is_empty());
+        let s = c.stats();
+        assert_eq!((s.reads_ok, s.writes_ok), (2, 1));
+    }
+
+    #[test]
+    fn history_records_committed_operations() {
+        let mut c = cluster(Protocol::Odv);
+        c.read(SiteId::new(1)).unwrap();
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        c.fail_site(SiteId::new(2));
+        let _ = c.read(SiteId::new(2)); // refused: must NOT appear
+        c.repair_site(SiteId::new(2));
+        c.recover(SiteId::new(2)).unwrap();
+        let history = c.history();
+        let kinds: Vec<AccessKind> = history.iter().map(|h| h.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![AccessKind::Read, AccessKind::Write, AccessKind::Recover]
+        );
+        // Operation numbers are strictly increasing along the lineage.
+        for w in history.windows(2) {
+            assert!(w[0].op < w[1].op);
+        }
+        assert_eq!(history[1].version, 2);
+        assert_eq!(history[2].participants, SiteSet::first_n(3));
+    }
+
+    #[test]
+    fn survives_one_failure_and_recovers() {
+        let mut c = cluster(Protocol::Odv);
+        c.fail_site(SiteId::new(1));
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        assert_eq!(
+            c.state_at(SiteId::new(0)).partition,
+            SiteSet::from_indices([0, 2])
+        );
+        c.repair_site(SiteId::new(1));
+        // Before RECOVER the repaired copy is stale…
+        assert_eq!(c.value_at(SiteId::new(1)), "v1");
+        c.recover(SiteId::new(1)).unwrap();
+        // …after RECOVER it holds the data and is back in the partition.
+        assert_eq!(c.value_at(SiteId::new(1)), "v2");
+        assert_eq!(c.state_at(SiteId::new(1)).partition, SiteSet::first_n(3));
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn minority_side_is_refused() {
+        let mut c = cluster(Protocol::Odv);
+        c.force_partition(vec![
+            SiteSet::from_indices([0, 1]),
+            SiteSet::from_indices([2]),
+        ]);
+        // Majority side proceeds; minority side aborts.
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        let err = c.read(SiteId::new(2)).unwrap_err();
+        assert!(matches!(err, AccessError::NoQuorum { .. }));
+        // Healing restores service everywhere (stale copy rejoins via
+        // the version-current read-absorption or RECOVER).
+        c.heal_partition();
+        c.recover(SiteId::new(2)).unwrap();
+        assert_eq!(c.read(SiteId::new(2)).unwrap(), "v2");
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn down_origin_is_rejected() {
+        let mut c = cluster(Protocol::Ldv);
+        c.fail_site(SiteId::new(0));
+        let err = c.read(SiteId::new(0)).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::OriginUnavailable {
+                origin: SiteId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn dv_freezes_on_tie_ldv_does_not() {
+        for (protocol, should_grant) in [(Protocol::Dv, false), (Protocol::Ldv, true)] {
+            let mut c = cluster(protocol);
+            c.fail_site(SiteId::new(2)); // P shrinks on next op
+            c.write(SiteId::new(0), "v2".to_string()).unwrap();
+            c.fail_site(SiteId::new(1)); // 1 of {0,1}: a tie
+            let r = c.read(SiteId::new(0));
+            assert_eq!(r.is_ok(), should_grant, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn mcv_static_quorum() {
+        let mut c = cluster(Protocol::Mcv);
+        c.fail_site(SiteId::new(2));
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        c.fail_site(SiteId::new(1));
+        // One copy left: MCV refuses (LDV would have adapted).
+        assert!(c.read(SiteId::new(0)).is_err());
+        // Repair restores the quorum with no recovery protocol at all;
+        // version numbers route the read to the fresh copy.
+        c.repair_site(SiteId::new(1));
+        assert_eq!(c.read(SiteId::new(0)).unwrap(), "v2");
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn mcv_stale_copy_never_served() {
+        let mut c = cluster(Protocol::Mcv);
+        c.fail_site(SiteId::new(2));
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        c.repair_site(SiteId::new(2));
+        // Site 2 still holds v1, but every read quorum includes a v2
+        // copy and the read picks the max version.
+        for origin in [0, 1, 2] {
+            assert_eq!(c.read(SiteId::new(origin)).unwrap(), "v2");
+        }
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn message_counts_read() {
+        // ODV read, all three up, origin S0: 2 START + 2 STATE + 2
+        // COMMIT and no data transfer (origin holds a current copy).
+        let mut c = cluster(Protocol::Odv);
+        c.clear_trace();
+        c.read(SiteId::new(0)).unwrap();
+        assert_eq!(c.trace().count_of(&MessageKind::StartRequest), 2);
+        assert_eq!(c.trace().total(), 6);
+    }
+
+    #[test]
+    fn recover_after_reads_needs_no_copy() {
+        let mut c = cluster(Protocol::Odv);
+        c.fail_site(SiteId::new(2));
+        c.read(SiteId::new(0)).unwrap();
+        c.read(SiteId::new(1)).unwrap();
+        c.repair_site(SiteId::new(2));
+        c.clear_trace();
+        c.recover(SiteId::new(2)).unwrap();
+        assert_eq!(
+            c.trace().count_of(&MessageKind::CopyRequest),
+            0,
+            "only reads happened: no data transfer on recovery"
+        );
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn forced_partition_respects_liveness() {
+        let mut c = cluster(Protocol::Ldv);
+        c.force_partition(vec![SiteSet::from_indices([0, 1, 2])]);
+        c.fail_site(SiteId::new(1));
+        let g = c.group_of(SiteId::new(0)).unwrap();
+        assert_eq!(g, SiteSet::from_indices([0, 2]), "down sites drop out");
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise disjoint")]
+    fn overlapping_forced_groups_rejected() {
+        let mut c = cluster(Protocol::Ldv);
+        c.force_partition(vec![
+            SiteSet::from_indices([0, 1]),
+            SiteSet::from_indices([1, 2]),
+        ]);
+    }
+
+    fn witness_cluster() -> Cluster<String> {
+        ClusterBuilder::new()
+            .copies([0, 1])
+            .witnesses([2])
+            .protocol(Protocol::Odv)
+            .build_with_value("v1".to_string())
+    }
+
+    #[test]
+    fn witness_breaks_the_two_copy_tie_at_message_level() {
+        let mut c = witness_cluster();
+        assert_eq!(c.participants(), SiteSet::first_n(3));
+        // Copy S1 fails: {S0, witness} is 2 of 3 — the write proceeds,
+        // and the witness's state stamp advances with the commit.
+        c.fail_site(SiteId::new(1));
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        assert_eq!(c.state_at(SiteId::new(2)).version, 2);
+        assert_eq!(
+            c.state_at(SiteId::new(2)).partition,
+            SiteSet::from_indices([0, 2])
+        );
+        // Fail S0 instead (the lexicographic max): the witness is what
+        // keeps the other side alive.
+        let mut c = witness_cluster();
+        c.fail_site(SiteId::new(0));
+        assert!(c.write(SiteId::new(1), "v2".to_string()).is_ok());
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn witness_cannot_serve_reads() {
+        // The witness (S0) is the lexicographic max so it can win ties:
+        // the setup where a quorum can exist with no data behind it.
+        let mut c: Cluster<String> = ClusterBuilder::new()
+            .copies([1, 2])
+            .witnesses([0])
+            .protocol(Protocol::Odv)
+            .build_with_value("v1".to_string());
+        // Write at S2 while S1 is down: P := {witness, S2}.
+        c.fail_site(SiteId::new(1));
+        c.write(SiteId::new(2), "v2".to_string()).unwrap();
+        // The data holder S2 dies; stale S1 returns beside the witness.
+        // The witness wins the tie — but holds no data: reads abort.
+        c.fail_site(SiteId::new(2));
+        c.repair_site(SiteId::new(1));
+        let err = c.read(SiteId::new(0)).unwrap_err();
+        assert!(matches!(err, AccessError::NoCurrentCopy { .. }), "{err:?}");
+        // S2 (the data holder) returning restores service.
+        c.repair_site(SiteId::new(2));
+        assert_eq!(c.read(SiteId::new(2)).unwrap(), "v2");
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn witness_recovery_is_data_free() {
+        let mut c = witness_cluster();
+        c.fail_site(SiteId::new(2));
+        c.write(SiteId::new(0), "v2".to_string()).unwrap();
+        c.repair_site(SiteId::new(2));
+        c.clear_trace();
+        c.recover(SiteId::new(2)).unwrap();
+        assert_eq!(
+            c.trace().count_of(&MessageKind::CopyRequest),
+            0,
+            "witnesses never transfer data"
+        );
+        assert_eq!(c.state_at(SiteId::new(2)).version, 2);
+        assert!(c.checker().violations().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "witnesses require a dynamic-voting protocol")]
+    fn mcv_with_witnesses_rejected() {
+        let _ = ClusterBuilder::new()
+            .copies([0, 1])
+            .witnesses([2])
+            .protocol(Protocol::Mcv)
+            .build_with_value(0u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be both")]
+    fn overlapping_copy_and_witness_rejected() {
+        let _ = ClusterBuilder::new()
+            .copies([0, 1])
+            .witnesses([1])
+            .build_with_value(0u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs copies")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterBuilder::new().build_with_value(0u8);
+    }
+
+    #[test]
+    fn builder_validates_copies_on_network() {
+        let net = Network::single_segment(2);
+        let result = std::panic::catch_unwind(|| {
+            ClusterBuilder::new()
+                .network(net)
+                .copies([0, 5])
+                .build_with_value(0u8)
+        });
+        assert!(result.is_err());
+    }
+}

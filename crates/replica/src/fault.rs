@@ -1,0 +1,111 @@
+//! Scripted and randomized fault injection.
+
+use dynvote_types::{SiteId, SiteSet};
+
+use crate::cluster::Cluster;
+
+/// One fault-surface action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Fail a site.
+    Fail(SiteId),
+    /// Repair a site (liveness only; RECOVER is a protocol operation).
+    Repair(SiteId),
+    /// Force an explicit partition.
+    Partition(Vec<SiteSet>),
+    /// Remove a forced partition.
+    Heal,
+}
+
+/// Drives a [`Cluster`] through fault schedules.
+///
+/// The injector is deliberately free of randomness itself — the property
+/// tests generate `FaultOp` sequences from `proptest` strategies, and
+/// deterministic tests write literal scripts — so every schedule is
+/// replayable from its value alone.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector {
+    applied: Vec<FaultOp>,
+}
+
+impl FaultInjector {
+    /// A fresh injector.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Applies one action to the cluster and records it.
+    pub fn apply<T: Clone>(&mut self, cluster: &mut Cluster<T>, op: FaultOp) {
+        match &op {
+            FaultOp::Fail(site) => cluster.fail_site(*site),
+            FaultOp::Repair(site) => cluster.repair_site(*site),
+            FaultOp::Partition(groups) => cluster.force_partition(groups.clone()),
+            FaultOp::Heal => cluster.heal_partition(),
+        }
+        self.applied.push(op);
+    }
+
+    /// Applies a whole schedule in order.
+    pub fn run_script<T: Clone>(&mut self, cluster: &mut Cluster<T>, script: Vec<FaultOp>) {
+        for op in script {
+            self.apply(cluster, op);
+        }
+    }
+
+    /// Everything applied so far, in order (for failure reports).
+    #[must_use]
+    pub fn history(&self) -> &[FaultOp] {
+        &self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterBuilder, Protocol};
+
+    #[test]
+    fn script_is_applied_in_order() {
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(Protocol::Ldv)
+            .build_with_value(0u32);
+        let mut inj = FaultInjector::new();
+        inj.run_script(
+            &mut cluster,
+            vec![
+                FaultOp::Fail(SiteId::new(2)),
+                FaultOp::Fail(SiteId::new(1)),
+                FaultOp::Repair(SiteId::new(1)),
+            ],
+        );
+        assert_eq!(cluster.up_sites(), SiteSet::from_indices([0, 1]));
+        assert_eq!(inj.history().len(), 3);
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(Protocol::Ldv)
+            .build_with_value(0u32);
+        let mut inj = FaultInjector::new();
+        inj.apply(
+            &mut cluster,
+            FaultOp::Partition(vec![
+                SiteSet::from_indices([0]),
+                SiteSet::from_indices([1, 2]),
+            ]),
+        );
+        assert_eq!(
+            cluster.group_of(SiteId::new(1)),
+            Some(SiteSet::from_indices([1, 2]))
+        );
+        inj.apply(&mut cluster, FaultOp::Heal);
+        assert_eq!(
+            cluster.group_of(SiteId::new(1)),
+            Some(SiteSet::from_indices([0, 1, 2]))
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The protocol's wire vocabulary and per-operation message accounting.
+
+use dynvote_types::{SiteId, SiteSet};
+
+/// One protocol message, as it would appear on the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Sending site.
+    pub from: SiteId,
+    /// Receiving site.
+    pub to: SiteId,
+    /// Payload.
+    pub kind: MessageKind,
+}
+
+/// The message kinds of the paper's operation structure.
+///
+/// `START` broadcasts a request; reachable sites answer with their
+/// consistency-control state; the coordinator decides; `COMMIT` (or
+/// nothing, on abort) closes the round, with an optional data copy for
+/// recovering or stale sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MessageKind {
+    /// The broadcast opening an operation ("a message is broadcast to
+    /// all sites; those that send replies are considered to be in the
+    /// current partition").
+    StartRequest,
+    /// A reachable site's reply: its operation number, version number
+    /// and partition set.
+    StateReply {
+        /// The replier's operation number.
+        op: u64,
+        /// The replier's version number.
+        version: u64,
+        /// The replier's partition set.
+        partition: SiteSet,
+    },
+    /// The commit closing a successful operation: the new consistency
+    /// control information for every participant.
+    Commit {
+        /// New operation number.
+        op: u64,
+        /// New version number.
+        version: u64,
+        /// New partition set.
+        partition: SiteSet,
+    },
+    /// Request for a full copy of the file (recovery of a stale site).
+    CopyRequest,
+    /// The full copy (we count it as one message; real systems stream).
+    CopyReply,
+}
+
+impl MessageKind {
+    /// Short label for traces.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            MessageKind::StartRequest => "START",
+            MessageKind::StateReply { .. } => "STATE",
+            MessageKind::Commit { .. } => "COMMIT",
+            MessageKind::CopyRequest => "COPY?",
+            MessageKind::CopyReply => "COPY!",
+        }
+    }
+}
+
+/// A bounded log of protocol messages with total counters.
+///
+/// Counting is always on; the message *bodies* are retained only up to a
+/// configurable capacity so long property-test runs stay cheap.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    kept: Vec<Message>,
+    capacity: usize,
+    total: u64,
+    by_kind: [u64; 5],
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(1024)
+    }
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` message bodies.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            kept: Vec::new(),
+            capacity,
+            total: 0,
+            by_kind: [0; 5],
+        }
+    }
+
+    fn kind_index(kind: &MessageKind) -> usize {
+        match kind {
+            MessageKind::StartRequest => 0,
+            MessageKind::StateReply { .. } => 1,
+            MessageKind::Commit { .. } => 2,
+            MessageKind::CopyRequest => 3,
+            MessageKind::CopyReply => 4,
+        }
+    }
+
+    /// Records one message.
+    pub fn record(&mut self, message: Message) {
+        self.total += 1;
+        self.by_kind[Self::kind_index(&message.kind)] += 1;
+        if self.kept.len() < self.capacity {
+            self.kept.push(message);
+        }
+    }
+
+    /// Total messages recorded since the last [`Trace::clear`].
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Messages of one kind (matched by label index).
+    #[must_use]
+    pub fn count_of(&self, kind: &MessageKind) -> u64 {
+        self.by_kind[Self::kind_index(kind)]
+    }
+
+    /// The retained message bodies (up to capacity).
+    #[must_use]
+    pub fn messages(&self) -> &[Message] {
+        &self.kept
+    }
+
+    /// Clears counters and retained messages.
+    pub fn clear(&mut self) {
+        self.kept.clear();
+        self.total = 0;
+        self.by_kind = [0; 5];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(kind: MessageKind) -> Message {
+        Message {
+            from: SiteId::new(0),
+            to: SiteId::new(1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut t = Trace::default();
+        t.record(msg(MessageKind::StartRequest));
+        t.record(msg(MessageKind::StartRequest));
+        t.record(msg(MessageKind::CopyReply));
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.count_of(&MessageKind::StartRequest), 2);
+        assert_eq!(t.count_of(&MessageKind::CopyReply), 1);
+        assert_eq!(t.count_of(&MessageKind::CopyRequest), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_retention_not_counting() {
+        let mut t = Trace::with_capacity(2);
+        for _ in 0..10 {
+            t.record(msg(MessageKind::StartRequest));
+        }
+        assert_eq!(t.total(), 10);
+        assert_eq!(t.messages().len(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::default();
+        t.record(msg(MessageKind::StartRequest));
+        t.clear();
+        assert_eq!(t.total(), 0);
+        assert!(t.messages().is_empty());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MessageKind::StartRequest.label(), "START");
+        assert_eq!(
+            MessageKind::Commit {
+                op: 1,
+                version: 1,
+                partition: SiteSet::EMPTY
+            }
+            .label(),
+            "COMMIT"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! One replica node: state + data + liveness.
+
+use dynvote_core::state::ReplicaState;
+use dynvote_types::{SiteId, SiteSet};
+
+/// One site's replica of the file: the consistency-control state that
+/// the protocol reads and writes, the current data value, and the
+/// site's up/down status.
+///
+/// A node is deliberately passive — all protocol logic lives in
+/// [`crate::Cluster`], which plays the coordinator role of whichever
+/// site an operation originates at. The node only answers the messages
+/// a real remote replica would answer: *report your state*, *apply this
+/// commit*, *serve/accept a copy of the file*.
+#[derive(Clone, Debug)]
+pub struct Node<T> {
+    id: SiteId,
+    up: bool,
+    state: ReplicaState,
+    data: T,
+}
+
+impl<T: Clone> Node<T> {
+    /// A fresh node holding the initial value, with the paper's initial
+    /// state (`o = v = 1`, partition set = all copies).
+    #[must_use]
+    pub fn new(id: SiteId, all_copies: SiteSet, initial: T) -> Self {
+        Node {
+            id,
+            up: true,
+            state: ReplicaState::initial(all_copies),
+            data: initial,
+        }
+    }
+
+    /// This node's site identifier.
+    #[must_use]
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Whether the site is currently up.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Fails the site. Its state and data persist (fail-stop, stable
+    /// storage) but it answers no messages until repaired.
+    pub fn fail(&mut self) {
+        self.up = false;
+    }
+
+    /// Repairs the site. The *protocol*-level reintegration (RECOVER)
+    /// is a separate, explicit operation — a freshly repaired site holds
+    /// whatever state it crashed with.
+    pub fn repair(&mut self) {
+        self.up = true;
+    }
+
+    /// The node's consistency-control state (a state-reply message).
+    #[must_use]
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// Applies a commit: adopts the new control state.
+    pub fn apply_commit(&mut self, op: u64, version: u64, partition: SiteSet) {
+        self.state = ReplicaState {
+            op,
+            version,
+            partition,
+        };
+    }
+
+    /// Overwrites the data (a write commit or an incoming copy).
+    pub fn store(&mut self, value: T) {
+        self.data = value;
+    }
+
+    /// Serves the current data (a read, or an outgoing copy).
+    #[must_use]
+    pub fn fetch(&self) -> T {
+        self.data.clone()
+    }
+}
+
+/// A witness replica: consistency-control state and liveness, **no
+/// data** (Pâris 1986 — the paper's §5 "witness copies" extension).
+///
+/// Witnesses vote and receive commits like full copies; they can break
+/// ties and regenerate quorums, but can never serve a read or seed a
+/// recovery.
+#[derive(Clone, Debug)]
+pub struct WitnessNode {
+    id: SiteId,
+    up: bool,
+    state: ReplicaState,
+}
+
+impl WitnessNode {
+    /// A fresh witness with the paper's initial state.
+    #[must_use]
+    pub fn new(id: SiteId, all_participants: SiteSet) -> Self {
+        WitnessNode {
+            id,
+            up: true,
+            state: ReplicaState::initial(all_participants),
+        }
+    }
+
+    /// This witness's site identifier.
+    #[must_use]
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Whether the site is currently up.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Fails the site (state persists on stable storage).
+    pub fn fail(&mut self) {
+        self.up = false;
+    }
+
+    /// Repairs the site.
+    pub fn repair(&mut self) {
+        self.up = true;
+    }
+
+    /// The witness's consistency-control state.
+    #[must_use]
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// Applies a commit: adopts the new control state.
+    pub fn apply_commit(&mut self, op: u64, version: u64, partition: SiteSet) {
+        self.state = ReplicaState {
+            op,
+            version,
+            partition,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_tracks_state_without_data() {
+        let all = SiteSet::first_n(3);
+        let mut w = WitnessNode::new(SiteId::new(2), all);
+        assert_eq!(w.id(), SiteId::new(2));
+        assert!(w.is_up());
+        assert_eq!(w.state().partition, all);
+        w.apply_commit(4, 3, SiteSet::from_indices([0, 2]));
+        w.fail();
+        w.repair();
+        assert_eq!(w.state().version, 3, "state survives the crash");
+    }
+
+    #[test]
+    fn fresh_node_matches_paper_initial_state() {
+        let all = SiteSet::first_n(3);
+        let n = Node::new(SiteId::new(1), all, 42u32);
+        assert_eq!(n.id(), SiteId::new(1));
+        assert!(n.is_up());
+        assert_eq!(n.state().op, 1);
+        assert_eq!(n.state().version, 1);
+        assert_eq!(n.state().partition, all);
+        assert_eq!(n.fetch(), 42);
+    }
+
+    #[test]
+    fn fail_preserves_state_and_data() {
+        let mut n = Node::new(SiteId::new(0), SiteSet::first_n(2), "x".to_string());
+        n.apply_commit(5, 3, SiteSet::from_indices([0]));
+        n.store("y".to_string());
+        n.fail();
+        assert!(!n.is_up());
+        n.repair();
+        assert!(n.is_up());
+        assert_eq!(n.state().op, 5, "stable storage survives the crash");
+        assert_eq!(n.fetch(), "y");
+    }
+
+    #[test]
+    fn commit_overwrites_control_state() {
+        let mut n = Node::new(SiteId::new(0), SiteSet::first_n(2), 0u8);
+        n.apply_commit(7, 4, SiteSet::from_indices([0, 1]));
+        assert_eq!(n.state().op, 7);
+        assert_eq!(n.state().version, 4);
+        assert_eq!(n.state().partition, SiteSet::from_indices([0, 1]));
+    }
+}

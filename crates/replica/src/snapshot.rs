@@ -1,0 +1,143 @@
+//! Stable storage: snapshot and restart a whole cluster.
+//!
+//! The paper's model keeps each copy's `(o, v, P)` on stable storage —
+//! a site that crashes and restarts still holds the state it last
+//! committed. [`crate::Cluster::fail_site`]/[`crate::Cluster::repair_site`] already
+//! model per-site crashes; a [`Snapshot`] models the *whole service*
+//! stopping and restarting (deploys, migrations, disaster recovery):
+//! it captures every participant's durable state and data, and
+//! [`crate::ClusterBuilder::build_from_snapshot`] brings up a new
+//! cluster that continues exactly where the old one stopped.
+//!
+//! The invariant monitor starts fresh after a restore (its ground truth
+//! is process state, not protocol state) — the protocol itself needs no
+//! such memory, which is rather the point of keeping `(o, v, P)`
+//! durable.
+
+use dynvote_core::state::ReplicaState;
+use dynvote_types::{SiteId, SiteSet};
+
+/// A durable image of one cluster: per-participant control state, and
+/// data for the full copies.
+#[derive(Clone, Debug)]
+pub struct Snapshot<T> {
+    pub(crate) copies: Vec<(SiteId, ReplicaState, T)>,
+    pub(crate) witnesses: Vec<(SiteId, ReplicaState)>,
+}
+
+impl<T> Snapshot<T> {
+    /// The copy sites captured.
+    #[must_use]
+    pub fn copy_sites(&self) -> SiteSet {
+        self.copies.iter().map(|(site, _, _)| *site).collect()
+    }
+
+    /// The witness sites captured.
+    #[must_use]
+    pub fn witness_sites(&self) -> SiteSet {
+        self.witnesses.iter().map(|(site, _)| *site).collect()
+    }
+
+    /// The control state captured for one participant.
+    #[must_use]
+    pub fn state_of(&self, site: SiteId) -> Option<ReplicaState> {
+        self.copies
+            .iter()
+            .find(|(s, _, _)| *s == site)
+            .map(|(_, state, _)| *state)
+            .or_else(|| {
+                self.witnesses
+                    .iter()
+                    .find(|(s, _)| *s == site)
+                    .map(|(_, state)| *state)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::{ClusterBuilder, Protocol};
+    use dynvote_types::{SiteId, SiteSet};
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .witnesses([3])
+            .protocol(Protocol::Odv)
+            .build_with_value("v1".to_string());
+        cluster.fail_site(SiteId::new(2));
+        cluster.write(SiteId::new(0), "v2".to_string()).unwrap();
+        cluster.write(SiteId::new(1), "v3".to_string()).unwrap();
+
+        let snapshot = cluster.snapshot();
+        assert_eq!(snapshot.copy_sites(), SiteSet::from_indices([0, 1, 2]));
+        assert_eq!(snapshot.witness_sites(), SiteSet::from_indices([3]));
+
+        // Bring up a fresh cluster from the image: everyone starts up
+        // (a restart), holding their durable state.
+        let mut revived = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .witnesses([3])
+            .protocol(Protocol::Odv)
+            .build_from_snapshot(&snapshot);
+        assert_eq!(revived.read(SiteId::new(0)).unwrap(), "v3");
+        // The stale copy (S2 was down at snapshot time) is still stale
+        // and still outside the partition set — exactly as durable
+        // state requires — until it RECOVERs.
+        assert_eq!(revived.value_at(SiteId::new(2)), "v1");
+        assert_eq!(
+            revived.state_at(SiteId::new(2)).partition,
+            SiteSet::first_n(4)
+        );
+        revived.recover(SiteId::new(2)).unwrap();
+        assert_eq!(revived.value_at(SiteId::new(2)), "v3");
+        assert!(revived.checker().violations().is_empty());
+    }
+
+    #[test]
+    fn restored_cluster_continues_the_lineage() {
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(Protocol::Ldv)
+            .build_with_value(0u64);
+        for i in 1..=5u64 {
+            cluster.write(SiteId::new(0), i).unwrap();
+        }
+        let op_before = cluster.state_at(SiteId::new(0)).op;
+        let snapshot = cluster.snapshot();
+        let mut revived = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(Protocol::Ldv)
+            .build_from_snapshot(&snapshot);
+        revived.write(SiteId::new(1), 6).unwrap();
+        assert_eq!(revived.state_at(SiteId::new(1)).op, op_before + 1);
+        assert_eq!(revived.read(SiteId::new(2)).unwrap(), 6);
+    }
+
+    #[test]
+    fn state_of_accessor() {
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1])
+            .protocol(Protocol::Odv)
+            .build_with_value(0u8);
+        cluster.write(SiteId::new(0), 1).unwrap();
+        let snap = cluster.snapshot();
+        assert_eq!(snap.state_of(SiteId::new(0)).unwrap().version, 2);
+        assert!(snap.state_of(SiteId::new(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot does not match")]
+    fn mismatched_restore_rejected() {
+        let cluster = ClusterBuilder::new()
+            .copies([0, 1])
+            .protocol(Protocol::Odv)
+            .build_with_value(0u8);
+        let snapshot = cluster.snapshot();
+        let _ = ClusterBuilder::new()
+            .copies([0, 1, 2]) // different placement
+            .protocol(Protocol::Odv)
+            .build_from_snapshot(&snapshot);
+    }
+}

@@ -1,0 +1,108 @@
+//! The failure/repair distributions of the paper's site model.
+
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// A distribution over durations.
+///
+/// Table 1 uses exactly three shapes:
+///
+/// * exponential times-to-fail,
+/// * **constant** restart times for software failures ("software
+///   failures only require a system restart, constant recovery times
+///   are assumed"),
+/// * **constant + exponential** hardware repair times ("a constant term
+///   representing the minimum service time plus an exponentially
+///   distributed term representing the actual repair process").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Dist {
+    /// Always exactly this duration.
+    Constant(Duration),
+    /// Exponential with the given mean.
+    Exponential(Duration),
+    /// A constant floor plus an exponential tail with the given mean.
+    ShiftedExponential {
+        /// The deterministic minimum (e.g. minimum service time).
+        floor: Duration,
+        /// Mean of the exponential part.
+        mean: Duration,
+    },
+}
+
+impl Dist {
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        match *self {
+            Dist::Constant(d) => d,
+            Dist::Exponential(mean) => Duration::days(rng.exponential(mean.as_days())),
+            Dist::ShiftedExponential { floor, mean } => {
+                if mean.is_zero() {
+                    floor
+                } else {
+                    floor + Duration::days(rng.exponential(mean.as_days()))
+                }
+            }
+        }
+    }
+
+    /// The distribution's expected value.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        match *self {
+            Dist::Constant(d) => d,
+            Dist::Exponential(mean) => mean,
+            Dist::ShiftedExponential { floor, mean } => floor + mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::new(1);
+        let d = Dist::Constant(Duration::minutes(15.0));
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), Duration::minutes(15.0));
+        }
+        assert_eq!(d.mean(), Duration::minutes(15.0));
+    }
+
+    #[test]
+    fn exponential_sample_mean() {
+        let mut rng = SimRng::new(2);
+        let d = Dist::Exponential(Duration::days(10.0));
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng).as_days()).sum();
+        assert!((total / n as f64 - 10.0).abs() < 0.15);
+        assert_eq!(d.mean(), Duration::days(10.0));
+    }
+
+    #[test]
+    fn shifted_exponential_respects_floor() {
+        let mut rng = SimRng::new(3);
+        let d = Dist::ShiftedExponential {
+            floor: Duration::hours(4.0),
+            mean: Duration::hours(24.0),
+        };
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= Duration::hours(4.0));
+        }
+        assert!((d.mean().as_hours() - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_exponential_with_zero_mean_is_constant() {
+        // Site 1 (csvax): hardware repair = 0h constant + 2h exp; site 4
+        // (wizard): 168h constant + 168h exp. The degenerate case of a
+        // zero *exponential* part must not panic.
+        let mut rng = SimRng::new(4);
+        let d = Dist::ShiftedExponential {
+            floor: Duration::hours(3.0),
+            mean: Duration::ZERO,
+        };
+        assert_eq!(d.sample(&mut rng), Duration::hours(3.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! The event queue: a monotone priority queue of timestamped events.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops
+        // first, with FIFO order among equal timestamps (lower seq
+        // first) for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue: events are scheduled at [`SimTime`] instants
+/// and popped in non-decreasing time order.
+///
+/// Equal-time events pop in insertion order, which keeps simulations
+/// deterministic for a fixed seed. Popping also advances the queue's
+/// notion of *now*; scheduling in the past is a logic error caught by a
+/// debug assertion.
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_sim::{Duration, EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::at_days(2.0), "repair");
+/// q.schedule(SimTime::at_days(1.0), "fail");
+/// assert_eq!(q.pop(), Some((SimTime::at_days(1.0), "fail")));
+/// assert_eq!(q.pop(), Some((SimTime::at_days(2.0), "repair")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (time zero initially).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// Scheduling before [`EventQueue::now`] is a logic error (debug
+    /// assertion); at `now` exactly is fine and preserves FIFO order.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events and resets the clock to zero.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &d in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.schedule(SimTime::at_days(d), d as u32);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::at_days(1.0);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::at_days(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::at_days(2.0));
+        // Scheduling at now is allowed.
+        q.schedule(q.now(), ());
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn peek_len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::at_days(1.0), 1);
+        q.schedule(SimTime::at_days(0.5), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::at_days(0.5)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::at_days(1.0), ());
+        q.pop();
+        q.schedule(SimTime::at_days(0.5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // A self-rescheduling process: each event schedules the next.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        while let Some((t, n)) = q.pop() {
+            count += 1;
+            if n < 99 {
+                q.schedule(t + Duration::days(1.0), n + 1);
+            }
+        }
+        assert_eq!(count, 100);
+        assert_eq!(q.now(), SimTime::at_days(99.0));
+    }
+}

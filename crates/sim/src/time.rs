@@ -1,0 +1,227 @@
+//! The virtual clock: instants and durations measured in days.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of virtual time, in days.
+///
+/// Days are the natural unit of the paper's Table 1 (mean times to fail
+/// are given in days, repairs in hours, restarts in minutes); the
+/// constructors convert so call sites read like the table.
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_sim::Duration;
+///
+/// let repair = Duration::hours(4.0) + Duration::hours(24.0);
+/// assert!((repair.as_days() - 28.0 / 24.0).abs() < 1e-12);
+/// assert!(Duration::minutes(20.0) < Duration::hours(1.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// A duration of `d` days.
+    #[inline]
+    #[must_use]
+    pub const fn days(d: f64) -> Self {
+        Duration(d)
+    }
+
+    /// A duration of `h` hours.
+    #[inline]
+    #[must_use]
+    pub fn hours(h: f64) -> Self {
+        Duration(h / 24.0)
+    }
+
+    /// A duration of `m` minutes.
+    #[inline]
+    #[must_use]
+    pub fn minutes(m: f64) -> Self {
+        Duration(m / (24.0 * 60.0))
+    }
+
+    /// The duration in days.
+    #[inline]
+    #[must_use]
+    pub const fn as_days(self) -> f64 {
+        self.0
+    }
+
+    /// The duration in hours.
+    #[inline]
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 * 24.0
+    }
+
+    /// `true` for durations of zero or less.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}d", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}d", self.0)
+    }
+}
+
+/// An instant of virtual time (days since the start of the simulation).
+///
+/// `SimTime` and [`Duration`] form the usual affine pair: instants
+/// subtract to durations, and durations shift instants.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// The instant `d` days after the epoch.
+    #[inline]
+    #[must_use]
+    pub const fn at_days(d: f64) -> Self {
+        SimTime(d)
+    }
+
+    /// Days since the epoch.
+    #[inline]
+    #[must_use]
+    pub const fn as_days(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_days())
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_days();
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::days(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}d", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}d", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Duration::days(1.0).as_hours(), 24.0);
+        assert!((Duration::hours(12.0).as_days() - 0.5).abs() < 1e-12);
+        assert!((Duration::minutes(90.0).as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + Duration::days(3.0);
+        assert_eq!((t1 - t0).as_days(), 3.0);
+        let d = Duration::days(2.0) + Duration::days(1.0) - Duration::days(0.5);
+        assert_eq!(d.as_days(), 2.5);
+        assert_eq!((Duration::days(3.0) * 2.0).as_days(), 6.0);
+        assert_eq!(Duration::days(6.0) / Duration::days(3.0), 2.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::at_days(1.0) < SimTime::at_days(2.0));
+        assert!(Duration::minutes(20.0) < Duration::hours(1.0));
+        assert!(Duration::ZERO.is_zero());
+        assert!(!Duration::days(0.1).is_zero());
+    }
+
+    #[test]
+    fn table_1_values_read_naturally() {
+        // Site 2 (beowulf): hardware repair = 4h constant + 24h mean exp.
+        let constant = Duration::hours(4.0);
+        let restart = Duration::minutes(15.0);
+        assert!(constant > restart);
+        assert!((constant.as_days() - 4.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_days() {
+        assert_eq!(format!("{}", Duration::days(1.5)), "1.500000d");
+        assert_eq!(format!("{}", SimTime::at_days(2.0)), "t=2.000000d");
+    }
+}

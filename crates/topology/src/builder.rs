@@ -1,0 +1,284 @@
+//! Fluent construction of [`Network`] values.
+
+use dynvote_types::SiteSet;
+
+use crate::network::{Bridge, Network, SegmentId, TopologyError};
+
+/// Builder for [`Network`].
+///
+/// Declare each segment with its member sites, then declare the bridges
+/// carried by gateway hosts. A gateway's *home* segment is the segment it
+/// was declared a member of; [`NetworkBuilder::bridge`] attaches it to a
+/// foreign segment.
+///
+/// # Examples
+///
+/// The paper's Figure 8 network shape (five sites on the main Ethernet,
+/// two subordinate segments behind gateway hosts):
+///
+/// ```
+/// use dynvote_topology::NetworkBuilder;
+///
+/// let net = NetworkBuilder::new()
+///     .segment("alpha", [0, 1, 2, 3, 4])
+///     .segment("beta", [5])
+///     .segment("gamma", [6, 7])
+///     .bridge(3, "beta")
+///     .bridge(4, "gamma")
+///     .build()
+///     .unwrap();
+/// assert_eq!(net.segment_count(), 3);
+/// ```
+#[derive(Default)]
+pub struct NetworkBuilder {
+    segments: Vec<(String, SiteSet)>,
+    bridges: Vec<(usize, String)>, // (site index, target segment name)
+    error: Option<TopologyError>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        NetworkBuilder::default()
+    }
+
+    /// Declares a segment with the given member sites (zero-based
+    /// indices).
+    #[must_use]
+    pub fn segment<I: IntoIterator<Item = usize>>(mut self, name: &str, members: I) -> Self {
+        if self.segments.iter().any(|(n, _)| n == name) {
+            self.error
+                .get_or_insert(TopologyError::DuplicateSegmentName(name.to_string()));
+            return self;
+        }
+        self.segments
+            .push((name.to_string(), SiteSet::from_indices(members)));
+        self
+    }
+
+    /// Declares that the (already-declared) site `gateway` bridges its
+    /// home segment to segment `to`.
+    #[must_use]
+    pub fn bridge(mut self, gateway: usize, to: &str) -> Self {
+        self.bridges.push((gateway, to.to_string()));
+        self
+    }
+
+    /// Validates and builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] when a site is on two segments, a
+    /// bridge references an unknown site or segment, a gateway bridges to
+    /// its own segment, or a segment name was reused.
+    pub fn build(self) -> Result<Network, TopologyError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        let names: Vec<String> = self.segments.iter().map(|(n, _)| n.clone()).collect();
+        let members: Vec<SiteSet> = self.segments.iter().map(|(_, m)| *m).collect();
+        let mut bridges = Vec::with_capacity(self.bridges.len());
+        for (gateway, to) in &self.bridges {
+            let to_idx = names
+                .iter()
+                .position(|n| n == to)
+                .ok_or_else(|| TopologyError::UnknownSegment(to.clone()))?;
+            bridges.push(Bridge {
+                gateway: dynvote_types::SiteId::new(*gateway),
+                to: SegmentId(to_idx as u16),
+            });
+        }
+        Network::from_parts(members, names, bridges)
+    }
+}
+
+/// Builds a **point-to-point** network: every real site sits alone on
+/// its own segment, and each link is represented by a *virtual link
+/// site* that bridges its two endpoints — the link is up exactly while
+/// its virtual site is up, so the existing site-failure machinery (and
+/// any per-site failure model) doubles as a link-failure model.
+///
+/// This is the "conventional point-to-point network" the paper
+/// contrasts segmented LANs with (§3): every partition pattern the link
+/// graph allows can occur, and topological vote claiming never applies
+/// (no two copies share a segment).
+///
+/// Returns the network and, for each input link, the [`dynvote_types::SiteId`] of its
+/// virtual link site (attach the link's failure model there; give it no
+/// copies or votes).
+///
+/// # Panics
+///
+/// Panics when a link endpoint is out of range, a link is a self-loop,
+/// or `n_sites + links.len()` exceeds the site-set capacity.
+///
+/// # Examples
+///
+/// A 3-site ring loses no connectivity from one link failure, and
+/// splits only when two links fail:
+///
+/// ```
+/// use dynvote_topology::point_to_point;
+/// use dynvote_types::SiteSet;
+///
+/// let (net, links) = point_to_point(3, &[(0, 1), (1, 2), (2, 0)]);
+/// let all_real = SiteSet::first_n(3);
+/// let all_links: SiteSet = links.iter().copied().collect();
+///
+/// // One link down: still one group.
+/// let up = all_real | all_links.without(links[0]);
+/// assert_eq!(net.reachability(up).groups().len(), 1);
+///
+/// // Two links down: the ring splits.
+/// let up = all_real | SiteSet::from(links[1]);
+/// assert_eq!(net.reachability(up).groups().len(), 2);
+/// ```
+pub fn point_to_point(
+    n_sites: usize,
+    links: &[(usize, usize)],
+) -> (Network, Vec<dynvote_types::SiteId>) {
+    let mut builder = NetworkBuilder::new();
+    for site in 0..n_sites {
+        builder = builder.segment(&format!("p{site}"), [site]);
+    }
+    let mut link_sites = Vec::with_capacity(links.len());
+    for (i, &(a, b)) in links.iter().enumerate() {
+        assert!(a < n_sites && b < n_sites, "link endpoint out of range");
+        assert_ne!(a, b, "self-loop links are meaningless");
+        let virtual_site = n_sites + i;
+        // Encode `a ↔ b iff a up ∧ link up ∧ b up` as a two-hop chain
+        // of private segments:
+        //     p_a -(bridge by a)-> m1 -(bridge by L)-> m2 <-(bridge by b)- p_b
+        // Endpoint sites are the gateways *into* the chain, so transit
+        // through a down site is impossible (unlike a shared-medium
+        // segment, a point-to-point node only relays while it is up),
+        // and the virtual site L carries the link's own failure model.
+        builder = builder
+            .segment(&format!("link{i}a"), [virtual_site])
+            .segment(&format!("link{i}b"), std::iter::empty::<usize>())
+            .bridge(a, &format!("link{i}a"))
+            .bridge(virtual_site, &format!("link{i}b"))
+            .bridge(b, &format!("link{i}b"));
+        link_sites.push(dynvote_types::SiteId::new(virtual_site));
+    }
+    let network = builder.build().expect("constructed topology is valid");
+    (network, link_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynvote_types::SiteId;
+
+    #[test]
+    fn duplicate_site_rejected() {
+        let err = NetworkBuilder::new()
+            .segment("a", [0, 1])
+            .segment("b", [1])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateSite(SiteId::new(1)));
+    }
+
+    #[test]
+    fn duplicate_segment_name_rejected() {
+        let err = NetworkBuilder::new()
+            .segment("a", [0])
+            .segment("a", [1])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateSegmentName("a".to_string()));
+    }
+
+    #[test]
+    fn unknown_segment_rejected() {
+        let err = NetworkBuilder::new()
+            .segment("a", [0])
+            .bridge(0, "nope")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownSegment("nope".to_string()));
+    }
+
+    #[test]
+    fn unknown_gateway_rejected() {
+        let err = NetworkBuilder::new()
+            .segment("a", [0])
+            .segment("b", [1])
+            .bridge(7, "b")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownGateway(SiteId::new(7)));
+    }
+
+    #[test]
+    fn self_bridge_rejected() {
+        let err = NetworkBuilder::new()
+            .segment("a", [0])
+            .segment("b", [1])
+            .bridge(0, "a")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::SelfBridge(SiteId::new(0)));
+    }
+
+    #[test]
+    fn point_to_point_line_partitions_per_link() {
+        // 0 - 1 - 2 (a line): losing the left link isolates S0.
+        let (net, links) = super::point_to_point(3, &[(0, 1), (1, 2)]);
+        let real = SiteSet::first_n(3);
+        let all: SiteSet = real | links.iter().copied().collect::<SiteSet>();
+        assert_eq!(net.reachability(all).groups().len(), 1);
+        let up = all.without(links[0]);
+        let r = net.reachability(up);
+        let mut groups: Vec<SiteSet> = r
+            .groups()
+            .iter()
+            .map(|g| *g & real)
+            .filter(|g| !g.is_empty())
+            .collect();
+        groups.sort_by_key(|g| g.bits());
+        assert_eq!(
+            groups,
+            vec![SiteSet::from_indices([0]), SiteSet::from_indices([1, 2])]
+        );
+    }
+
+    #[test]
+    fn point_to_point_site_failures_also_partition() {
+        // A star: 0 is the hub; losing it isolates every leaf.
+        let (net, links) = super::point_to_point(4, &[(0, 1), (0, 2), (0, 3)]);
+        let up: SiteSet =
+            SiteSet::from_indices([1, 2, 3]) | links.iter().copied().collect::<SiteSet>();
+        let r = net.reachability(up);
+        assert_eq!(r.groups().len(), 3, "leaves are mutually isolated");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn point_to_point_rejects_self_loops() {
+        let _ = super::point_to_point(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_to_point_rejects_bad_endpoints() {
+        let _ = super::point_to_point(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn valid_build_round_trips() {
+        let net = NetworkBuilder::new()
+            .segment("main", [0, 1, 2])
+            .segment("leaf", [3])
+            .bridge(2, "leaf")
+            .build()
+            .unwrap();
+        assert_eq!(net.sites(), SiteSet::first_n(4));
+        assert_eq!(
+            net.segment_name(net.segment_of(SiteId::new(3)).unwrap()),
+            "leaf"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Segmented local-area-network topology model.
+//!
+//! Section 3 of the paper observes that large LANs are built from
+//! *non-partitionable segments* — unsegmented carrier-sense networks
+//! (Ethernets) or token rings — joined by *gateway hosts*. Segments never
+//! split: two up sites on the same segment can always talk. Gateways can
+//! fail, detaching whole segments and partitioning the network. This is
+//! the structural fact Topological Dynamic Voting exploits: an up site may
+//! claim the votes of unreachable sites on *its own* segment, because they
+//! cannot be on the far side of a partition — they must be down.
+//!
+//! This crate models that world:
+//!
+//! * [`Network`] — sites assigned to segments, plus gateway hosts that
+//!   bridge their home segment to other segments,
+//! * [`Reachability`] — given the set of currently *up* sites, the
+//!   partition of up sites into maximal mutually-communicating groups,
+//! * [`NetworkBuilder`] — ergonomic construction (and the classic UCSD
+//!   Figure 8 network lives in `dynvote-availability::network`).
+
+pub mod builder;
+pub mod network;
+pub mod reachability;
+
+pub use builder::{point_to_point, NetworkBuilder};
+pub use network::{Network, SegmentId, TopologyError};
+pub use reachability::Reachability;

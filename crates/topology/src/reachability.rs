@@ -1,0 +1,100 @@
+//! The result of a reachability computation: who can talk to whom, now.
+
+use dynvote_types::{SiteId, SiteSet};
+
+/// A partition of the currently-up sites into maximal groups of mutually
+/// communicating sites.
+///
+/// Produced by [`crate::Network::reachability`]. Each group corresponds
+/// to one side of a (possibly multi-way) network partition; within a
+/// group, the paper's fail-stop/reliable-delivery assumptions mean every
+/// member answers a broadcast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reachability {
+    groups: Vec<SiteSet>,
+    up: SiteSet,
+}
+
+impl Reachability {
+    pub(crate) fn new(groups: Vec<SiteSet>, up: SiteSet) -> Self {
+        debug_assert!(
+            groups.iter().all(|g| g.is_subset_of(up)),
+            "groups must contain only up sites"
+        );
+        Reachability { groups, up }
+    }
+
+    /// Builds a reachability directly from groups (for tests and for
+    /// driving protocol engines without a [`crate::Network`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups are not pairwise disjoint.
+    #[must_use]
+    pub fn from_groups(groups: Vec<SiteSet>) -> Self {
+        let mut up = SiteSet::EMPTY;
+        for g in &groups {
+            assert!(up.is_disjoint(*g), "groups must be pairwise disjoint");
+            up |= *g;
+        }
+        Reachability { groups, up }
+    }
+
+    /// The maximal mutually-communicating groups, in unspecified order.
+    #[must_use]
+    pub fn groups(&self) -> &[SiteSet] {
+        &self.groups
+    }
+
+    /// All sites that are up.
+    #[must_use]
+    pub fn up(&self) -> SiteSet {
+        self.up
+    }
+
+    /// The group containing `site`, or `None` when the site is down.
+    ///
+    /// This is the paper's `R` for a request originating at `site`: "the
+    /// set of all sites communicating with the requesting site".
+    #[must_use]
+    pub fn group_of(&self, site: SiteId) -> Option<SiteSet> {
+        self.groups.iter().copied().find(|g| g.contains(site))
+    }
+
+    /// `true` when the two sites can currently communicate.
+    #[must_use]
+    pub fn can_communicate(&self, a: SiteId, b: SiteId) -> bool {
+        self.group_of(a).is_some_and(|g| g.contains(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_groups_and_queries() {
+        let r = Reachability::from_groups(vec![
+            SiteSet::from_indices([0, 1]),
+            SiteSet::from_indices([3]),
+        ]);
+        assert_eq!(r.up(), SiteSet::from_indices([0, 1, 3]));
+        assert_eq!(
+            r.group_of(SiteId::new(1)),
+            Some(SiteSet::from_indices([0, 1]))
+        );
+        assert_eq!(r.group_of(SiteId::new(2)), None);
+        assert!(r.can_communicate(SiteId::new(0), SiteId::new(1)));
+        assert!(!r.can_communicate(SiteId::new(0), SiteId::new(3)));
+        assert!(!r.can_communicate(SiteId::new(0), SiteId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise disjoint")]
+    fn overlapping_groups_rejected() {
+        let _ = Reachability::from_groups(vec![
+            SiteSet::from_indices([0, 1]),
+            SiteSet::from_indices([1, 2]),
+        ]);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Foundational types shared by every crate in the dynamic-voting workspace.
+//!
+//! The protocols of Pâris & Long (ICDE 1988) reason about *sites* holding
+//! physical copies of a replicated file, *sets* of such sites (partition
+//! sets, reachable sets, quorum sets), and — for the weighted-voting
+//! extension — per-site *vote* assignments. This crate provides small,
+//! allocation-free representations of all three:
+//!
+//! * [`SiteId`] — a site identifier with the total (lexicographic) order
+//!   required by the tie-breaking rule of Lexicographic Dynamic Voting,
+//! * [`SiteSet`] — a set of up to [`MAX_SITES`] sites stored as a `u64`
+//!   bitmask, so that the set algebra in Algorithm 1 (`Q`, `S`, `P_m`, `T`)
+//!   compiles down to a handful of bit operations,
+//! * [`VoteMap`] — an integer vote assignment over sites (Gifford-style
+//!   weighted voting),
+//! * [`errors`] — the error vocabulary shared by the protocol engines.
+
+pub mod errors;
+pub mod site;
+pub mod site_set;
+pub mod votes;
+
+pub use errors::{AccessError, AccessKind};
+pub use site::SiteId;
+pub use site_set::{SiteSet, SiteSetIter, MAX_SITES};
+pub use votes::VoteMap;

@@ -1,0 +1,131 @@
+//! Site identifiers.
+
+use core::fmt;
+
+use crate::site_set::MAX_SITES;
+
+/// Identifier of a site (a host holding a physical copy, a witness, or a
+/// gateway) in a replicated-file system.
+///
+/// Sites carry the *static linear ordering* that Lexicographic Dynamic
+/// Voting uses to break ties: when exactly one half of the previous
+/// majority partition is reachable, the half containing the **maximum**
+/// site wins (Jajodia's rule, adopted by Algorithm 1 of the paper). The
+/// `Ord` implementation on `SiteId` *is* that ordering: a numerically
+/// larger index ranks higher.
+///
+/// Indices are bounded by [`MAX_SITES`] so that site sets fit in a single
+/// machine word (see [`crate::SiteSet`]).
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_types::SiteId;
+///
+/// let a = SiteId::new(0);
+/// let c = SiteId::new(2);
+/// assert!(c > a, "higher index ranks higher in the lexicographic order");
+/// assert_eq!(c.index(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(u8);
+
+impl SiteId {
+    /// Creates a site identifier from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_SITES` (64); site sets are single-word
+    /// bitmasks and cannot address more sites.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        assert!(index < MAX_SITES, "site index out of range");
+        SiteId(index as u8)
+    }
+
+    /// Creates a site identifier without the bounds check, returning
+    /// `None` when out of range.
+    #[inline]
+    #[must_use]
+    pub const fn try_new(index: usize) -> Option<Self> {
+        if index < MAX_SITES {
+            Some(SiteId(index as u8))
+        } else {
+            None
+        }
+    }
+
+    /// The zero-based index of this site.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The site's bit inside a [`crate::SiteSet`] mask.
+    #[inline]
+    #[must_use]
+    pub(crate) const fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<SiteId> for usize {
+    fn from(s: SiteId) -> usize {
+        s.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..MAX_SITES {
+            assert_eq!(SiteId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert!(SiteId::try_new(MAX_SITES).is_none());
+        assert!(SiteId::try_new(usize::MAX).is_none());
+        assert_eq!(SiteId::try_new(MAX_SITES - 1), Some(SiteId::new(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "site index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = SiteId::new(MAX_SITES);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        // The lexicographic tie-break relies on this total order.
+        let ids: Vec<SiteId> = (0..8).map(SiteId::new).collect();
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(ids.iter().max(), Some(&SiteId::new(7)));
+    }
+
+    #[test]
+    fn display_formats_compactly() {
+        assert_eq!(SiteId::new(3).to_string(), "S3");
+        assert_eq!(format!("{:?}", SiteId::new(12)), "S12");
+    }
+}

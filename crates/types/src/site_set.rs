@@ -1,0 +1,474 @@
+//! Site sets as single-word bitmasks.
+
+use core::fmt;
+use core::iter::FromIterator;
+use core::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
+
+use crate::site::SiteId;
+
+/// Maximum number of addressable sites (one bit per site in a `u64`).
+pub const MAX_SITES: usize = 64;
+
+/// A set of sites, stored as a `u64` bitmask.
+///
+/// Every set manipulated by the voting protocols — the reachable set `R`,
+/// the quorum set `Q`, the up-to-date set `S`, the partition set `P_m`,
+/// and the topological claim set `T` — is a `SiteSet`. Intersections,
+/// unions, cardinalities, and the `max(P_m)` tie-break all reduce to
+/// single machine instructions, which keeps the majority-partition
+/// decision (run on every simulated event) essentially free.
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_types::{SiteId, SiteSet};
+///
+/// let p: SiteSet = [0, 1, 2].into_iter().map(SiteId::new).collect();
+/// let r = SiteSet::from_indices([0, 2]);
+/// let q = p & r;
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(p.max(), Some(SiteId::new(2)));
+/// assert!(q.contains(SiteId::new(2)));
+/// assert!(q.is_subset_of(p));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SiteSet(u64);
+
+impl SiteSet {
+    /// The empty set.
+    pub const EMPTY: SiteSet = SiteSet(0);
+
+    /// Creates an empty set.
+    #[inline]
+    #[must_use]
+    pub const fn new() -> Self {
+        SiteSet(0)
+    }
+
+    /// Creates the set `{S0, S1, …, S(n-1)}` of the first `n` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_SITES`.
+    #[inline]
+    #[must_use]
+    pub const fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_SITES, "site count out of range");
+        if n == MAX_SITES {
+            SiteSet(u64::MAX)
+        } else {
+            SiteSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a set from zero-based site indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= MAX_SITES`.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        indices.into_iter().map(SiteId::new).collect()
+    }
+
+    /// Creates a set containing a single site.
+    #[inline]
+    #[must_use]
+    pub const fn singleton(site: SiteId) -> Self {
+        SiteSet(site.bit())
+    }
+
+    /// The raw bitmask (bit *i* set ⇔ site *i* in the set).
+    #[inline]
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw bitmask.
+    #[inline]
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        SiteSet(bits)
+    }
+
+    /// Number of sites in the set.
+    #[inline]
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` when the set is empty.
+    #[inline]
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    #[must_use]
+    pub const fn contains(self, site: SiteId) -> bool {
+        self.0 & site.bit() != 0
+    }
+
+    /// Inserts a site; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, site: SiteId) -> bool {
+        let added = !self.contains(site);
+        self.0 |= site.bit();
+        added
+    }
+
+    /// Removes a site; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, site: SiteId) -> bool {
+        let present = self.contains(site);
+        self.0 &= !site.bit();
+        present
+    }
+
+    /// The set with `site` added (functional form of [`Self::insert`]).
+    #[inline]
+    #[must_use]
+    pub const fn with(self, site: SiteId) -> Self {
+        SiteSet(self.0 | site.bit())
+    }
+
+    /// The set with `site` removed (functional form of [`Self::remove`]).
+    #[inline]
+    #[must_use]
+    pub const fn without(self, site: SiteId) -> Self {
+        SiteSet(self.0 & !site.bit())
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: SiteSet) -> Self {
+        SiteSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub const fn intersection(self, other: SiteSet) -> Self {
+        SiteSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    #[must_use]
+    pub const fn difference(self, other: SiteSet) -> Self {
+        SiteSet(self.0 & !other.0)
+    }
+
+    /// `true` when the two sets share no site.
+    #[inline]
+    #[must_use]
+    pub const fn is_disjoint(self, other: SiteSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// `true` when every site of `self` is in `other`.
+    #[inline]
+    #[must_use]
+    pub const fn is_subset_of(self, other: SiteSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The maximum site in the lexicographic order, or `None` if empty.
+    ///
+    /// This is the `max(P_m)` of the tie-breaking rule: the group that
+    /// holds exactly half the previous majority partition wins iff it
+    /// contains this site.
+    #[inline]
+    #[must_use]
+    pub fn max(self) -> Option<SiteId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(SiteId::new(63 - self.0.leading_zeros() as usize))
+        }
+    }
+
+    /// The minimum site in the lexicographic order, or `None` if empty.
+    #[inline]
+    #[must_use]
+    pub fn min(self) -> Option<SiteId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(SiteId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Iterates over members in ascending site order.
+    #[inline]
+    pub fn iter(self) -> SiteSetIter {
+        SiteSetIter(self.0)
+    }
+}
+
+impl BitOr for SiteSet {
+    type Output = SiteSet;
+    #[inline]
+    fn bitor(self, rhs: SiteSet) -> SiteSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for SiteSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: SiteSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for SiteSet {
+    type Output = SiteSet;
+    #[inline]
+    fn bitand(self, rhs: SiteSet) -> SiteSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for SiteSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: SiteSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Sub for SiteSet {
+    type Output = SiteSet;
+    #[inline]
+    fn sub(self, rhs: SiteSet) -> SiteSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for SiteSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SiteSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl FromIterator<SiteId> for SiteSet {
+    fn from_iter<I: IntoIterator<Item = SiteId>>(iter: I) -> Self {
+        let mut set = SiteSet::new();
+        for site in iter {
+            set.insert(site);
+        }
+        set
+    }
+}
+
+impl Extend<SiteId> for SiteSet {
+    fn extend<I: IntoIterator<Item = SiteId>>(&mut self, iter: I) {
+        for site in iter {
+            self.insert(site);
+        }
+    }
+}
+
+impl IntoIterator for SiteSet {
+    type Item = SiteId;
+    type IntoIter = SiteSetIter;
+    fn into_iter(self) -> SiteSetIter {
+        self.iter()
+    }
+}
+
+impl From<SiteId> for SiteSet {
+    fn from(site: SiteId) -> Self {
+        SiteSet::singleton(site)
+    }
+}
+
+/// Iterator over the members of a [`SiteSet`], ascending.
+#[derive(Clone, Debug)]
+pub struct SiteSetIter(u64);
+
+impl Iterator for SiteSetIter {
+    type Item = SiteId;
+
+    #[inline]
+    fn next(&mut self) -> Option<SiteId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1; // clear lowest set bit
+        Some(SiteId::new(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SiteSetIter {}
+
+impl fmt::Debug for SiteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SiteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for site in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{site}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(indices: &[usize]) -> SiteSet {
+        SiteSet::from_indices(indices.iter().copied())
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = SiteSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e, SiteSet::EMPTY);
+    }
+
+    #[test]
+    fn first_n_builds_prefix() {
+        assert_eq!(SiteSet::first_n(0), SiteSet::EMPTY);
+        assert_eq!(SiteSet::first_n(3), s(&[0, 1, 2]));
+        assert_eq!(SiteSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut set = SiteSet::new();
+        assert!(set.insert(SiteId::new(5)));
+        assert!(!set.insert(SiteId::new(5)), "double insert reports false");
+        assert!(set.contains(SiteId::new(5)));
+        assert!(set.remove(SiteId::new(5)));
+        assert!(!set.remove(SiteId::new(5)), "double remove reports false");
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn with_without_are_pure() {
+        let base = s(&[1, 2]);
+        assert_eq!(base.with(SiteId::new(3)), s(&[1, 2, 3]));
+        assert_eq!(base.without(SiteId::new(2)), s(&[1]));
+        assert_eq!(base, s(&[1, 2]), "original unchanged");
+    }
+
+    #[test]
+    fn algebra_matches_set_semantics() {
+        let a = s(&[0, 1, 2, 3]);
+        let b = s(&[2, 3, 4, 5]);
+        assert_eq!(a | b, s(&[0, 1, 2, 3, 4, 5]));
+        assert_eq!(a & b, s(&[2, 3]));
+        assert_eq!(a - b, s(&[0, 1]));
+        assert!(!a.is_disjoint(b));
+        assert!(s(&[0, 1]).is_disjoint(s(&[2, 3])));
+        assert!(s(&[2, 3]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn max_min_follow_lexicographic_order() {
+        let p = s(&[1, 4, 7]);
+        assert_eq!(p.max(), Some(SiteId::new(7)));
+        assert_eq!(p.min(), Some(SiteId::new(1)));
+        assert_eq!(
+            SiteSet::singleton(SiteId::new(63)).max(),
+            Some(SiteId::new(63))
+        );
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_exact() {
+        let p = s(&[9, 0, 33, 4]);
+        let order: Vec<usize> = p.iter().map(SiteId::index).collect();
+        assert_eq!(order, vec![0, 4, 9, 33]);
+        assert_eq!(p.iter().len(), 4);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        assert_eq!(s(&[0, 2]).to_string(), "{S0, S2}");
+        assert_eq!(SiteSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut set: SiteSet = [SiteId::new(1)].into_iter().collect();
+        set.extend([SiteId::new(2), SiteId::new(1)]);
+        assert_eq!(set, s(&[1, 2]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_is_commutative(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (SiteSet::from_bits(a), SiteSet::from_bits(b));
+            prop_assert_eq!(a | b, b | a);
+        }
+
+        #[test]
+        fn prop_difference_disjoint_from_subtrahend(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (SiteSet::from_bits(a), SiteSet::from_bits(b));
+            prop_assert!((a - b).is_disjoint(b));
+        }
+
+        #[test]
+        fn prop_len_is_sum_of_partition(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (SiteSet::from_bits(a), SiteSet::from_bits(b));
+            prop_assert_eq!((a | b).len(), (a - b).len() + (b - a).len() + (a & b).len());
+        }
+
+        #[test]
+        fn prop_iter_round_trips(a in any::<u64>()) {
+            let set = SiteSet::from_bits(a);
+            let rebuilt: SiteSet = set.iter().collect();
+            prop_assert_eq!(set, rebuilt);
+        }
+
+        #[test]
+        fn prop_max_is_largest_member(a in any::<u64>()) {
+            let set = SiteSet::from_bits(a);
+            match set.max() {
+                None => prop_assert!(set.is_empty()),
+                Some(m) => {
+                    prop_assert!(set.contains(m));
+                    for site in set.iter() {
+                        prop_assert!(site <= m);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_subset_iff_union_is_superset(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (SiteSet::from_bits(a), SiteSet::from_bits(b));
+            prop_assert_eq!(a.is_subset_of(b), (a | b) == b);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-site vote assignments for weighted voting.
+
+use core::fmt;
+
+use crate::site::SiteId;
+use crate::site_set::{SiteSet, MAX_SITES};
+
+/// An integer vote assignment over sites (Gifford's weighted voting).
+///
+/// Classic Majority Consensus Voting gives every copy one vote; Gifford
+/// generalized this so that better-connected or more reliable sites can
+/// carry more weight, and the paper's conclusion lists "weight
+/// assignments" as the natural next study. A `VoteMap` assigns each site
+/// a non-negative number of votes and answers the two questions quorum
+/// logic needs: the total number of votes in play and the number of votes
+/// held by a given group.
+///
+/// # Examples
+///
+/// ```
+/// use dynvote_types::{SiteId, SiteSet, VoteMap};
+///
+/// let mut votes = VoteMap::uniform(SiteSet::first_n(3));
+/// votes.set(SiteId::new(0), 3); // weight the most reliable site
+/// assert_eq!(votes.total(), 5);
+/// let group = SiteSet::from_indices([0]);
+/// assert_eq!(votes.of(group), 3);
+/// assert!(votes.is_strict_majority(group));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct VoteMap {
+    votes: [u32; MAX_SITES],
+    total: u64,
+}
+
+impl VoteMap {
+    /// One vote per member of `sites`, zero elsewhere — the classic
+    /// unweighted assignment.
+    #[must_use]
+    pub fn uniform(sites: SiteSet) -> Self {
+        let mut votes = [0u32; MAX_SITES];
+        for site in sites.iter() {
+            votes[site.index()] = 1;
+        }
+        VoteMap {
+            votes,
+            total: sites.len() as u64,
+        }
+    }
+
+    /// An all-zero assignment (useful as a builder starting point).
+    #[must_use]
+    pub fn empty() -> Self {
+        VoteMap {
+            votes: [0; MAX_SITES],
+            total: 0,
+        }
+    }
+
+    /// Sets the vote count of one site.
+    pub fn set(&mut self, site: SiteId, votes: u32) {
+        self.total = self.total - u64::from(self.votes[site.index()]) + u64::from(votes);
+        self.votes[site.index()] = votes;
+    }
+
+    /// Votes held by one site.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, site: SiteId) -> u32 {
+        self.votes[site.index()]
+    }
+
+    /// Total votes across all sites.
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Votes held collectively by `group`.
+    #[must_use]
+    pub fn of(&self, group: SiteSet) -> u64 {
+        group
+            .iter()
+            .map(|site| u64::from(self.votes[site.index()]))
+            .sum()
+    }
+
+    /// `true` when `group` holds *strictly more than half* the total votes.
+    ///
+    /// Strictness matters: with an even total, two disjoint groups could
+    /// each hold exactly half, so "at least half" would break mutual
+    /// exclusion.
+    #[must_use]
+    pub fn is_strict_majority(&self, group: SiteSet) -> bool {
+        2 * self.of(group) > self.total
+    }
+
+    /// The set of sites holding at least one vote.
+    #[must_use]
+    pub fn voters(&self) -> SiteSet {
+        (0..MAX_SITES)
+            .filter(|&i| self.votes[i] > 0)
+            .map(SiteId::new)
+            .collect()
+    }
+}
+
+impl fmt::Debug for VoteMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for i in 0..MAX_SITES {
+            if self.votes[i] > 0 {
+                map.entry(&SiteId::new(i), &self.votes[i]);
+            }
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_gives_one_vote_each() {
+        let votes = VoteMap::uniform(SiteSet::from_indices([0, 2, 4]));
+        assert_eq!(votes.total(), 3);
+        assert_eq!(votes.get(SiteId::new(2)), 1);
+        assert_eq!(votes.get(SiteId::new(1)), 0);
+        assert_eq!(votes.voters(), SiteSet::from_indices([0, 2, 4]));
+    }
+
+    #[test]
+    fn set_updates_total() {
+        let mut votes = VoteMap::uniform(SiteSet::first_n(3));
+        votes.set(SiteId::new(0), 5);
+        assert_eq!(votes.total(), 7);
+        votes.set(SiteId::new(0), 0);
+        assert_eq!(votes.total(), 2);
+        assert_eq!(votes.voters(), SiteSet::from_indices([1, 2]));
+    }
+
+    #[test]
+    fn strict_majority_requires_more_than_half() {
+        // 4 uniform votes: 2 is exactly half — not a majority.
+        let votes = VoteMap::uniform(SiteSet::first_n(4));
+        assert!(!votes.is_strict_majority(SiteSet::from_indices([0, 1])));
+        assert!(votes.is_strict_majority(SiteSet::from_indices([0, 1, 2])));
+    }
+
+    #[test]
+    fn weighted_majority_can_be_a_single_site() {
+        let mut votes = VoteMap::uniform(SiteSet::first_n(3));
+        votes.set(SiteId::new(2), 4); // total 6, site 2 alone holds 4
+        assert!(votes.is_strict_majority(SiteSet::from_indices([2])));
+        assert!(!votes.is_strict_majority(SiteSet::from_indices([0, 1])));
+    }
+
+    #[test]
+    fn of_ignores_nonmembers() {
+        let votes = VoteMap::uniform(SiteSet::first_n(2));
+        assert_eq!(votes.of(SiteSet::from_indices([1, 5])), 1);
+    }
+}

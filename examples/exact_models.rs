@@ -1,0 +1,66 @@
+//! The analytic side of the repository: exact availability and
+//! reliability for every protocol on the tractable identical-site
+//! system — no simulation, just Markov chains.
+//!
+//! ```text
+//! cargo run --release --example exact_models
+//! ```
+
+use dynamic_voting::analytic::{
+    ac_mttf, ac_unavailability, dv_mttf, dv_unavailability, ldv_mttf, ldv_unavailability, mcv_mttf,
+    mcv_unavailability, odv_unavailability, tdv_unavailability, ParSystem,
+};
+
+fn main() {
+    // Five identical sites: MTTF 30 days, MTTR 1 day.
+    let sys = ParSystem {
+        n: 5,
+        mttf: 30.0,
+        mttr: 1.0,
+    };
+    println!(
+        "five identical sites, MTTF {} d, MTTR {} d (per-site availability {:.4})\n",
+        sys.mttf,
+        sys.mttr,
+        sys.site_availability()
+    );
+
+    println!("exact steady-state unavailability:");
+    println!("  MCV              {:>12.3e}", mcv_unavailability(&sys));
+    println!("  DV               {:>12.3e}", dv_unavailability(&sys));
+    println!("  LDV              {:>12.3e}", ldv_unavailability(&sys));
+    for rate in [0.5, 2.0, 8.0] {
+        println!(
+            "  ODV @{rate:>4}/day    {:>12.3e}",
+            odv_unavailability(&sys, rate)
+        );
+    }
+    println!("  Available Copy   {:>12.3e}", ac_unavailability(&sys));
+
+    println!("\nexact mean time to first outage (days):");
+    println!("  MCV              {:>12.1}", mcv_mttf(&sys));
+    println!("  DV               {:>12.1}", dv_mttf(&sys));
+    println!("  LDV              {:>12.1}", ldv_mttf(&sys));
+    println!("  Available Copy   {:>12.1}", ac_mttf(&sys));
+
+    println!("\nTDV across segmentations (same five sites):");
+    let segmentations: [(&str, Vec<u32>); 3] = [
+        ("every site its own segment (≡ LDV)", vec![1, 2, 4, 8, 16]),
+        (
+            "one pair shares a segment",
+            vec![0b00011, 0b00100, 0b01000, 0b10000],
+        ),
+        ("all on one Ethernet (≡ AC)", vec![0b11111]),
+    ];
+    for (label, segments) in segmentations {
+        println!(
+            "  {label:<38} {:>12.3e}",
+            tdv_unavailability(&sys, &segments)
+        );
+    }
+    println!(
+        "\nThe two ends of that ladder are the paper's degenerate-case claims,\n\
+         here as machine-checked identities; the middle rung isolates the pure\n\
+         value of one co-segment pair."
+    );
+}

@@ -1,0 +1,92 @@
+//! Fault-storm demonstration: hammer each protocol with a random
+//! failure/repair/operation schedule and let the invariant monitor
+//! judge the outcome.
+//!
+//! MCV, DV, LDV and ODV come out clean under any schedule. The
+//! topological protocols are clean under *segment-respecting* faults —
+//! except for the sequential-claim hazard this run deliberately
+//! provokes (see DESIGN.md), which the monitor reports as a lineage
+//! fork, demonstrating at message level why the published Figures 5–7
+//! need a guard after total co-segment failures.
+//!
+//! ```text
+//! cargo run --example fault_injection
+//! ```
+
+use dynamic_voting::replica::{Cluster, ClusterBuilder, Protocol};
+use dynamic_voting::topology::Network;
+use dynamic_voting::types::SiteId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SITES: usize = 5;
+const STEPS: usize = 4_000;
+
+fn storm(protocol: Protocol, seed: u64) -> (u64, u64, usize) {
+    let mut cluster: Cluster<u64> = ClusterBuilder::new()
+        .network(Network::single_segment(SITES))
+        .copies(0..SITES)
+        .protocol(protocol)
+        .build_with_value(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_value = 1u64;
+
+    for _ in 0..STEPS {
+        let site = SiteId::new(rng.gen_range(0..SITES));
+        match rng.gen_range(0..100) {
+            // Mostly operations…
+            0..=39 => {
+                let _ = cluster.read(site);
+            }
+            40..=69 => {
+                if cluster.write(site, next_value).is_ok() {
+                    next_value += 1;
+                }
+            }
+            70..=79 => {
+                let _ = cluster.recover(site);
+            }
+            // …with a steady trickle of failures and repairs.
+            80..=89 => cluster.fail_site(site),
+            _ => {
+                cluster.repair_site(site);
+                let _ = cluster.recover(site);
+            }
+        }
+    }
+    let stats = cluster.stats();
+    (
+        stats.granted(),
+        stats.refused(),
+        cluster.checker().violations().len(),
+    )
+}
+
+fn main() {
+    println!("{STEPS} random steps on {SITES} copies (single segment), per protocol:\n");
+    println!(
+        "{:<6} {:>9} {:>9} {:>12}",
+        "proto", "granted", "refused", "violations"
+    );
+    for protocol in Protocol::ALL {
+        let (granted, refused, violations) = storm(protocol, 0x5EED);
+        println!(
+            "{:<6} {:>9} {:>9} {:>12}{}",
+            protocol.name(),
+            granted,
+            refused,
+            violations,
+            if violations > 0 {
+                "   <- the sequential-claim hazard (see DESIGN.md)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nOn a single segment, TDV/OTDV behave like Available Copy — any one\n\
+         surviving copy keeps the file available — which is why they grant the\n\
+         most operations. The same aggressiveness is what admits rival claims\n\
+         after a total failure; the monitor reports those as violations."
+    );
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artefact into results/ at full fidelity.
+# Takes a few minutes; pass --quick through for a fast smoke run, e.g.:
+#   scripts/regenerate_results.sh --quick
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(table1 table2 table3 analytic_check reliability access_rate_sweep \
+      witness_study weight_study ablation_rejoin ablation_lexicon \
+      ci_calibration outage_causes p2p_study study)
+for bin in "${BINS[@]}"; do
+    echo ">>> $bin $*"
+    cargo run --release -p dynvote-experiments --bin "$bin" -- "$@" \
+        > "results/$bin.txt"
+done
+echo "done; see results/"

@@ -1,0 +1,84 @@
+//! Regression guards for the reproduction's headline shapes, at
+//! test-suite-friendly run lengths. The full checklists live in the
+//! `table2`/`table3` binaries; these pin the findings that define the
+//! paper into `cargo test`, so a protocol regression cannot land
+//! silently.
+
+use dynamic_voting::availability::config::{CONFIG_A, CONFIG_D, CONFIG_F};
+use dynamic_voting::availability::run::{simulate_row, Params, RunResult};
+use dynamic_voting::sim::Duration;
+
+fn row(config: &'static dynamic_voting::availability::config::Configuration) -> Vec<RunResult> {
+    let params = Params {
+        batch_len: Duration::days(8_000.0),
+        batches: 5,
+        ..Params::quick_test()
+    };
+    simulate_row(config, &params)
+}
+
+fn cell<'a>(row: &'a [RunResult], name: &str) -> &'a RunResult {
+    row.iter()
+        .find(|r| r.policy == name)
+        .expect("policy present")
+}
+
+/// The paper's reason to exist: dynamic voting with the tie-break beats
+/// static voting, and the topological variant crushes both when copies
+/// share a segment (configuration A).
+#[test]
+fn headline_orderings_on_config_a() {
+    let row = row(&CONFIG_A);
+    let (mcv, dv, ldv, tdv) = (
+        cell(&row, "MCV").unavailability,
+        cell(&row, "DV").unavailability,
+        cell(&row, "LDV").unavailability,
+        cell(&row, "TDV").unavailability,
+    );
+    assert!(ldv < mcv, "LDV {ldv} must beat MCV {mcv}");
+    assert!(dv > ldv, "plain DV {dv} must lose to LDV {ldv} (ties)");
+    assert!(
+        tdv < ldv / 2.0,
+        "TDV {tdv} must crush LDV {ldv} with two co-segment copies"
+    );
+}
+
+/// The paper's cautionary tale: DV without a tie-break collapses on
+/// configuration F — the gateway's failure freezes a 2-2 tie for its
+/// two-week repair, producing unavailability near the gateway's own.
+#[test]
+fn dv_collapses_on_config_f() {
+    let row = row(&CONFIG_F);
+    let dv = cell(&row, "DV").unavailability;
+    let ldv = cell(&row, "LDV").unavailability;
+    assert!(
+        dv > 0.05,
+        "DV on F must be catastrophic (paper: 0.108), got {dv}"
+    );
+    assert!(
+        dv > 20.0 * ldv,
+        "the tie-break must be worth >20x on F: dv {dv}, ldv {ldv}"
+    );
+}
+
+/// Configuration D is everyone's worst row (three copies on the flaky
+/// subordinate segments), and even there the protocol ordering holds.
+#[test]
+fn config_d_is_bad_for_everyone_but_ordered() {
+    let row = row(&CONFIG_D);
+    for r in &row {
+        assert!(
+            r.unavailability > 0.01,
+            "{} on D should exceed 1%: {}",
+            r.policy,
+            r.unavailability
+        );
+    }
+    let mcv = cell(&row, "MCV").unavailability;
+    let dv = cell(&row, "DV").unavailability;
+    let ldv = cell(&row, "LDV").unavailability;
+    let tdv = cell(&row, "TDV").unavailability;
+    assert!(dv > mcv, "three copies: DV worse than MCV");
+    assert!(ldv < mcv);
+    assert!(tdv < ldv, "sites 7+8 share a segment: claiming helps");
+}
