@@ -203,6 +203,15 @@ pub fn decide(
     // lineage (see DESIGN.md, "the sequential-claim hazard"), leaving two
     // sites with equal operation numbers but different partition sets.
     // The decision then proceeds from the deterministic representative.
+    //
+    // This invariant holds even under lossy delivery and mid-operation
+    // crashes: a partially-delivered COMMIT installs its operation
+    // number only at sites that received it, and every other voter of
+    // that operation stays wedged on its outstanding vote (abstaining
+    // from later polls) until the commit reaches it or the vote is
+    // proven non-binding — so a given operation number is minted with
+    // exactly one partition set (see DESIGN.md, "Nemesis layer and the
+    // partial-commit hazard").
     debug_assert!(
         rule.topological
             || quorum_set

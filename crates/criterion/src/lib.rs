@@ -1,0 +1,194 @@
+//! Offline stand-in for the crates.io `criterion` crate (0.5 API
+//! subset).
+//!
+//! The build environment has no network access, so the workspace cannot
+//! fetch `criterion` from a registry. This crate implements the surface
+//! the `dynvote-bench` targets use — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`] and [`Bencher::iter`] — with a
+//! deliberately simple measurement loop: a short warm-up followed by a
+//! fixed time budget, reporting mean wall-clock time per iteration.
+//! There is no statistical analysis, no HTML report, and no comparison
+//! against saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            budget: Duration::from_millis(250),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs (reported as a
+    /// rate).
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Real criterion uses this as a statistical sample count; here it
+    /// only scales the per-benchmark time budget (smaller = quicker).
+    pub fn sample_size(&mut self, n: usize) {
+        self.budget = Duration::from_millis(25).saturating_mul(n.clamp(1, 100) as u32);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        bencher.report(&id.to_string(), self.throughput.as_ref());
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher, input);
+        bencher.report(&id.to_string(), self.throughput.as_ref());
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name combined with a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as real criterion renders it.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times the closure handed to it.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Runs `f` repeatedly — a short warm-up, then until the group's
+    /// time budget is spent — recording mean time per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = started.elapsed();
+    }
+
+    fn report(&self, id: &str, throughput: Option<&Throughput>) {
+        if self.iters == 0 {
+            println!("  {id}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        print!(
+            "  {id}: {:.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            self.iters
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                println!(", {:.0} elem/s", *n as f64 / per_iter);
+            }
+            Some(Throughput::Bytes(n)) => {
+                println!(", {:.0} B/s", *n as f64 / per_iter);
+            }
+            None => println!(),
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

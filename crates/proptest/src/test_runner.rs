@@ -1,0 +1,85 @@
+//! Case execution: configuration, seeding, and the per-case RNG.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies for one test case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// How many cases to run, and (unlike real proptest) nothing else.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases (ignores the
+    /// `PROPTEST_CASES` environment variable, matching real proptest).
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to give every property its own seed universe.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer for combining (test hash, case index, user seed).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `case` once per configured case with a deterministic,
+/// per-(test, index) seeded RNG.
+///
+/// Failures panic through (after the macro wrapper has printed the
+/// generated inputs); this function additionally names the case index
+/// and seed so the run can be reproduced in isolation.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    let user_seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0u64);
+    let base = fnv1a(test_name) ^ mix(user_seed);
+    for index in 0..config.cases {
+        let seed = mix(base ^ u64::from(index).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng);
+        }));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest: property {test_name} failed at case {index}/{} \
+                 (case seed {seed:#018x}); no shrinking in this offline \
+                 stand-in, inputs printed above",
+                config.cases
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}

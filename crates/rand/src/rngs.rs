@@ -1,0 +1,32 @@
+//! Concrete generator types.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator.
+///
+/// SplitMix64 (Steele, Lea & Flood 2014): a 64-bit counter advanced by
+/// the golden-ratio increment and finalized with two xor-shift-multiply
+/// rounds. Statistically strong for simulation purposes and trivially
+/// seedable — which is all this workspace asks of it.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    #[inline]
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}

@@ -4,14 +4,18 @@
 use dynvote_core::decision::Rule;
 use dynvote_core::lexicon::Lexicon;
 use dynvote_core::ops::{plan_with_witnesses, OpKind};
-use dynvote_core::state::StateTable;
+use dynvote_core::state::{ReplicaState, StateTable};
 use dynvote_topology::Network;
 use dynvote_types::{AccessError, AccessKind, SiteId, SiteSet};
 
+use crate::bus::{Bus, FaultRule, Verdict};
 use crate::checker::Checker;
 use crate::message::{Message, MessageKind, Trace};
 use crate::node::{Node, WitnessNode};
 use crate::snapshot::Snapshot;
+
+/// Default bound on delivery rounds per operation phase.
+const DEFAULT_MAX_ATTEMPTS: u32 = 3;
 
 /// Which consistency protocol the cluster runs.
 ///
@@ -240,6 +244,9 @@ impl ClusterBuilder {
             checker: Checker::new(),
             stats: OpStats::default(),
             history: Vec::new(),
+            bus: Bus::new(),
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            op_ticket: 0,
         }
     }
 
@@ -304,6 +311,59 @@ pub struct Cluster<T> {
     checker: Checker,
     stats: OpStats,
     history: Vec<CommittedOp>,
+    /// The fault surface every protocol message crosses.
+    bus: Bus,
+    /// Bound on delivery rounds per operation phase (poll retries,
+    /// per-participant commit retries, copy-transfer retries).
+    max_attempts: u32,
+    /// Cluster-wide monotonic operation ticket; outstanding votes are
+    /// keyed by it.
+    op_ticket: u64,
+}
+
+/// What the bus did with one dispatched message, as the coordinator's
+/// state machine sees it.
+enum Delivery {
+    /// The message reached its recipient in time.
+    Arrived,
+    /// The message will arrive, but after every on-time message of the
+    /// current phase — meaningful for `COMMIT` (reordering); for
+    /// anything awaited synchronously it is indistinguishable from
+    /// loss.
+    Late,
+    /// The message never arrived.
+    Lost,
+}
+
+/// The result of the START/STATE polling rounds.
+struct Poll {
+    table: StateTable,
+    /// Participants whose state reply arrived (origin included when it
+    /// answers itself).
+    heard: SiteSet,
+    /// Delivery rounds used.
+    attempts: u32,
+    /// Reachable, up participants that never answered: message-loss
+    /// victims or outstanding-vote abstainers — the coordinator cannot
+    /// tell which.
+    silent: SiteSet,
+    /// `false` when a fault killed the coordinator mid-poll.
+    origin_alive: bool,
+}
+
+/// Where a granted operation's `COMMIT` fanout actually landed.
+struct CommitOutcome {
+    applied: SiteSet,
+    missing: SiteSet,
+}
+
+/// Why a data-copy transfer failed.
+enum CopyFailure {
+    /// Messages kept getting lost (or the source died); the retry
+    /// budget ran out.
+    Timeout,
+    /// The requesting site itself died during the transfer.
+    RequesterDown,
 }
 
 impl<T: Clone> Cluster<T> {
@@ -508,27 +568,217 @@ impl<T: Clone> Cluster<T> {
         }
     }
 
+    // ---- message-fault surface ---------------------------------------------
+
+    /// The message-fault bus: injected rules and delivery statistics.
+    #[must_use]
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable access to the bus (inject/clear rules directly).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Injects a message-fault rule (see [`FaultRule`]).
+    pub fn inject_fault(&mut self, rule: FaultRule) {
+        self.bus.inject(rule);
+    }
+
+    /// Removes every message-fault rule; delivery is perfect again.
+    /// Sites already wedged by an outstanding vote stay wedged until
+    /// the interrupted operation resolves (commit retry by a later
+    /// operation, or [`Cluster::recover`] at the site).
+    pub fn clear_message_faults(&mut self) {
+        self.bus.clear();
+    }
+
+    /// Bounds how many delivery rounds each operation phase may use
+    /// before giving up (minimum 1; default 3).
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        self.max_attempts = attempts.max(1);
+    }
+
+    /// The per-phase delivery-round bound.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Participants currently holding an outstanding vote: they
+    /// answered a `START` for an operation whose outcome they have not
+    /// seen, and abstain from every other operation until it resolves.
+    #[must_use]
+    pub fn pending_sites(&self) -> SiteSet {
+        let mut set = SiteSet::EMPTY;
+        for node in &self.nodes {
+            if node.pending().is_some() {
+                set.insert(node.id());
+            }
+        }
+        for witness in &self.witness_nodes {
+            if witness.pending().is_some() {
+                set.insert(witness.id());
+            }
+        }
+        set
+    }
+
+    fn participant_pending(&self, site: SiteId) -> Option<u64> {
+        if self.copies.contains(site) {
+            self.node(site).pending()
+        } else {
+            self.witness_node(site).pending()
+        }
+    }
+
+    fn set_participant_pending(&mut self, site: SiteId, ticket: u64) {
+        if self.copies.contains(site) {
+            self.node_mut(site).set_pending(ticket);
+        } else {
+            self.witness_node_mut(site).set_pending(ticket);
+        }
+    }
+
+    /// Releases every outstanding vote for `ticket` except at the
+    /// sites in `keep` — the abort oracle: a replier whose vote is
+    /// *provably* non-binding (the operation was refused or aborted,
+    /// or its reply was never counted and it did not become a
+    /// participant) times out and frees itself. Participants whose
+    /// `COMMIT` may still be outstanding are in `keep` and stay
+    /// wedged.
+    fn release_pending(&mut self, ticket: u64, keep: SiteSet) {
+        for node in &mut self.nodes {
+            if node.pending() == Some(ticket) && !keep.contains(node.id()) {
+                node.clear_pending();
+            }
+        }
+        for witness in &mut self.witness_nodes {
+            if witness.pending() == Some(ticket) && !keep.contains(witness.id()) {
+                witness.clear_pending();
+            }
+        }
+    }
+
+    fn next_ticket(&mut self) -> u64 {
+        self.op_ticket += 1;
+        self.op_ticket
+    }
+
     // ---- the protocol rounds -----------------------------------------------
 
-    /// START: broadcast, collect state replies from reachable copies,
-    /// and assemble the coordinator's view.
-    fn start(&mut self, origin: SiteId, group: SiteSet) -> StateTable {
-        // "A message is broadcast to all sites" — one START per
-        // participant other than the origin (lost if unreachable or
-        // down).
-        let participants = self.participants();
-        for site in (participants.without(origin)).iter() {
-            self.trace.record(Message {
-                from: origin,
-                to: site,
-                kind: MessageKind::StartRequest,
-            });
+    /// Sends one message through the bus: records the wire copy (and a
+    /// duplicate's second copy) on the trace, applies crash
+    /// side-effects, and reports what the recipient saw. Only called
+    /// for recipients that are up and reachable — losses from the
+    /// failure model itself never involve the bus.
+    fn dispatch(&mut self, message: Message) -> Delivery {
+        let (from, to) = (message.from, message.to);
+        self.trace.record(message.clone());
+        match self.bus.decide(&message) {
+            Verdict::Deliver => Delivery::Arrived,
+            Verdict::Duplicate => {
+                // Two wire copies, processed once: handlers are keyed
+                // by the operation ticket, so the second is ignored.
+                self.trace.record(message);
+                Delivery::Arrived
+            }
+            Verdict::Delay => Delivery::Late,
+            Verdict::Drop => Delivery::Lost,
+            Verdict::CrashRecipient => {
+                // The recipient dies *before* processing: the message
+                // was sent (it is on the trace) but never takes
+                // effect.
+                self.fail_site(to);
+                Delivery::Lost
+            }
+            Verdict::CrashSender => {
+                // Delivered normally — then the sender dies.
+                self.fail_site(from);
+                Delivery::Arrived
+            }
         }
+    }
+
+    /// START/STATE polling with bounded retry: broadcast, collect the
+    /// replies that actually arrive, re-poll the silent, give up after
+    /// [`Cluster::max_attempts`] rounds. `mark_pending` (dynamic
+    /// protocols) makes every replier record an outstanding vote for
+    /// `ticket`; a site already holding an outstanding vote for a
+    /// *different* ticket abstains — to the coordinator it is
+    /// indistinguishable from a down site.
+    fn poll_phase(
+        &mut self,
+        origin: SiteId,
+        group: SiteSet,
+        ticket: u64,
+        mark_pending: bool,
+    ) -> Poll {
+        let participants = self.participants();
         let mut table = StateTable::fresh(participants);
-        for site in (group & participants).iter() {
-            let state = self.participant_state(site);
-            if site != origin {
-                self.trace.record(Message {
+        let mut heard = SiteSet::EMPTY;
+        if participants.contains(origin) {
+            match self.participant_pending(origin) {
+                // The origin holds an outstanding vote for another
+                // operation: it abstains even from itself, exactly as
+                // it would ignore a remote START.
+                Some(t) if t != ticket => {}
+                _ => {
+                    table.set(origin, self.participant_state(origin));
+                    heard.insert(origin);
+                }
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            let targets = ((group & participants & self.up) - heard).without(origin);
+            if attempts >= self.max_attempts || (attempts > 0 && targets.is_empty()) {
+                break;
+            }
+            // Round one: "a message is broadcast to all sites" — one
+            // START per participant, lost outright when the site is
+            // down or unreachable. Retries re-poll only the silent
+            // reachable sites.
+            let broadcast = if attempts == 0 {
+                participants.without(origin)
+            } else {
+                targets
+            };
+            attempts += 1;
+            for site in broadcast.iter() {
+                if !self.up.contains(origin) {
+                    break;
+                }
+                let start = Message {
+                    from: origin,
+                    to: site,
+                    kind: MessageKind::StartRequest,
+                };
+                if !targets.contains(site) {
+                    // Down or unreachable: lost by the failure model,
+                    // not the bus — but it was sent, so it is traced.
+                    self.trace.record(start);
+                    continue;
+                }
+                if !matches!(self.dispatch(start), Delivery::Arrived) {
+                    continue;
+                }
+                if !self.up.contains(origin) {
+                    break; // a sender-crash fault killed the origin
+                }
+                match self.participant_pending(site) {
+                    // Outstanding vote for a different operation: the
+                    // site abstains. Re-polls of the *same* ticket are
+                    // answered (the coordinator lost the first reply).
+                    Some(t) if t != ticket => continue,
+                    _ => {}
+                }
+                if mark_pending {
+                    self.set_participant_pending(site, ticket);
+                }
+                let state = self.participant_state(site);
+                let reply = Message {
                     from: site,
                     to: origin,
                     kind: MessageKind::StateReply {
@@ -536,17 +786,84 @@ impl<T: Clone> Cluster<T> {
                         version: state.version,
                         partition: state.partition,
                     },
-                });
+                };
+                if matches!(self.dispatch(reply), Delivery::Arrived) && self.up.contains(origin) {
+                    heard.insert(site);
+                    table.set(site, state);
+                }
             }
-            table.set(site, state);
+            if !self.up.contains(origin) {
+                break;
+            }
         }
-        table
+        let silent = ((group & participants & self.up) - heard).without(origin);
+        Poll {
+            table,
+            heard,
+            attempts,
+            silent,
+            origin_alive: self.up.contains(origin),
+        }
     }
 
-    fn send_commit(&mut self, origin: SiteId, participants: SiteSet, op: u64, version: u64) {
-        for site in participants.iter() {
-            if site != origin {
-                self.trace.record(Message {
+    /// Installs one commit at a participant: control state, the write
+    /// value when one rides the commit, and release of the site's
+    /// outstanding vote — receiving the `COMMIT` is how a voter learns
+    /// its operation resolved.
+    fn apply_commit_at(
+        &mut self,
+        site: SiteId,
+        op: u64,
+        version: u64,
+        partition: SiteSet,
+        value: Option<&T>,
+    ) {
+        if self.copies.contains(site) {
+            let node = self.node_mut(site);
+            node.apply_commit(op, version, partition);
+            if let Some(value) = value {
+                node.store(value.clone());
+            }
+            node.clear_pending();
+        } else {
+            let witness = self.witness_node_mut(site);
+            witness.apply_commit(op, version, partition);
+            witness.clear_pending();
+        }
+    }
+
+    /// COMMIT fanout with bounded per-participant retry. The
+    /// coordinator installs its own commit first, then sends one
+    /// `COMMIT` per other participant, retrying losses up to
+    /// [`Cluster::max_attempts`] times. Delayed commits arrive after
+    /// every on-time one (reordering); a participant that dies, or
+    /// whose retries run out, ends up in `missing` — and, having
+    /// voted, stays wedged on its outstanding vote.
+    fn commit_phase(
+        &mut self,
+        origin: SiteId,
+        participants: SiteSet,
+        op: u64,
+        version: u64,
+        value: Option<&T>,
+    ) -> CommitOutcome {
+        let mut applied = SiteSet::EMPTY;
+        let mut missing = SiteSet::EMPTY;
+        let mut late = Vec::new();
+        if participants.contains(origin) {
+            self.apply_commit_at(origin, op, version, participants, value);
+            applied.insert(origin);
+        }
+        for site in participants.without(origin).iter() {
+            if !self.up.contains(origin) {
+                // The coordinator died mid-fanout: the remaining
+                // commits were never sent.
+                missing.insert(site);
+                continue;
+            }
+            let mut delivery = None;
+            for _ in 0..self.max_attempts {
+                let commit = Message {
                     from: origin,
                     to: site,
                     kind: MessageKind::Commit {
@@ -554,16 +871,108 @@ impl<T: Clone> Cluster<T> {
                         version,
                         partition: participants,
                     },
-                });
+                };
+                if !self.up.contains(site) {
+                    // The participant died after voting: the commit
+                    // goes into the void (traced, not bus-faulted).
+                    self.trace.record(commit);
+                    break;
+                }
+                match self.dispatch(commit) {
+                    Delivery::Arrived => {
+                        delivery = Some(Delivery::Arrived);
+                        break;
+                    }
+                    Delivery::Late => {
+                        delivery = Some(Delivery::Late);
+                        break;
+                    }
+                    Delivery::Lost => {} // retry
+                }
             }
-            if self.copies.contains(site) {
-                self.node_mut(site).apply_commit(op, version, participants);
-            } else {
-                self.witness_node_mut(site)
-                    .apply_commit(op, version, participants);
+            match delivery {
+                Some(Delivery::Late) => late.push(site),
+                Some(_) => {
+                    self.apply_commit_at(site, op, version, participants, value);
+                    applied.insert(site);
+                }
+                None => {
+                    missing.insert(site);
+                }
             }
         }
-        self.checker.note_commit(op, participants);
+        // Delayed commits land after the on-time ones — reordered but
+        // still within the operation's horizon.
+        for site in late {
+            self.apply_commit_at(site, op, version, participants, value);
+            applied.insert(site);
+        }
+        CommitOutcome { applied, missing }
+    }
+
+    /// Moves the file from `source` to `requester` through the bus:
+    /// one request/reply pair per attempt.
+    fn transfer_copy(&mut self, requester: SiteId, source: SiteId) -> Result<T, CopyFailure> {
+        if requester == source {
+            return Ok(self.node(source).fetch());
+        }
+        for _ in 0..self.max_attempts {
+            if !self.up.contains(requester) {
+                return Err(CopyFailure::RequesterDown);
+            }
+            if !self.up.contains(source) {
+                break;
+            }
+            let request = Message {
+                from: requester,
+                to: source,
+                kind: MessageKind::CopyRequest,
+            };
+            if !matches!(self.dispatch(request), Delivery::Arrived) {
+                continue;
+            }
+            if !self.up.contains(requester) {
+                return Err(CopyFailure::RequesterDown);
+            }
+            let value = self.node(source).fetch();
+            let reply = Message {
+                from: source,
+                to: requester,
+                kind: MessageKind::CopyReply,
+            };
+            if matches!(self.dispatch(reply), Delivery::Arrived) {
+                if !self.up.contains(requester) {
+                    return Err(CopyFailure::RequesterDown);
+                }
+                return Ok(value);
+            }
+            if !self.up.contains(requester) {
+                return Err(CopyFailure::RequesterDown);
+            }
+        }
+        Err(CopyFailure::Timeout)
+    }
+
+    /// Maps a quorum refusal to [`AccessError::Timeout`] when
+    /// reachable participants stayed silent: lost messages and
+    /// outstanding-vote abstentions look identical from the
+    /// coordinator's side, so it cannot honestly blame a partition.
+    fn timeout_or(
+        &self,
+        refusal: AccessError,
+        kind: AccessKind,
+        origin: SiteId,
+        poll: &Poll,
+    ) -> AccessError {
+        if poll.silent.is_empty() {
+            refusal
+        } else {
+            AccessError::Timeout {
+                kind,
+                origin,
+                attempts: poll.attempts,
+            }
+        }
     }
 
     fn origin_group(&self, origin: SiteId, kind: AccessKind) -> Result<SiteSet, AccessError> {
@@ -586,14 +995,17 @@ impl<T: Clone> Cluster<T> {
         match &self.rule {
             None => self.mcv_grants(group & self.copies),
             Some(rule) => {
+                // Sites wedged on an outstanding vote would not answer
+                // a real poll, so the probe must not count them.
+                let answering = group - self.pending_sites();
                 let participants = self.participants();
                 let mut table = StateTable::fresh(participants);
-                for site in (group & participants).iter() {
+                for site in (answering & participants).iter() {
                     table.set(site, self.participant_state(site));
                 }
                 dynvote_core::ops::plan_with_witnesses(
                     OpKind::Read,
-                    group,
+                    answering,
                     self.copies,
                     self.witnesses,
                     &table,
@@ -636,13 +1048,16 @@ impl<T: Clone> Cluster<T> {
                 ))
             }
             Some(rule) => {
+                // Wedged sites abstain: the explanation reflects the
+                // replies a real poll would collect.
+                let answering = group - self.pending_sites();
                 let participants = self.participants();
                 let mut table = StateTable::fresh(participants);
-                for site in (group & participants).iter() {
+                for site in (answering & participants).iter() {
                     table.set(site, self.participant_state(site));
                 }
                 let decision = dynvote_core::decision::decide(
-                    group,
+                    answering,
                     participants,
                     &table,
                     rule,
@@ -678,27 +1093,67 @@ impl<T: Clone> Cluster<T> {
         group: SiteSet,
         rule: &Rule,
     ) -> Result<T, AccessError> {
-        let table = self.start(origin, group);
-        let p = plan_with_witnesses(
+        let ticket = self.next_ticket();
+        let poll = self.poll_phase(origin, group, ticket, true);
+        if !poll.origin_alive {
+            self.release_pending(ticket, SiteSet::EMPTY);
+            return Err(AccessError::OriginUnavailable { origin });
+        }
+        let p = match plan_with_witnesses(
             OpKind::Read,
-            group,
+            poll.heard,
             self.copies,
             self.witnesses,
-            &table,
+            &poll.table,
             rule,
             Some(&self.network),
-        )?;
-        let value = self.fetch_from(origin, p.data_source);
-        self.send_commit(origin, p.participants, p.new_op, p.new_version);
-        self.checker.note_read(p.new_version);
-        self.record_op(CommittedOp {
-            kind: AccessKind::Read,
-            origin,
-            op: p.new_op,
-            version: p.new_version,
-            participants: p.participants,
-        });
-        Ok(value)
+        ) {
+            Ok(p) => p,
+            Err(refusal) => {
+                self.release_pending(ticket, SiteSet::EMPTY);
+                return Err(self.timeout_or(refusal, AccessKind::Read, origin, &poll));
+            }
+        };
+        let value = match self.transfer_copy(origin, p.data_source) {
+            Ok(value) => value,
+            Err(failure) => {
+                self.release_pending(ticket, SiteSet::EMPTY);
+                return Err(match failure {
+                    CopyFailure::RequesterDown => AccessError::OriginUnavailable { origin },
+                    CopyFailure::Timeout => AccessError::Timeout {
+                        kind: AccessKind::Read,
+                        origin,
+                        attempts: self.max_attempts,
+                    },
+                });
+            }
+        };
+        let outcome = self.commit_phase(origin, p.participants, p.new_op, p.new_version, None);
+        if !outcome.applied.is_empty() {
+            self.checker.note_commit(p.new_op, p.participants);
+        }
+        self.release_pending(ticket, outcome.missing);
+        if outcome.missing.is_empty() {
+            self.checker.note_read(p.new_version);
+            self.record_op(CommittedOp {
+                kind: AccessKind::Read,
+                origin,
+                op: p.new_op,
+                version: p.new_version,
+                participants: p.participants,
+            });
+            Ok(value)
+        } else {
+            // The absorption commit did not close everywhere: serving
+            // the value would claim a success the cluster cannot stand
+            // behind. The value is discarded.
+            Err(AccessError::Indeterminate {
+                kind: AccessKind::Read,
+                origin,
+                applied: outcome.applied,
+                missing: outcome.missing,
+            })
+        }
     }
 
     /// WRITE (Figure 2 / Figure 6): replaces the value.
@@ -727,29 +1182,59 @@ impl<T: Clone> Cluster<T> {
         value: T,
         rule: &Rule,
     ) -> Result<(), AccessError> {
-        let table = self.start(origin, group);
-        let p = plan_with_witnesses(
+        let ticket = self.next_ticket();
+        let poll = self.poll_phase(origin, group, ticket, true);
+        if !poll.origin_alive {
+            self.release_pending(ticket, SiteSet::EMPTY);
+            return Err(AccessError::OriginUnavailable { origin });
+        }
+        let p = match plan_with_witnesses(
             OpKind::Write,
-            group,
+            poll.heard,
             self.copies,
             self.witnesses,
-            &table,
+            &poll.table,
             rule,
             Some(&self.network),
-        )?;
-        for site in (p.participants & self.copies).iter() {
-            self.node_mut(site).store(value.clone());
-        }
-        self.send_commit(origin, p.participants, p.new_op, p.new_version);
-        self.checker.note_write(p.new_version);
-        self.record_op(CommittedOp {
-            kind: AccessKind::Write,
+        ) {
+            Ok(p) => p,
+            Err(refusal) => {
+                self.release_pending(ticket, SiteSet::EMPTY);
+                return Err(self.timeout_or(refusal, AccessKind::Write, origin, &poll));
+            }
+        };
+        // The value rides the COMMIT: a copy that never receives the
+        // commit keeps its old data — that is the partial-commit
+        // divergence this layer exists to exercise.
+        let outcome = self.commit_phase(
             origin,
-            op: p.new_op,
-            version: p.new_version,
-            participants: p.participants,
-        });
-        Ok(())
+            p.participants,
+            p.new_op,
+            p.new_version,
+            Some(&value),
+        );
+        if !outcome.applied.is_empty() {
+            self.checker.note_commit(p.new_op, p.participants);
+        }
+        self.release_pending(ticket, outcome.missing);
+        if outcome.missing.is_empty() {
+            self.checker.note_write(p.new_version);
+            self.record_op(CommittedOp {
+                kind: AccessKind::Write,
+                origin,
+                op: p.new_op,
+                version: p.new_version,
+                participants: p.participants,
+            });
+            Ok(())
+        } else {
+            Err(AccessError::Indeterminate {
+                kind: AccessKind::Write,
+                origin,
+                applied: outcome.applied,
+                missing: outcome.missing,
+            })
+        }
     }
 
     /// RECOVER (Figure 3 / Figure 7): reintegrates the (repaired)
@@ -779,55 +1264,103 @@ impl<T: Clone> Cluster<T> {
             return Ok(());
         };
         let group = self.origin_group(site, AccessKind::Recover)?;
-        let table = self.start(site, group);
-        let p = plan_with_witnesses(
+        let ticket = self.next_ticket();
+        let was_wedged = self.participant_pending(site).is_some_and(|t| t != ticket);
+        let mut poll = self.poll_phase(site, group, ticket, true);
+        if !poll.origin_alive {
+            self.release_pending(ticket, SiteSet::EMPTY);
+            return Err(AccessError::OriginUnavailable { origin: site });
+        }
+        if was_wedged {
+            // A recovering site with an outstanding vote cannot trust
+            // its own stored state: its vote may have elected a
+            // partition it never saw committed. It needs at least one
+            // real reply, and joins the plan as a blank slate — op 0
+            // never enters the quorum computation, version 0 forces a
+            // data copy.
+            if poll.heard.is_empty() {
+                self.release_pending(ticket, SiteSet::EMPTY);
+                return Err(self.timeout_or(
+                    AccessError::NoQuorum {
+                        kind: AccessKind::Recover,
+                        reachable: poll.heard,
+                        counted: 0,
+                        against: self.participant_state(site).partition,
+                    },
+                    AccessKind::Recover,
+                    site,
+                    &poll,
+                ));
+            }
+            poll.table.set(
+                site,
+                ReplicaState {
+                    op: 0,
+                    version: 0,
+                    partition: SiteSet::EMPTY,
+                },
+            );
+            poll.heard.insert(site);
+        }
+        let p = match plan_with_witnesses(
             OpKind::Recover(site),
-            group,
+            poll.heard,
             self.copies,
             self.witnesses,
-            &table,
+            &poll.table,
             &rule,
             Some(&self.network),
-        )?;
+        ) {
+            Ok(p) => p,
+            Err(refusal) => {
+                self.release_pending(ticket, SiteSet::EMPTY);
+                return Err(self.timeout_or(refusal, AccessKind::Recover, site, &poll));
+            }
+        };
         if p.copy_needed {
-            self.trace.record(Message {
-                from: site,
-                to: p.data_source,
-                kind: MessageKind::CopyRequest,
-            });
-            self.trace.record(Message {
-                from: p.data_source,
-                to: site,
-                kind: MessageKind::CopyReply,
-            });
-            let value = self.node(p.data_source).fetch();
-            self.node_mut(site).store(value);
+            match self.transfer_copy(site, p.data_source) {
+                Ok(value) => self.node_mut(site).store(value),
+                Err(failure) => {
+                    self.release_pending(ticket, SiteSet::EMPTY);
+                    return Err(match failure {
+                        CopyFailure::RequesterDown => {
+                            AccessError::OriginUnavailable { origin: site }
+                        }
+                        CopyFailure::Timeout => AccessError::Timeout {
+                            kind: AccessKind::Recover,
+                            origin: site,
+                            attempts: self.max_attempts,
+                        },
+                    });
+                }
+            }
         }
-        self.send_commit(site, p.participants, p.new_op, p.new_version);
-        self.record_op(CommittedOp {
-            kind: AccessKind::Recover,
-            origin: site,
-            op: p.new_op,
-            version: p.new_version,
-            participants: p.participants,
-        });
-        Ok(())
-    }
-
-    fn fetch_from(&mut self, origin: SiteId, source: SiteId) -> T {
-        if source != origin {
-            self.trace.record(Message {
-                from: origin,
-                to: source,
-                kind: MessageKind::CopyRequest,
-            });
-            self.trace.record(Message {
-                from: source,
-                to: origin,
-                kind: MessageKind::CopyReply,
-            });
+        // A granted RECOVER absorbs the site into the current lineage:
+        // installing the commit locally (the origin is always a
+        // participant of its own recovery) also releases any older
+        // outstanding vote it was wedged on.
+        let outcome = self.commit_phase(site, p.participants, p.new_op, p.new_version, None);
+        if !outcome.applied.is_empty() {
+            self.checker.note_commit(p.new_op, p.participants);
         }
-        self.node(source).fetch()
+        self.release_pending(ticket, outcome.missing);
+        if outcome.missing.is_empty() {
+            self.record_op(CommittedOp {
+                kind: AccessKind::Recover,
+                origin: site,
+                op: p.new_op,
+                version: p.new_version,
+                participants: p.participants,
+            });
+            Ok(())
+        } else {
+            Err(AccessError::Indeterminate {
+                kind: AccessKind::Recover,
+                origin: site,
+                applied: outcome.applied,
+                missing: outcome.missing,
+            })
+        }
     }
 
     // ---- the MCV paths -----------------------------------------------------
@@ -846,71 +1379,148 @@ impl<T: Clone> Cluster<T> {
                 .is_some_and(|max| reachable.contains(max))
     }
 
-    fn mcv_view(&mut self, origin: SiteId, group: SiteSet) -> (SiteSet, u64) {
-        let table = self.start(origin, group);
-        let reachable = group & self.copies;
-        let (version, _) = table.max_version(reachable).unwrap_or((0, SiteSet::EMPTY));
-        (reachable, version)
+    /// MCV polling: static quorums need no outstanding-vote wedging —
+    /// a partial write can never shrink anyone's quorum, so repliers
+    /// are free the moment they answer.
+    fn mcv_view(&mut self, origin: SiteId, group: SiteSet) -> (Poll, SiteSet, u64) {
+        let ticket = self.next_ticket();
+        let poll = self.poll_phase(origin, group, ticket, false);
+        let reachable = poll.heard & self.copies;
+        let (version, _) = poll
+            .table
+            .max_version(reachable)
+            .unwrap_or((0, SiteSet::EMPTY));
+        (poll, reachable, version)
     }
 
     fn mcv_read(&mut self, origin: SiteId, group: SiteSet) -> Result<T, AccessError> {
-        let (reachable, version) = self.mcv_view(origin, group);
+        let (poll, reachable, version) = self.mcv_view(origin, group);
+        if !poll.origin_alive {
+            return Err(AccessError::OriginUnavailable { origin });
+        }
         if !self.mcv_grants(reachable) {
-            return Err(AccessError::NoQuorum {
-                kind: AccessKind::Read,
-                reachable,
-                counted: reachable.len(),
-                against: self.copies,
-            });
+            return Err(self.timeout_or(
+                AccessError::NoQuorum {
+                    kind: AccessKind::Read,
+                    reachable,
+                    counted: reachable.len(),
+                    against: self.copies,
+                },
+                AccessKind::Read,
+                origin,
+                &poll,
+            ));
         }
         let source = reachable
             .iter()
             .find(|&s| self.node(s).state().version == version)
             .expect("a max-version copy exists");
-        let value = self.fetch_from(origin, source);
-        self.checker.note_read(version);
-        Ok(value)
+        match self.transfer_copy(origin, source) {
+            Ok(value) => {
+                self.checker.note_read(version);
+                Ok(value)
+            }
+            Err(CopyFailure::RequesterDown) => Err(AccessError::OriginUnavailable { origin }),
+            Err(CopyFailure::Timeout) => Err(AccessError::Timeout {
+                kind: AccessKind::Read,
+                origin,
+                attempts: self.max_attempts,
+            }),
+        }
     }
 
     fn mcv_write(&mut self, origin: SiteId, group: SiteSet, value: T) -> Result<(), AccessError> {
-        let (reachable, version) = self.mcv_view(origin, group);
+        let (poll, reachable, version) = self.mcv_view(origin, group);
+        if !poll.origin_alive {
+            return Err(AccessError::OriginUnavailable { origin });
+        }
         if !self.mcv_grants(reachable) {
-            return Err(AccessError::NoQuorum {
-                kind: AccessKind::Write,
-                reachable,
-                counted: reachable.len(),
-                against: self.copies,
-            });
+            return Err(self.timeout_or(
+                AccessError::NoQuorum {
+                    kind: AccessKind::Write,
+                    reachable,
+                    counted: reachable.len(),
+                    against: self.copies,
+                },
+                AccessKind::Write,
+                origin,
+                &poll,
+            ));
         }
         let new_version = version + 1;
         let copies = self.copies;
-        // Gifford: the write goes to every reachable representative.
-        for site in reachable.iter() {
-            self.node_mut(site).store(value.clone());
-            let state = self.node(site).state();
-            if site != origin {
-                self.trace.record(Message {
+        let mut applied = SiteSet::EMPTY;
+        let mut missing = SiteSet::EMPTY;
+        // Gifford: the write goes to every reachable representative,
+        // each keeping its own operation number. The value and the
+        // version stamp ride each site's commit.
+        if reachable.contains(origin) {
+            let op = self.node(origin).state().op;
+            let node = self.node_mut(origin);
+            node.store(value.clone());
+            node.apply_commit(op, new_version, copies);
+            applied.insert(origin);
+        }
+        for site in reachable.without(origin).iter() {
+            if !self.up.contains(origin) {
+                missing.insert(site);
+                continue;
+            }
+            let op = self.node(site).state().op;
+            let mut delivered = false;
+            for _ in 0..self.max_attempts {
+                let commit = Message {
                     from: origin,
                     to: site,
                     kind: MessageKind::Commit {
-                        op: state.op,
+                        op,
                         version: new_version,
                         partition: copies,
                     },
-                });
+                };
+                if !self.up.contains(site) {
+                    self.trace.record(commit);
+                    break;
+                }
+                match self.dispatch(commit) {
+                    // A delayed commit still lands within the
+                    // operation — identical final state.
+                    Delivery::Arrived | Delivery::Late => {
+                        delivered = true;
+                        break;
+                    }
+                    Delivery::Lost => {}
+                }
             }
-            self.node_mut(site)
-                .apply_commit(state.op, new_version, copies);
+            if delivered {
+                let node = self.node_mut(site);
+                node.store(value.clone());
+                node.apply_commit(op, new_version, copies);
+                applied.insert(site);
+            } else {
+                missing.insert(site);
+            }
         }
-        self.checker.note_write(new_version);
-        self.record_op(CommittedOp {
-            kind: AccessKind::Write,
-            origin,
-            op: 0, // MCV keeps no operation numbers
-            version: new_version,
-            participants: reachable,
-        });
-        Ok(())
+        if missing.is_empty() {
+            self.checker.note_write(new_version);
+            self.record_op(CommittedOp {
+                kind: AccessKind::Write,
+                origin,
+                op: 0, // MCV keeps no operation numbers
+                version: new_version,
+                participants: reachable,
+            });
+            Ok(())
+        } else {
+            // The write quorum never fully acknowledged: the client
+            // must not treat the write as done (nor as undone).
+            Err(AccessError::Indeterminate {
+                kind: AccessKind::Write,
+                origin,
+                applied,
+                missing,
+            })
+        }
     }
 }
 

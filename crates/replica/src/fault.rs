@@ -2,6 +2,7 @@
 
 use dynvote_types::{SiteId, SiteSet};
 
+use crate::bus::FaultRule;
 use crate::cluster::Cluster;
 
 /// One fault-surface action.
@@ -15,6 +16,11 @@ pub enum FaultOp {
     Partition(Vec<SiteSet>),
     /// Remove a forced partition.
     Heal,
+    /// Arm a message-fault rule on the cluster's bus.
+    Inject(FaultRule),
+    /// Disarm every message-fault rule (wedged sites stay wedged —
+    /// only the interrupted operation's resolution frees them).
+    DeliverAll,
 }
 
 /// Drives a [`Cluster`] through fault schedules.
@@ -42,12 +48,18 @@ impl FaultInjector {
             FaultOp::Repair(site) => cluster.repair_site(*site),
             FaultOp::Partition(groups) => cluster.force_partition(groups.clone()),
             FaultOp::Heal => cluster.heal_partition(),
+            FaultOp::Inject(rule) => cluster.inject_fault(rule.clone()),
+            FaultOp::DeliverAll => cluster.clear_message_faults(),
         }
         self.applied.push(op);
     }
 
     /// Applies a whole schedule in order.
-    pub fn run_script<T: Clone>(&mut self, cluster: &mut Cluster<T>, script: Vec<FaultOp>) {
+    pub fn run_script<T: Clone>(
+        &mut self,
+        cluster: &mut Cluster<T>,
+        script: impl IntoIterator<Item = FaultOp>,
+    ) {
         for op in script {
             self.apply(cluster, op);
         }
@@ -82,6 +94,45 @@ mod tests {
         );
         assert_eq!(cluster.up_sites(), SiteSet::from_indices([0, 1]));
         assert_eq!(inj.history().len(), 3);
+    }
+
+    #[test]
+    fn script_accepts_any_iterator() {
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(Protocol::Ldv)
+            .build_with_value(0u32);
+        let mut inj = FaultInjector::new();
+        // An array and a mapped iterator, not just Vec.
+        inj.run_script(&mut cluster, [FaultOp::Fail(SiteId::new(2))]);
+        inj.run_script(
+            &mut cluster,
+            (0..2).map(|i| FaultOp::Repair(SiteId::new(i))),
+        );
+        assert_eq!(cluster.up_sites(), SiteSet::from_indices([0, 1]));
+    }
+
+    #[test]
+    fn inject_and_deliver_all_reach_the_bus() {
+        use crate::bus::{FaultAction, MessageClass};
+
+        let mut cluster = ClusterBuilder::new()
+            .copies([0, 1, 2])
+            .protocol(Protocol::Ldv)
+            .build_with_value(0u32);
+        let mut inj = FaultInjector::new();
+        inj.apply(
+            &mut cluster,
+            FaultOp::Inject(FaultRule::once(
+                MessageClass::Commit,
+                SiteId::new(2),
+                FaultAction::Drop,
+            )),
+        );
+        assert_eq!(cluster.bus().rules().len(), 1);
+        inj.apply(&mut cluster, FaultOp::DeliverAll);
+        assert!(cluster.bus().rules().is_empty());
+        assert_eq!(inj.history().len(), 2);
     }
 
     #[test]

@@ -39,20 +39,24 @@
 //! assert!(cluster.checker().violations().is_empty());
 //! ```
 
+pub mod bus;
 pub mod checker;
 pub mod cluster;
 pub mod directory;
 pub mod fault;
 pub mod message;
+pub mod nemesis;
 pub mod node;
 pub mod scenario;
 pub mod snapshot;
 
+pub use bus::{Bus, BusStats, FaultAction, FaultRule, MessageClass, Verdict};
 pub use checker::{Checker, Violation};
 pub use cluster::{Cluster, ClusterBuilder, CommittedOp, OpStats, Protocol};
 pub use directory::{Directory, DirectoryError};
 pub use fault::{FaultInjector, FaultOp};
 pub use message::{Message, MessageKind, Trace};
+pub use nemesis::{run_nemesis, NemesisProfile, NemesisReport};
 pub use node::{Node, WitnessNode};
 pub use scenario::{Command, ScenarioError};
 pub use snapshot::Snapshot;

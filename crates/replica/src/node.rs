@@ -18,6 +18,7 @@ pub struct Node<T> {
     up: bool,
     state: ReplicaState,
     data: T,
+    pending: Option<u64>,
 }
 
 impl<T: Clone> Node<T> {
@@ -30,6 +31,7 @@ impl<T: Clone> Node<T> {
             up: true,
             state: ReplicaState::initial(all_copies),
             data: initial,
+            pending: None,
         }
     }
 
@@ -83,6 +85,26 @@ impl<T: Clone> Node<T> {
     pub fn fetch(&self) -> T {
         self.data.clone()
     }
+
+    /// The operation ticket this node has voted for but not yet seen
+    /// resolved, if any. A pending node abstains from other operations
+    /// — its earlier vote may still be binding. Pending survives
+    /// fail/repair (stable storage), like the rest of the state.
+    #[must_use]
+    pub fn pending(&self) -> Option<u64> {
+        self.pending
+    }
+
+    /// Marks the node as holding an outstanding vote for `ticket`.
+    pub fn set_pending(&mut self, ticket: u64) {
+        self.pending = Some(ticket);
+    }
+
+    /// Releases the outstanding vote (commit delivered, operation
+    /// aborted, or the vote was proven non-binding).
+    pub fn clear_pending(&mut self) {
+        self.pending = None;
+    }
 }
 
 /// A witness replica: consistency-control state and liveness, **no
@@ -96,6 +118,7 @@ pub struct WitnessNode {
     id: SiteId,
     up: bool,
     state: ReplicaState,
+    pending: Option<u64>,
 }
 
 impl WitnessNode {
@@ -106,6 +129,7 @@ impl WitnessNode {
             id,
             up: true,
             state: ReplicaState::initial(all_participants),
+            pending: None,
         }
     }
 
@@ -144,6 +168,23 @@ impl WitnessNode {
             version,
             partition,
         };
+    }
+
+    /// The operation ticket this witness has voted for but not yet
+    /// seen resolved, if any (see [`Node::pending`]).
+    #[must_use]
+    pub fn pending(&self) -> Option<u64> {
+        self.pending
+    }
+
+    /// Marks the witness as holding an outstanding vote for `ticket`.
+    pub fn set_pending(&mut self, ticket: u64) {
+        self.pending = Some(ticket);
+    }
+
+    /// Releases the outstanding vote.
+    pub fn clear_pending(&mut self) {
+        self.pending = None;
     }
 }
 
@@ -187,6 +228,28 @@ mod tests {
         assert!(n.is_up());
         assert_eq!(n.state().op, 5, "stable storage survives the crash");
         assert_eq!(n.fetch(), "y");
+    }
+
+    #[test]
+    fn pending_survives_fail_repair() {
+        let mut n = Node::new(SiteId::new(0), SiteSet::first_n(3), 0u8);
+        assert_eq!(n.pending(), None);
+        n.set_pending(7);
+        n.fail();
+        n.repair();
+        assert_eq!(
+            n.pending(),
+            Some(7),
+            "outstanding votes are on stable storage"
+        );
+        n.clear_pending();
+        assert_eq!(n.pending(), None);
+
+        let mut w = WitnessNode::new(SiteId::new(1), SiteSet::first_n(3));
+        w.set_pending(9);
+        w.fail();
+        w.repair();
+        assert_eq!(w.pending(), Some(9));
     }
 
     #[test]

@@ -19,12 +19,24 @@
 //! state 1             # log S1's (o, v, P)
 //! ```
 //!
+//! Message faults arm rules on the cluster's [`Bus`](crate::Bus), so
+//! a script can stage the partial-commit hazard line by line:
+//!
+//! ```text
+//! drop commit@2       # lose the next COMMIT sent to S2
+//! dup state@1 3       # duplicate the next three state replies to S1
+//! delay commit@0      # reorder: deliver S0's next COMMIT late
+//! crash-on-commit 2   # S2 crashes on receipt of its next COMMIT
+//! deliver-all         # disarm every message-fault rule
+//! ```
+//!
 //! [`parse`] turns a script into commands; [`run`] executes them
 //! against a cluster, returning a transcript and failing fast on a
 //! violated `expect`.
 
 use dynvote_types::{SiteId, SiteSet};
 
+use crate::bus::{FaultAction, FaultRule, MessageClass};
 use crate::cluster::Cluster;
 
 /// One scripted action.
@@ -54,6 +66,12 @@ pub enum Command {
     /// `expect refused read N` / `expect refused write N` /
     /// `expect refused recover N` — the operation must abort.
     ExpectRefused(OpName, usize),
+    /// `drop KIND@N [COUNT]` / `dup KIND@N [COUNT]` /
+    /// `delay KIND@N [COUNT]` / `crash-on-commit N` — arm a
+    /// message-fault rule on the bus.
+    Inject(FaultRule),
+    /// `deliver-all` — disarm every message-fault rule.
+    DeliverAll,
 }
 
 /// The operation named in an `expect refused` command.
@@ -98,6 +116,33 @@ fn parse_site(line: usize, token: Option<&str>) -> Result<usize, ScenarioError> 
         .map_err(|e| err(line, format!("bad site number: {e}")))
 }
 
+/// Parses the `KIND@N [COUNT]` tail of a `drop`/`dup`/`delay` command
+/// into a fault rule with the given action.
+fn parse_fault(
+    line: usize,
+    action: FaultAction,
+    target: Option<&str>,
+    count: Option<&str>,
+) -> Result<FaultRule, ScenarioError> {
+    let target = target.ok_or_else(|| err(line, format!("{action} needs a KIND@SITE target")))?;
+    let (kind, site) = target.split_once('@').ok_or_else(|| {
+        err(
+            line,
+            format!("{action} target must be KIND@SITE, got {target:?}"),
+        )
+    })?;
+    let class = MessageClass::parse(kind)
+        .ok_or_else(|| err(line, format!("unknown message kind {kind:?}")))?;
+    let site = parse_site(line, Some(site))?;
+    let times = match count {
+        None => 1,
+        Some(tok) => tok
+            .parse::<u32>()
+            .map_err(|e| err(line, format!("bad count: {e}")))?,
+    };
+    Ok(FaultRule::once(class, SiteId::new(site), action).times(times))
+}
+
 /// Parses a scenario script.
 ///
 /// # Errors
@@ -120,6 +165,23 @@ pub fn parse(script: &str) -> Result<Vec<(usize, Command)>, ScenarioError> {
             "state" => Command::State(parse_site(line, words.next())?),
             "explain" => Command::Explain(parse_site(line, words.next())?),
             "heal" => Command::Heal,
+            "deliver-all" => Command::DeliverAll,
+            verb @ ("drop" | "dup" | "delay") => {
+                let action = match verb {
+                    "drop" => FaultAction::Drop,
+                    "dup" => FaultAction::Duplicate,
+                    _ => FaultAction::Delay,
+                };
+                Command::Inject(parse_fault(line, action, words.next(), words.next())?)
+            }
+            "crash-on-commit" => {
+                let site = parse_site(line, words.next())?;
+                Command::Inject(FaultRule::once(
+                    MessageClass::Commit,
+                    SiteId::new(site),
+                    FaultAction::CrashRecipient,
+                ))
+            }
             "write" => {
                 let site = parse_site(line, words.next())?;
                 let value: Vec<&str> = words.collect();
@@ -235,6 +297,14 @@ pub fn run(
                 cluster.heal_partition();
                 log.push("heal".to_string());
             }
+            Command::Inject(rule) => {
+                cluster.inject_fault(rule.clone());
+                log.push(format!("inject {rule}"));
+            }
+            Command::DeliverAll => {
+                cluster.clear_message_faults();
+                log.push("deliver-all".to_string());
+            }
             Command::State(site) => {
                 let s = cluster.state_at(SiteId::new(*site));
                 log.push(format!("state S{site}: {s:?}"));
@@ -320,6 +390,75 @@ mod tests {
         assert_eq!(cmds[5].1, Command::Partition(vec![vec![0, 1], vec![2]]));
         assert_eq!(cmds[8].1, Command::ExpectRead(0, "hello world".into()));
         assert_eq!(cmds[9].1, Command::ExpectRefused(OpName::Write, 2));
+    }
+
+    #[test]
+    fn parses_message_fault_commands() {
+        let script = "
+            drop commit@2
+            dup state@1 3
+            delay commit@0
+            crash-on-commit 2
+            deliver-all
+        ";
+        let cmds = parse(script).unwrap();
+        assert_eq!(cmds.len(), 5);
+        assert_eq!(
+            cmds[0].1,
+            Command::Inject(FaultRule::once(
+                MessageClass::Commit,
+                SiteId::new(2),
+                FaultAction::Drop
+            ))
+        );
+        assert_eq!(
+            cmds[1].1,
+            Command::Inject(
+                FaultRule::once(MessageClass::State, SiteId::new(1), FaultAction::Duplicate)
+                    .times(3)
+            )
+        );
+        assert_eq!(
+            cmds[3].1,
+            Command::Inject(FaultRule::once(
+                MessageClass::Commit,
+                SiteId::new(2),
+                FaultAction::CrashRecipient
+            ))
+        );
+        assert_eq!(cmds[4].1, Command::DeliverAll);
+    }
+
+    #[test]
+    fn message_fault_parse_errors_carry_line_numbers() {
+        let e = parse("heal\ndrop bogus@2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown message kind"), "{e}");
+        let e = parse("dup commit").unwrap_err();
+        assert!(e.message.contains("KIND@SITE"), "{e}");
+        let e = parse("delay commit@x").unwrap_err();
+        assert!(e.message.contains("bad site number"), "{e}");
+        let e = parse("drop commit@2 zz").unwrap_err();
+        assert!(e.message.contains("bad count"), "{e}");
+    }
+
+    #[test]
+    fn scripted_partial_commit_wedges_then_reconciles() {
+        let script = "
+            drop commit@2 3     # beyond the retry budget: all resends lost
+            write 0 v2          # COMMIT never reaches S2: indeterminate
+            state 2             # still shows the pre-write control state
+            recover 2           # the wedged site rejoins and copies v2
+            expect read 2 v2
+        ";
+        let cmds = parse(script).unwrap();
+        let mut c = cluster();
+        let log = run(&mut c, &cmds).unwrap();
+        assert!(
+            log.iter().any(|l| l.contains("indeterminate")),
+            "partial commit must surface in the transcript: {log:?}"
+        );
+        assert!(c.checker().violations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Deterministic partial-commit regressions: a `COMMIT` that reaches
+//! some participants but not others leaves genuinely divergent
+//! per-site `(o, v, P)` state, the caller learns exactly which sites
+//! diverged, the cluster keeps making progress (or refuses with a
+//! typed error), and RECOVER reconciles the stragglers.
+//!
+//! Runs against every protocol. The non-topological four must stay
+//! violation-free throughout; the topological variants get the same
+//! liveness guarantees but no consistency promise (see
+//! `nemesis_props.rs` for their pinned failure).
+
+use dynvote_replica::{Cluster, ClusterBuilder, Protocol};
+use dynvote_replica::{FaultAction, FaultRule, MessageClass};
+use dynvote_types::{AccessError, SiteId, SiteSet};
+
+const SOUND: [Protocol; 4] = [Protocol::Mcv, Protocol::Dv, Protocol::Ldv, Protocol::Odv];
+
+fn cluster(protocol: Protocol) -> Cluster<u64> {
+    ClusterBuilder::new()
+        .copies([0, 1, 2])
+        .protocol(protocol)
+        .build_with_value(1)
+}
+
+fn s(i: usize) -> SiteId {
+    SiteId::new(i)
+}
+
+/// Losing every resend of S2's COMMIT (the retry budget is 3) makes
+/// the write indeterminate, names the divergent site, and leaves S2's
+/// control state observably behind — until RECOVER repairs it.
+#[test]
+fn dropped_commit_diverges_and_recover_reconciles() {
+    for protocol in Protocol::ALL {
+        let mut c = cluster(protocol);
+        c.inject_fault(FaultRule::once(MessageClass::Commit, s(2), FaultAction::Drop).times(3));
+
+        let err = c.write(s(0), 2).unwrap_err();
+        match err {
+            AccessError::Indeterminate {
+                applied, missing, ..
+            } => {
+                assert_eq!(applied, SiteSet::from_indices([0, 1]), "{protocol:?}");
+                assert_eq!(missing, SiteSet::from_indices([2]), "{protocol:?}");
+            }
+            other => panic!("{protocol:?}: expected Indeterminate, got {other}"),
+        }
+
+        // The divergence is real and observable: S2 never saw version 2.
+        assert_eq!(c.state_at(s(0)).version, 2, "{protocol:?}");
+        assert_eq!(c.state_at(s(2)).version, 1, "{protocol:?}");
+
+        // The majority that did commit keeps serving the new value.
+        assert_eq!(c.read(s(0)).unwrap(), 2, "{protocol:?}");
+
+        // RECOVER reconciles the straggler; afterwards it serves v2.
+        c.recover(s(2))
+            .unwrap_or_else(|e| panic!("{protocol:?}: recover refused: {e}"));
+        assert_eq!(c.read(s(2)).unwrap(), 2, "{protocol:?}");
+        if protocol != Protocol::Mcv {
+            // Dynamic protocols reinstall full control state; MCV only
+            // promises the *read* is current (version numbers, not
+            // partition sets, carry its consistency).
+            assert_eq!(c.state_at(s(2)), c.state_at(s(0)), "{protocol:?}");
+        }
+
+        if SOUND.contains(&protocol) {
+            assert!(
+                c.checker().violations().is_empty(),
+                "{protocol:?}: {:?}",
+                c.checker().violations()
+            );
+        }
+    }
+}
+
+/// The coordinator dies mid-fanout, right after S1's COMMIT is
+/// delivered: S1 has the new state, S2 never hears, and the caller is
+/// told the outcome is indeterminate. Survivors never panic or hang —
+/// every follow-up is a grant or a typed refusal — and repairing the
+/// coordinator plus recovering both stragglers restores one history.
+#[test]
+fn coordinator_crash_mid_fanout_is_indeterminate_then_recoverable() {
+    for protocol in Protocol::ALL {
+        let mut c = cluster(protocol);
+        c.inject_fault(FaultRule::once(
+            MessageClass::Commit,
+            s(1),
+            FaultAction::CrashSender,
+        ));
+
+        let err = c.write(s(0), 2).unwrap_err();
+        assert!(
+            matches!(err, AccessError::Indeterminate { .. }),
+            "{protocol:?}: got {err}"
+        );
+        assert!(
+            !c.up_sites().contains(s(0)),
+            "{protocol:?}: the coordinator crashed mid-fanout"
+        );
+        assert_eq!(c.state_at(s(1)).version, 2, "{protocol:?}");
+        assert_eq!(c.state_at(s(2)).version, 1, "{protocol:?}");
+
+        // A survivor's next operation is bounded: grant or typed
+        // refusal, never a hang (S2 may be wedged on the broken write).
+        if let Err(e) = c.read(s(1)) {
+            assert!(e.kind().is_some(), "{protocol:?}: untyped refusal {e}");
+        }
+
+        c.repair_site(s(0));
+        c.recover(s(0))
+            .unwrap_or_else(|e| panic!("{protocol:?}: recover S0: {e}"));
+        c.recover(s(2))
+            .unwrap_or_else(|e| panic!("{protocol:?}: recover S2: {e}"));
+        assert_eq!(c.read(s(1)).unwrap(), 2, "{protocol:?}");
+        assert_eq!(c.read(s(2)).unwrap(), 2, "{protocol:?}");
+
+        if SOUND.contains(&protocol) {
+            assert!(
+                c.checker().violations().is_empty(),
+                "{protocol:?}: {:?}",
+                c.checker().violations()
+            );
+        }
+    }
+}
+
+/// A crash-on-receipt of the COMMIT is the sharpest partial-commit
+/// hazard: the recipient goes down *with the old state*, the rest of
+/// the quorum moves on, and the crashed site must later rejoin a
+/// partition that shrank without it.
+#[test]
+fn crash_on_commit_receipt_excludes_then_readmits_the_victim() {
+    for protocol in Protocol::ALL {
+        let mut c = cluster(protocol);
+        c.inject_fault(FaultRule::once(
+            MessageClass::Commit,
+            s(2),
+            FaultAction::CrashRecipient,
+        ));
+
+        let err = c.write(s(0), 2).unwrap_err();
+        assert!(
+            matches!(err, AccessError::Indeterminate { .. }),
+            "{protocol:?}: got {err}"
+        );
+        assert!(!c.up_sites().contains(s(2)), "{protocol:?}");
+        assert_eq!(c.state_at(s(2)).version, 1, "{protocol:?}");
+
+        // The two-site majority continues without the victim...
+        assert_eq!(c.read(s(0)).unwrap(), 2, "{protocol:?}");
+        c.write(s(1), 3)
+            .unwrap_or_else(|e| panic!("{protocol:?}: write: {e}"));
+
+        // ...and the victim rejoins through the standard repair path.
+        c.repair_site(s(2));
+        c.recover(s(2))
+            .unwrap_or_else(|e| panic!("{protocol:?}: recover: {e}"));
+        assert_eq!(c.read(s(2)).unwrap(), 3, "{protocol:?}");
+
+        if SOUND.contains(&protocol) {
+            assert!(
+                c.checker().violations().is_empty(),
+                "{protocol:?}: {:?}",
+                c.checker().violations()
+            );
+        }
+    }
+}

@@ -72,6 +72,35 @@ pub enum AccessError {
         /// The site that issued the request.
         origin: SiteId,
     },
+    /// Messages were lost faster than the bounded retry policy could
+    /// recover them: after `attempts` rounds the coordinator still could
+    /// not assemble the quorum view (or move the data), and gave up
+    /// rather than hang. Unlike [`AccessError::NoQuorum`] this is not a
+    /// verdict about partitions — the coordinator simply does not know.
+    Timeout {
+        /// Kind of access attempted.
+        kind: AccessKind,
+        /// The coordinating site.
+        origin: SiteId,
+        /// How many delivery rounds were attempted before giving up.
+        attempts: u32,
+    },
+    /// The operation was granted and its `COMMIT` was sent, but delivery
+    /// failed at some participants even after retries: the new state is
+    /// installed at `applied` and absent at `missing`. The operation
+    /// must be treated as *indeterminate* — it may yet be absorbed or
+    /// superseded by the next successful operation — and is **not**
+    /// counted as a success.
+    Indeterminate {
+        /// Kind of access attempted.
+        kind: AccessKind,
+        /// The coordinating site.
+        origin: SiteId,
+        /// Participants that applied the commit.
+        applied: SiteSet,
+        /// Participants that never received it.
+        missing: SiteSet,
+    },
 }
 
 impl AccessError {
@@ -81,7 +110,9 @@ impl AccessError {
         match self {
             AccessError::NoQuorum { kind, .. }
             | AccessError::TieLost { kind, .. }
-            | AccessError::NoCurrentCopy { kind, .. } => Some(*kind),
+            | AccessError::NoCurrentCopy { kind, .. }
+            | AccessError::Timeout { kind, .. }
+            | AccessError::Indeterminate { kind, .. } => Some(*kind),
             AccessError::OriginUnavailable { .. } => None,
         }
     }
@@ -114,6 +145,23 @@ impl fmt::Display for AccessError {
             AccessError::OriginUnavailable { origin } => {
                 write!(f, "request origin {origin} is unavailable")
             }
+            AccessError::Timeout {
+                kind,
+                origin,
+                attempts,
+            } => write!(
+                f,
+                "{kind} at {origin} timed out after {attempts} delivery attempt(s)"
+            ),
+            AccessError::Indeterminate {
+                kind,
+                origin,
+                applied,
+                missing,
+            } => write!(
+                f,
+                "{kind} at {origin} is indeterminate: commit reached {applied} but not {missing}"
+            ),
         }
     }
 }
@@ -158,6 +206,32 @@ mod tests {
             origin: SiteId::new(0),
         };
         assert_eq!(err.kind(), None);
+    }
+
+    #[test]
+    fn display_timeout_counts_attempts() {
+        let err = AccessError::Timeout {
+            kind: AccessKind::Write,
+            origin: SiteId::new(1),
+            attempts: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains("timed out after 3"), "{text}");
+        assert_eq!(err.kind(), Some(AccessKind::Write));
+    }
+
+    #[test]
+    fn display_indeterminate_names_both_sides() {
+        let err = AccessError::Indeterminate {
+            kind: AccessKind::Write,
+            origin: SiteId::new(0),
+            applied: SiteSet::from_indices([0, 1]),
+            missing: SiteSet::from_indices([2]),
+        };
+        let text = err.to_string();
+        assert!(text.contains("indeterminate"), "{text}");
+        assert!(text.contains("S2"), "{text}");
+        assert_eq!(err.kind(), Some(AccessKind::Write));
     }
 
     #[test]
