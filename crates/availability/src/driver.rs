@@ -9,8 +9,10 @@
 //! stochastic trace can drive all six protocols simultaneously (common
 //! random numbers, which makes the Table 2 columns directly comparable).
 
+use std::sync::Arc;
+
 use dynvote_sim::{Dist, Duration, EventQueue, SimRng, SimTime};
-use dynvote_topology::{Network, Reachability};
+use dynvote_topology::{Network, Reachability, ReachabilityCache};
 use dynvote_types::{SiteId, SiteSet};
 
 use crate::sites::SiteModel;
@@ -45,8 +47,6 @@ pub enum SiteEvent {
         /// Generation stamp; stale stamps mark cancelled events.
         gen: u64,
     },
-    /// The user accesses the replicated file.
-    Access,
 }
 
 /// What a [`Driver::step`] reported.
@@ -62,6 +62,13 @@ pub enum Change {
 ///
 /// Per-site random sub-streams keep each site's failure process
 /// independent of the others and stable across runs with the same seed.
+///
+/// Reachability is *memoized*: the network is fixed, so the partition
+/// structure is a pure function of the up-set, interned once per
+/// distinct up-set in a [`ReachabilityCache`] (≤ 2⁸ entries for the
+/// paper's 8-site network). After warm-up a step performs no
+/// reachability allocation at all — topology changes are a table
+/// lookup. See DESIGN.md, "Reachability memoization".
 pub struct Driver {
     network: Network,
     models: Vec<SiteModel>,
@@ -73,7 +80,16 @@ pub struct Driver {
     site_rngs: Vec<SimRng>,
     access_rng: SimRng,
     access_rate: f64,
-    reach: Reachability,
+    /// The next file access. Accesses are the most frequent event and
+    /// never cancel or interact with site state, so the stream lives
+    /// outside the heap — each access is a compare against the heap
+    /// head instead of a push + sift + pop.
+    next_access: Option<SimTime>,
+    cache: ReachabilityCache,
+    reach: Arc<Reachability>,
+    /// `false` only in benchmark baselines: recompute reachability per
+    /// event, as the engine did before memoization existed.
+    memoize: bool,
 }
 
 impl Driver {
@@ -88,6 +104,26 @@ impl Driver {
     /// Panics when `models` does not cover every network site.
     #[must_use]
     pub fn new(network: Network, models: &[SiteModel], seed: u64, access_rate: f64) -> Self {
+        let cache = ReachabilityCache::new(&network);
+        Driver::with_cache(network, models, seed, access_rate, cache)
+    }
+
+    /// Like [`Driver::new`], but starting from an existing (typically
+    /// warm) [`ReachabilityCache`] for the same network. Replicated
+    /// studies fork one warm cache across drivers so only the first
+    /// replication pays for the union-find computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `models` does not cover every network site.
+    #[must_use]
+    pub fn with_cache(
+        network: Network,
+        models: &[SiteModel],
+        seed: u64,
+        access_rate: f64,
+        mut cache: ReachabilityCache,
+    ) -> Self {
         let n = models.len();
         assert!(
             network.sites().iter().all(|s| s.index() < n),
@@ -95,7 +131,8 @@ impl Driver {
         );
         let up: SiteSet = network.sites();
         let mut driver = Driver {
-            reach: network.reachability(up),
+            reach: cache.get(&network, up),
+            cache,
             network,
             models: models.to_vec(),
             queue: EventQueue::new(),
@@ -104,6 +141,8 @@ impl Driver {
             site_rngs: (0..n as u64).map(|i| SimRng::substream(seed, i)).collect(),
             access_rng: SimRng::substream(seed, 0xACCE55),
             access_rate,
+            next_access: None,
+            memoize: true,
         };
         for site in driver.up.iter() {
             driver.schedule_failure(site, SimTime::ZERO);
@@ -136,16 +175,62 @@ impl Driver {
         self.up
     }
 
-    /// The current reachability (recomputed on every topology change).
+    /// The current reachability (refreshed on every topology change —
+    /// normally a memo-table lookup, not a recomputation).
     #[must_use]
     pub fn reachability(&self) -> &Reachability {
         &self.reach
     }
 
-    /// The time of the next pending event.
+    /// The current reachability as its interned, shareable handle.
+    #[must_use]
+    pub fn reachability_shared(&self) -> Arc<Reachability> {
+        Arc::clone(&self.reach)
+    }
+
+    /// The driver's memo table (to fork into sibling drivers, or to
+    /// read hit/miss telemetry).
+    #[must_use]
+    pub fn reachability_cache(&self) -> &ReachabilityCache {
+        &self.cache
+    }
+
+    /// Consumes the driver, handing its memo table back — replicated
+    /// studies thread one cache through a sequence of drivers so later
+    /// replications inherit every partition computed so far.
+    #[must_use]
+    pub fn into_cache(self) -> ReachabilityCache {
+        self.cache
+    }
+
+    /// Disables (or re-enables) reachability memoization.
+    ///
+    /// Only benchmark baselines use this: with memoization off the
+    /// driver recomputes the partition structure on every topology
+    /// event, exactly as the engine did before the cache existed, so
+    /// the memoization win can be measured on the same binary. Results
+    /// are identical either way — the cache is a pure memo table.
+    pub fn set_memoize(&mut self, memoize: bool) {
+        self.memoize = memoize;
+    }
+
+    /// Refreshes `self.reach` after a change to the up-set.
+    #[inline]
+    fn refresh_reachability(&mut self) {
+        self.reach = if self.memoize {
+            self.cache.get(&self.network, self.up)
+        } else {
+            Arc::new(self.network.reachability(self.up))
+        };
+    }
+
+    /// The time of the next pending event (site event or file access).
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+        match (self.queue.peek_time(), self.next_access) {
+            (Some(h), Some(a)) => Some(h.min(a)),
+            (h, a) => h.or(a),
+        }
     }
 
     fn schedule_failure(&mut self, site: SiteId, now: SimTime) {
@@ -159,7 +244,7 @@ impl Driver {
 
     fn schedule_access(&mut self, now: SimTime) {
         let gap = Duration::days(self.access_rng.exponential(1.0 / self.access_rate));
-        self.queue.schedule(now + gap, SiteEvent::Access);
+        self.next_access = Some(now + gap);
     }
 
     fn repair_duration(&mut self, site: SiteId) -> Duration {
@@ -178,6 +263,21 @@ impl Driver {
     /// sites).
     pub fn step(&mut self) -> Option<(SimTime, Change)> {
         loop {
+            // Access fast path: the access stream never cancels and
+            // never touches site state, so it bypasses the heap
+            // entirely. Checked against the heap head on every
+            // iteration — a stale (cancelled) site event may sit in
+            // front of the access and must still be drained first, in
+            // time order. Ties against a site event go to the access
+            // (site events at the exact same f64 instant as an access
+            // have probability zero).
+            if let Some(t) = self.next_access {
+                if self.queue.peek_time().is_none_or(|h| t <= h) {
+                    self.queue.advance_to(t);
+                    self.schedule_access(t);
+                    return Some((t, Change::Access));
+                }
+            }
             let (now, event) = self.queue.pop()?;
             match event {
                 SiteEvent::Fail { site, gen } => {
@@ -190,7 +290,7 @@ impl Driver {
                     let gen = self.gens[site.index()];
                     self.queue
                         .schedule(now + repair, SiteEvent::Repair { site, gen });
-                    self.reach = self.network.reachability(self.up);
+                    self.refresh_reachability();
                     return Some((now, Change::Topology));
                 }
                 SiteEvent::Repair { site, gen } => {
@@ -200,7 +300,7 @@ impl Driver {
                     self.gens[site.index()] += 1;
                     self.up.insert(site);
                     self.schedule_failure(site, now);
-                    self.reach = self.network.reachability(self.up);
+                    self.refresh_reachability();
                     return Some((now, Change::Topology));
                 }
                 SiteEvent::MaintStart { site } => {
@@ -218,7 +318,7 @@ impl Driver {
                     let gen = self.gens[site.index()];
                     self.queue
                         .schedule(now + duration, SiteEvent::MaintEnd { site, gen });
-                    self.reach = self.network.reachability(self.up);
+                    self.refresh_reachability();
                     return Some((now, Change::Topology));
                 }
                 SiteEvent::MaintEnd { site, gen } => {
@@ -228,12 +328,8 @@ impl Driver {
                     self.gens[site.index()] += 1;
                     self.up.insert(site);
                     self.schedule_failure(site, now);
-                    self.reach = self.network.reachability(self.up);
+                    self.refresh_reachability();
                     return Some((now, Change::Topology));
-                }
-                SiteEvent::Access => {
-                    self.schedule_access(now);
-                    return Some((now, Change::Access));
                 }
             }
         }
@@ -404,6 +500,74 @@ mod tests {
         };
         assert_eq!(trace(99), trace(99));
         assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn reachability_is_memoized_across_steps() {
+        let mut d = Driver::new(ucsd_network(), &UCSD_SITES, 5, 1.0);
+        for _ in 0..20_000 {
+            d.step().unwrap();
+        }
+        let cache = d.reachability_cache();
+        assert!(
+            cache.misses() <= 256,
+            "8-site network has at most 256 up-sets, computed {}",
+            cache.misses()
+        );
+        assert!(
+            cache.hits() > 10 * cache.misses(),
+            "long runs must be dominated by hits ({} hits, {} misses)",
+            cache.hits(),
+            cache.misses()
+        );
+    }
+
+    #[test]
+    fn memoization_does_not_change_the_trace() {
+        let trace = |memoize: bool| {
+            let mut d = Driver::new(ucsd_network(), &UCSD_SITES, 42, 1.0);
+            d.set_memoize(memoize);
+            (0..5_000)
+                .map(|_| {
+                    let (t, c) = d.step().unwrap();
+                    let r = d.reachability();
+                    (
+                        t.as_days().to_bits(),
+                        c == Change::Access,
+                        d.up().bits(),
+                        r.groups().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trace(true), trace(false));
+    }
+
+    #[test]
+    fn warm_cache_handoff_reproduces_fresh_runs() {
+        let fresh = |seed| {
+            let mut d = Driver::new(ucsd_network(), &UCSD_SITES, seed, 1.0);
+            (0..2_000)
+                .map(|_| d.step().unwrap().0.as_days().to_bits())
+                .collect::<Vec<_>>()
+        };
+        // Run once to warm a cache, then replay through the handoff.
+        let mut first = Driver::new(ucsd_network(), &UCSD_SITES, 9, 1.0);
+        for _ in 0..2_000 {
+            first.step().unwrap();
+        }
+        let warm = first.into_cache();
+        let warm_misses = warm.misses();
+        let mut replay = Driver::with_cache(ucsd_network(), &UCSD_SITES, 9, 1.0, warm);
+        let replayed: Vec<u64> = (0..2_000)
+            .map(|_| replay.step().unwrap().0.as_days().to_bits())
+            .collect();
+        assert_eq!(replayed, fresh(9));
+        assert_eq!(
+            replay.reachability_cache().misses(),
+            warm_misses,
+            "replaying the same trace through a warm cache must not recompute"
+        );
     }
 
     #[test]

@@ -145,12 +145,10 @@ pub fn run_trace(
         }
         let reach = driver.reachability();
         for p in &mut policies {
-            match change {
+            let _ = match change {
                 Change::Topology => p.on_topology_change(reach),
-                Change::Access => {
-                    p.on_access(reach);
-                }
-            }
+                Change::Access => p.on_access(reach),
+            };
         }
     }
 
@@ -193,13 +191,19 @@ pub fn run_trace(
         }
         let reach = driver.reachability();
         for i in 0..n {
-            match change {
+            // The event handlers return the post-event availability —
+            // contractually equal to `is_available`, which would cost a
+            // second decision pass per (event, policy).
+            let avail = match change {
                 Change::Topology => policies[i].on_topology_change(reach),
-                Change::Access => {
-                    policies[i].on_access(reach);
-                }
-            }
-            let avail = policies[i].is_available(reach);
+                Change::Access => policies[i].on_access(reach),
+            };
+            debug_assert_eq!(
+                avail,
+                policies[i].is_available(reach),
+                "{}: event-handler availability out of sync",
+                policies[i].name()
+            );
             integrators[i].record(t, avail);
             outages[i].record(t, avail);
         }
@@ -278,15 +282,20 @@ where
     let mut stats = BatchMeans::new();
     let mut censored = 0usize;
     let mut name = String::new();
+    // One memo table for the whole study: each replication forks the
+    // warm cache, so the union-find runs at most once per distinct
+    // up-set across *all* replications.
+    let mut shared_cache = dynvote_topology::ReachabilityCache::new(network);
     for rep in 0..replications {
         let mut policy = make_policy();
         name = policy.name().to_string();
         policy.reset();
-        let mut driver = Driver::new(
+        let mut driver = Driver::with_cache(
             network.clone(),
             models,
             seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9),
             access_rate,
+            shared_cache.clone(),
         );
         policy.on_topology_change(driver.reachability());
         let end = SimTime::ZERO + horizon;
@@ -295,13 +304,17 @@ where
             if t >= end {
                 break;
             }
-            match change {
+            let available = match change {
                 Change::Topology => policy.on_topology_change(driver.reachability()),
-                Change::Access => {
-                    policy.on_access(driver.reachability());
-                }
-            }
-            if !policy.is_available(driver.reachability()) {
+                Change::Access => policy.on_access(driver.reachability()),
+            };
+            debug_assert_eq!(
+                available,
+                policy.is_available(driver.reachability()),
+                "{}: event-handler availability out of sync",
+                policy.name()
+            );
+            if !available {
                 first_outage = Some(t);
                 break;
             }
@@ -310,6 +323,9 @@ where
             Some(t) => stats.push(t.as_days()),
             None => censored += 1,
         }
+        // Take the cache back so up-sets first seen in this replication
+        // stay warm for the next one.
+        shared_cache = driver.into_cache();
     }
     TtfResult {
         policy: name,
@@ -366,16 +382,13 @@ pub fn attribute_outages(
         if t >= end {
             break;
         }
-        match change {
+        let now_available = match change {
             Change::Topology => policy.on_topology_change(driver.reachability()),
-            Change::Access => {
-                policy.on_access(driver.reachability());
-            }
-        }
+            Change::Access => policy.on_access(driver.reachability()),
+        };
         if t < warmup_end {
             continue;
         }
-        let now_available = policy.is_available(driver.reachability());
         match (available, now_available) {
             (true, false) => outage_started = Some((t, all - driver.up())),
             (false, true) => {

@@ -1,0 +1,189 @@
+//! Events-per-second snapshot of the availability simulator, written to
+//! `BENCH_sim.json` at the repo root.
+//!
+//! Criterion (`benches/simulator.rs`) answers "did this commit regress?"
+//! interactively; this harness produces the *committed* number — a
+//! machine-readable baseline future PRs diff against. It measures:
+//!
+//! * **driver-only** — raw failure/repair/access events through
+//!   [`Driver::step`] on the Figure 8 network, with the reachability
+//!   cache on and off (`set_memoize`), which brackets the memoization
+//!   win in isolation;
+//! * **full row** — one six-policy [`simulate_row`] over configuration A
+//!   at the `--quick` table parameters, i.e. the unit of work
+//!   `table2`/`table3` fan out per configuration;
+//! * **quick study** — wall-clock of `regenerate_results.sh --quick`,
+//!   passed in by `scripts/bench_sim.sh` (the harness cannot time the
+//!   script from inside one of the binaries the script builds), next to
+//!   the pre-memoization sequential baseline recorded on this machine.
+//!
+//! ```text
+//! cargo run --release -p dynvote-bench --bin sim_throughput -- \
+//!     [--events N] [--quick-study-secs S] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use dynvote_availability::config::CONFIG_A;
+use dynvote_availability::driver::Driver;
+use dynvote_availability::network::ucsd_network;
+use dynvote_availability::run::{simulate_row, Params};
+use dynvote_availability::sites::UCSD_SITES;
+use dynvote_sim::SimTime;
+
+/// `regenerate_results.sh --quick` on this machine immediately before
+/// the reachability cache landed (sequential rows, per-event BFS).
+/// Re-measure and update when the hardware changes.
+const PRE_PR_QUICK_STUDY_SECS: f64 = 21.813;
+
+struct Args {
+    /// Driver-only event count per pass.
+    events: u64,
+    /// Measured `regenerate_results.sh --quick` wall-clock, if the
+    /// caller timed one (see `scripts/bench_sim.sh`).
+    quick_study_secs: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        events: 2_000_000,
+        quick_study_secs: None,
+        out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--events" => {
+                args.events = value("--events").parse().unwrap_or_else(|e| {
+                    eprintln!("error: --events: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--quick-study-secs" => {
+                args.quick_study_secs =
+                    Some(value("--quick-study-secs").parse().unwrap_or_else(|e| {
+                        eprintln!("error: --quick-study-secs: {e}");
+                        std::process::exit(2);
+                    }));
+            }
+            "--out" => args.out = value("--out"),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other:?}\nusage: sim_throughput \
+                     [--events N] [--quick-study-secs S] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Steps a fresh driver through `events` events and reports
+/// (seconds, cache hits, cache misses).
+fn drive(events: u64, memoize: bool) -> (f64, u64, u64) {
+    let mut driver = Driver::new(ucsd_network(), &UCSD_SITES, Params::paper().seed, 1.0);
+    driver.set_memoize(memoize);
+    let start = Instant::now();
+    for _ in 0..events {
+        std::hint::black_box(driver.step());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let cache = driver.reachability_cache();
+    (secs, cache.hits(), cache.misses())
+}
+
+/// Counts driver events inside the horizon `simulate_row` consumes for
+/// `params` (warm-up plus all batches).
+fn events_in_horizon(params: &Params) -> u64 {
+    let mut driver = Driver::new(ucsd_network(), &UCSD_SITES, params.seed, params.access_rate);
+    let end = SimTime::ZERO + params.warmup + params.batch_len * params.batches as f64;
+    let mut n = 0u64;
+    while let Some((t, _)) = driver.step() {
+        if t >= end {
+            break;
+        }
+        n += 1;
+    }
+    n
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |s| format!("{s:.3}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // ---- driver-only events/sec, cache on vs off ----------------------
+    eprintln!("driver: {} events, memoized ...", args.events);
+    let (memo_secs, hits, misses) = drive(args.events, true);
+    eprintln!("driver: {} events, per-event BFS ...", args.events);
+    let (bfs_secs, _, _) = drive(args.events, false);
+    let memo_eps = args.events as f64 / memo_secs;
+    let bfs_eps = args.events as f64 / bfs_secs;
+
+    // ---- full six-policy row at the --quick table parameters ----------
+    let quick = Params::quick_test();
+    let mut row_params = Params::paper();
+    row_params.batches = quick.batches;
+    row_params.batch_len = quick.batch_len;
+    let row_events = events_in_horizon(&row_params);
+    eprintln!("full row: configuration A, six policies, {row_events} events ...");
+    let start = Instant::now();
+    let row = simulate_row(&CONFIG_A, &row_params);
+    let row_secs = start.elapsed().as_secs_f64();
+    assert_eq!(row.len(), 6, "expected one result per paper policy");
+    let row_eps = row_events as f64 / row_secs;
+
+    // ---- quick-study wall-clock ---------------------------------------
+    let quick_speedup = args.quick_study_secs.map(|s| PRE_PR_QUICK_STUDY_SECS / s);
+
+    let json = format!(
+        r#"{{
+  "generated_by": "scripts/bench_sim.sh (cargo run --release -p dynvote-bench --bin sim_throughput)",
+  "machine": {{ "cores": {cores} }},
+  "driver": {{
+    "events": {events},
+    "memoized": {{ "secs": {memo_secs:.3}, "events_per_sec": {memo_eps:.0}, "cache_hits": {hits}, "cache_misses": {misses} }},
+    "per_event_bfs": {{ "secs": {bfs_secs:.3}, "events_per_sec": {bfs_eps:.0} }},
+    "speedup": {speedup:.2}
+  }},
+  "full_row": {{
+    "config": "A",
+    "policies": 6,
+    "params": "--quick (6 batches x 3000 days, 360-day warm-up, paper seed)",
+    "events": {row_events},
+    "secs": {row_secs:.3},
+    "events_per_sec": {row_eps:.0}
+  }},
+  "quick_study": {{
+    "workload": "scripts/regenerate_results.sh --quick (14 binaries, full artefact sweep)",
+    "pre_pr_sequential_secs": {pre:.3},
+    "this_run_secs": {this_run},
+    "speedup": {qspeed}
+  }}
+}}
+"#,
+        events = args.events,
+        speedup = memo_eps / bfs_eps,
+        pre = PRE_PR_QUICK_STUDY_SECS,
+        this_run = fmt_opt(args.quick_study_secs),
+        qspeed = quick_speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.2}")),
+    );
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    eprint!("{json}");
+    eprintln!("wrote {}", args.out);
+}

@@ -85,8 +85,9 @@ impl AvailabilityPolicy for AvailableCopyPolicy {
         self.current = self.copies;
     }
 
-    fn on_topology_change(&mut self, reach: &Reachability) {
+    fn on_topology_change(&mut self, reach: &Reachability) -> bool {
         self.sync(reach);
+        self.is_available(reach)
     }
 
     fn on_access(&mut self, reach: &Reachability) -> bool {

@@ -57,6 +57,69 @@ pub struct DynamicPolicy {
     mode: RejoinMode,
     states: StateTable,
     rival_grants: u64,
+    memo: SyncMemo,
+}
+
+/// Memo of the most recently *executed* state exchange.
+///
+/// Repeating an exchange with the same partition structure and the same
+/// reintegrate flavor back-to-back takes exactly the same branches: a
+/// granted exchange leaves its participants current with the partition
+/// set equal to the participant set, so running it again grants the
+/// same groups and re-commits the same participants at the same version
+/// with one higher operation number, and a refused exchange mutates
+/// nothing at all. Long runs of accesses between topology changes — the
+/// hot path of every simulation — therefore replay the memoized commits
+/// instead of re-deciding. See DESIGN.md, "Grant memoization".
+///
+/// The replay *must* include the operation-number bump: the topological
+/// variants compare op counters across rival lineages when partitions
+/// merge, so freezing the counters during a memoized run would change
+/// which lineage wins the merge. The memo only skips [`decide`], never
+/// the commit.
+///
+/// The key is the exact group list (not just the up-set): tests and
+/// exotic drivers may present different partitions over the same up
+/// sites, and a false hit would corrupt the protocol state.
+#[derive(Clone, Debug, Default)]
+struct SyncMemo {
+    valid: bool,
+    reintegrate: bool,
+    groups: Vec<SiteSet>,
+    /// `(participants, version)` of every granted group's commit, in
+    /// group order.
+    commits: Vec<(SiteSet, u64)>,
+    granted: bool,
+    rival_delta: u64,
+}
+
+impl SyncMemo {
+    fn matches(&self, groups: &[SiteSet], reintegrate: bool) -> bool {
+        self.valid && self.reintegrate == reintegrate && self.groups == groups
+    }
+
+    fn store(
+        &mut self,
+        groups: &[SiteSet],
+        reintegrate: bool,
+        commits: Vec<(SiteSet, u64)>,
+        granted: bool,
+        rival_delta: u64,
+    ) {
+        self.valid = true;
+        self.reintegrate = reintegrate;
+        self.groups.clear();
+        self.groups.extend_from_slice(groups);
+        self.commits = commits;
+        self.granted = granted;
+        self.rival_delta = rival_delta;
+    }
+
+    fn invalidate(&mut self) {
+        self.valid = false;
+        self.groups.clear();
+        self.commits.clear();
+    }
 }
 
 impl DynamicPolicy {
@@ -80,6 +143,7 @@ impl DynamicPolicy {
             network,
             mode,
             rival_grants: 0,
+            memo: SyncMemo::default(),
         }
     }
 
@@ -190,8 +254,9 @@ impl DynamicPolicy {
     /// access commits — the composite effect of the paper's RECOVER
     /// loop followed by a READ; without it, only a READ-style commit
     /// among the current copies runs (quorums shrink, nobody rejoins).
-    /// Returns `true` when the group was the majority partition.
-    fn sync_group(&mut self, group: SiteSet, reintegrate: bool) -> bool {
+    /// Returns the committed `(participants, version)` when the group
+    /// was the majority partition.
+    fn sync_group(&mut self, group: SiteSet, reintegrate: bool) -> Option<(SiteSet, u64)> {
         let d = decide(
             group,
             self.copies,
@@ -210,9 +275,9 @@ impl DynamicPolicy {
             };
             self.states
                 .commit(participants, d.max_op + 1, d.max_version, participants);
-            true
+            Some((participants, d.max_version))
         } else {
-            false
+            None
         }
     }
 
@@ -225,18 +290,43 @@ impl DynamicPolicy {
     /// in [`DynamicPolicy::rival_grants`] rather than asserted away,
     /// because Figures 5–7 as published admit them.
     fn sync_all(&mut self, reach: &Reachability, reintegrate: bool) -> bool {
-        let mut granted = false;
-        for group in reach.groups().to_vec() {
-            let g = self.sync_group(group, reintegrate);
-            if granted && g {
-                debug_assert!(
-                    self.rule.topological,
-                    "two groups were both granted: mutual exclusion violated"
-                );
-                self.rival_grants += 1;
+        // Fast path: an immediate repeat of the previous exchange (the
+        // common case — consecutive accesses with no topology change in
+        // between) replays its commits without re-deciding. The
+        // operation-number bump is preserved exactly: each granted
+        // group's participants all carry the op of the previous commit,
+        // so the repeat commits at that op plus one, just as a fresh
+        // `decide` would conclude.
+        if self.memo.matches(reach.groups(), reintegrate) {
+            self.rival_grants += self.memo.rival_delta;
+            for i in 0..self.memo.commits.len() {
+                let (participants, version) = self.memo.commits[i];
+                let site = participants.iter().next().expect("commits are non-empty");
+                let op = self.states.get(site).op + 1;
+                self.states.commit(participants, op, version, participants);
             }
-            granted |= g;
+            return self.memo.granted;
         }
+        let mut commits = Vec::new();
+        let mut granted = false;
+        let mut rival_delta = 0u64;
+        for i in 0..reach.groups().len() {
+            let committed = self.sync_group(reach.groups()[i], reintegrate);
+            if let Some(record) = committed {
+                if granted {
+                    debug_assert!(
+                        self.rule.topological,
+                        "two groups were both granted: mutual exclusion violated"
+                    );
+                    rival_delta += 1;
+                }
+                granted = true;
+                commits.push(record);
+            }
+        }
+        self.rival_grants += rival_delta;
+        self.memo
+            .store(reach.groups(), reintegrate, commits, granted, rival_delta);
         granted
     }
 
@@ -261,17 +351,14 @@ impl AvailabilityPolicy for DynamicPolicy {
     fn reset(&mut self) {
         self.states = StateTable::fresh(self.copies);
         self.rival_grants = 0;
+        self.memo.invalidate();
     }
 
-    fn on_topology_change(&mut self, reach: &Reachability) {
+    fn on_topology_change(&mut self, reach: &Reachability) -> bool {
         match self.mode {
-            RejoinMode::OnRepair => {
-                self.sync_all(reach, true);
-            }
-            RejoinMode::Hybrid => {
-                self.sync_all(reach, false);
-            }
-            RejoinMode::OnAccess => {}
+            RejoinMode::OnRepair => self.sync_all(reach, true),
+            RejoinMode::Hybrid => self.sync_all(reach, false),
+            RejoinMode::OnAccess => self.is_available(reach),
         }
     }
 

@@ -108,7 +108,9 @@ impl AvailabilityPolicy for McvPolicy {
 
     fn reset(&mut self) {}
 
-    fn on_topology_change(&mut self, _reach: &Reachability) {}
+    fn on_topology_change(&mut self, reach: &Reachability) -> bool {
+        self.is_available(reach)
+    }
 
     fn on_access(&mut self, reach: &Reachability) -> bool {
         self.is_available(reach)

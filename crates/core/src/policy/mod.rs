@@ -64,15 +64,29 @@ pub trait AvailabilityPolicy {
 
     /// Notifies the policy that the set of up/communicating sites
     /// changed. Instantaneous protocols adjust quorums here; optimistic
-    /// protocols ignore it.
-    fn on_topology_change(&mut self, reach: &Reachability);
+    /// protocols only re-evaluate.
+    ///
+    /// Returns the availability *after* the change — the same value
+    /// [`is_available`](AvailabilityPolicy::is_available) would report,
+    /// already computed by the state exchange, so hot simulation loops
+    /// need not pay a second decision pass per event.
+    fn on_topology_change(&mut self, reach: &Reachability) -> bool;
 
     /// Drives one file access: returns `true` when granted, updating
     /// protocol state (quorum adjustment, reintegration of recovered
     /// sites) as a successful operation would.
+    ///
+    /// The return value equals the post-access
+    /// [`is_available`](AvailabilityPolicy::is_available) — a granted
+    /// access leaves the file available, a refused one changes nothing.
     fn on_access(&mut self, reach: &Reachability) -> bool;
 
     /// Non-mutating probe: would an access be granted right now?
+    ///
+    /// Hot loops should prefer the values returned by
+    /// [`on_topology_change`](AvailabilityPolicy::on_topology_change) /
+    /// [`on_access`](AvailabilityPolicy::on_access), which are
+    /// contractually identical and already paid for.
     fn is_available(&self, reach: &Reachability) -> bool;
 
     /// Number of times two disjoint groups were granted in the same

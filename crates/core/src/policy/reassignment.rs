@@ -146,8 +146,9 @@ impl AvailabilityPolicy for VoteReassignmentPolicy {
         self.reassignments = 0;
     }
 
-    fn on_topology_change(&mut self, reach: &Reachability) {
+    fn on_topology_change(&mut self, reach: &Reachability) -> bool {
         self.sync(reach);
+        self.is_available(reach)
     }
 
     fn on_access(&mut self, reach: &Reachability) -> bool {

@@ -105,8 +105,8 @@ impl WitnessPolicy {
 
     fn sync_all(&mut self, reach: &Reachability) -> bool {
         let mut granted = false;
-        for group in reach.groups().to_vec() {
-            granted |= self.sync_group(group);
+        for i in 0..reach.groups().len() {
+            granted |= self.sync_group(reach.groups()[i]);
         }
         granted
     }
@@ -125,9 +125,11 @@ impl AvailabilityPolicy for WitnessPolicy {
         self.states = StateTable::fresh(self.participants());
     }
 
-    fn on_topology_change(&mut self, reach: &Reachability) {
-        if !self.optimistic {
-            self.sync_all(reach);
+    fn on_topology_change(&mut self, reach: &Reachability) -> bool {
+        if self.optimistic {
+            self.is_available(reach)
+        } else {
+            self.sync_all(reach)
         }
     }
 

@@ -5,11 +5,10 @@
 //! cargo run --release -p dynvote-experiments --bin table2 [--quick]
 //! ```
 
-use dynvote_availability::config::ALL_CONFIGS;
-use dynvote_availability::run::{simulate_row, RunResult};
+use dynvote_availability::run::RunResult;
 use dynvote_experiments::output::{fmt_unavail, Table};
 use dynvote_experiments::paper::{CONFIG_LABELS, PAPER_TABLE2, POLICY_NAMES};
-use dynvote_experiments::CliParams;
+use dynvote_experiments::{simulate_all_rows, CliParams, RowMode};
 
 fn main() {
     let cli = CliParams::from_env();
@@ -26,21 +25,10 @@ fn main() {
     );
     println!();
 
-    // One common-random-numbers trace per configuration; rows in
-    // parallel.
-    let rows: Vec<Vec<RunResult>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ALL_CONFIGS
-            .iter()
-            .map(|config| {
-                let params = cli.params.clone();
-                scope.spawn(move || simulate_row(config, &params))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("row thread"))
-            .collect()
-    });
+    // One common-random-numbers trace per configuration; rows fan out
+    // across workers (DYNVOTE_SEQUENTIAL=1 forces one thread) with
+    // byte-identical output either way.
+    let rows: Vec<Vec<RunResult>> = simulate_all_rows(&cli.params, RowMode::from_env());
 
     let mut headers = vec!["Sites".to_string()];
     headers.extend(POLICY_NAMES.iter().map(|p| p.to_string()));

@@ -5,30 +5,17 @@
 //! cargo run --release -p dynvote-experiments --bin table3 [--quick]
 //! ```
 
-use dynvote_availability::config::ALL_CONFIGS;
-use dynvote_availability::run::{simulate_row, RunResult};
+use dynvote_availability::run::RunResult;
 use dynvote_experiments::output::Table;
 use dynvote_experiments::paper::{CONFIG_LABELS, PAPER_TABLE3, POLICY_NAMES};
-use dynvote_experiments::CliParams;
+use dynvote_experiments::{simulate_all_rows, CliParams, RowMode};
 
 fn main() {
     let cli = CliParams::from_env();
     println!("# Table 3: Mean Duration of Unavailable Periods (days)");
     println!();
 
-    let rows: Vec<Vec<RunResult>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ALL_CONFIGS
-            .iter()
-            .map(|config| {
-                let params = cli.params.clone();
-                scope.spawn(move || simulate_row(config, &params))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("row thread"))
-            .collect()
-    });
+    let rows: Vec<Vec<RunResult>> = simulate_all_rows(&cli.params, RowMode::from_env());
 
     let mut headers = vec!["Sites".to_string()];
     headers.extend(POLICY_NAMES.iter().map(|p| p.to_string()));

@@ -5,7 +5,7 @@ use dynvote_core::decision::Rule;
 use dynvote_core::lexicon::Lexicon;
 use dynvote_core::ops::{plan_with_witnesses, OpKind};
 use dynvote_core::state::{ReplicaState, StateTable};
-use dynvote_topology::Network;
+use dynvote_topology::{Network, ReachabilityCache};
 use dynvote_types::{AccessError, AccessKind, SiteId, SiteSet};
 
 use crate::bus::{Bus, FaultRule, Verdict};
@@ -234,6 +234,7 @@ impl ClusterBuilder {
             rule: self.protocol.rule(self.lexicon),
             protocol: self.protocol,
             up: network.sites(),
+            reach_cache: std::cell::RefCell::new(ReachabilityCache::new(&network)),
             network,
             copies,
             witnesses,
@@ -307,6 +308,12 @@ pub struct Cluster<T> {
     nodes: Vec<Node<T>>,
     witness_nodes: Vec<WitnessNode>,
     forced_groups: Option<Vec<SiteSet>>,
+    /// Memoized topology-derived reachability, keyed by the up-set.
+    /// Interior mutability keeps [`Cluster::group_of`] a `&self` query;
+    /// each operation phase asks for the origin's group, and without
+    /// the memo every ask re-ran the union-find and allocated fresh
+    /// group vectors.
+    reach_cache: std::cell::RefCell<ReachabilityCache>,
     trace: Trace,
     checker: Checker,
     stats: OpStats,
@@ -564,7 +571,11 @@ impl<T: Clone> Cluster<T> {
                 .iter()
                 .map(|g| *g & self.up)
                 .find(|g| g.contains(origin)),
-            None => self.network.reachability(self.up).group_of(origin),
+            None => self
+                .reach_cache
+                .borrow_mut()
+                .get(&self.network, self.up)
+                .group_of(origin),
         }
     }
 

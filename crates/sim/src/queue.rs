@@ -29,11 +29,11 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest time pops
         // first, with FIFO order among equal timestamps (lower seq
-        // first) for determinism.
+        // first) for determinism. `SimTime` is totally ordered, so no
+        // fallback is needed for incomparable times.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -103,6 +103,20 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+    }
+
+    /// Advances `now` to `time` without popping — for event streams a
+    /// driver manages *outside* the heap (e.g. a plain Poisson process
+    /// with no cancellation, where heap traffic would be pure overhead).
+    ///
+    /// Moving backwards is a logic error (debug assertion).
+    pub fn advance_to(&mut self, time: SimTime) {
+        debug_assert!(
+            time >= self.now,
+            "advancing into the past: {time} < now {}",
+            self.now
+        );
+        self.now = time;
     }
 
     /// Pops the earliest event, advancing `now` to its timestamp.

@@ -1,5 +1,6 @@
 //! The virtual clock: instants and durations measured in days.
 
+use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, Sub};
 
@@ -18,7 +19,18 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert!((repair.as_days() - 28.0 / 24.0).abs() < 1e-12);
 /// assert!(Duration::minutes(20.0) < Duration::hours(1.0));
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+///
+/// # Ordering
+///
+/// Durations produced by the simulator are always finite (samples of
+/// finite-mean distributions and sums thereof), so `Duration` commits to
+/// the *total* order of [`f64::total_cmp`] and implements [`Eq`]/[`Ord`].
+/// This lets the event queue order entries without a lossy
+/// `partial_cmp(..).unwrap_or(Equal)` fallback that would silently
+/// mis-order events if a NaN ever appeared: under `total_cmp` a NaN
+/// sorts consistently (after every finite value) instead of comparing
+/// equal to everything.
+#[derive(Clone, Copy, Default)]
 pub struct Duration(f64);
 
 impl Duration {
@@ -65,6 +77,29 @@ impl Duration {
     #[must_use]
     pub fn is_zero(self) -> bool {
         self.0 <= 0.0
+    }
+}
+
+impl PartialEq for Duration {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for Duration {}
+
+impl PartialOrd for Duration {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -123,7 +158,11 @@ impl fmt::Display for Duration {
 ///
 /// `SimTime` and [`Duration`] form the usual affine pair: instants
 /// subtract to durations, and durations shift instants.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+///
+/// Like [`Duration`], instants are finite by construction, so `SimTime`
+/// implements the total [`Eq`]/[`Ord`] order of [`f64::total_cmp`] —
+/// the event queue relies on it to order entries without a fallback.
+#[derive(Clone, Copy, Default)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -142,6 +181,29 @@ impl SimTime {
     #[must_use]
     pub const fn as_days(self) -> f64 {
         self.0
+    }
+}
+
+impl PartialEq for SimTime {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -208,6 +270,47 @@ mod tests {
         assert!(Duration::minutes(20.0) < Duration::hours(1.0));
         assert!(Duration::ZERO.is_zero());
         assert!(!Duration::days(0.1).is_zero());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        use core::cmp::Ordering;
+        // The whole point of total_cmp: comparisons never "fall back".
+        let a = SimTime::at_days(1.0);
+        let b = SimTime::at_days(2.0);
+        assert_eq!(a.cmp(&b), Ordering::Less);
+        assert_eq!(b.cmp(&a), Ordering::Greater);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        // Even a NaN (which the simulator never produces) sorts
+        // consistently — after every finite instant — instead of
+        // comparing Equal to everything as the old fallback did.
+        let nan = SimTime::at_days(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(b.cmp(&nan), Ordering::Less);
+        assert_eq!(nan.cmp(&b), Ordering::Greater);
+        let d = Duration::days(f64::NAN);
+        assert_eq!(d.cmp(&d), Ordering::Equal);
+        assert!(Duration::days(1e300) < d);
+    }
+
+    #[test]
+    fn equal_instants_sort_equal_in_collections() {
+        let mut v = vec![
+            SimTime::at_days(3.0),
+            SimTime::at_days(1.0),
+            SimTime::at_days(2.0),
+            SimTime::at_days(1.0),
+        ];
+        v.sort(); // requires Ord
+        assert_eq!(
+            v,
+            vec![
+                SimTime::at_days(1.0),
+                SimTime::at_days(1.0),
+                SimTime::at_days(2.0),
+                SimTime::at_days(3.0),
+            ]
+        );
     }
 
     #[test]

@@ -17,13 +17,18 @@
 //!   bridge their home segment to other segments,
 //! * [`Reachability`] — given the set of currently *up* sites, the
 //!   partition of up sites into maximal mutually-communicating groups,
+//! * [`ReachabilityCache`] — a memo table interning one immutable
+//!   [`Reachability`] per up-set, turning the per-event recomputation
+//!   done by simulators into a table lookup,
 //! * [`NetworkBuilder`] — ergonomic construction (and the classic UCSD
 //!   Figure 8 network lives in `dynvote-availability::network`).
 
 pub mod builder;
+pub mod cache;
 pub mod network;
 pub mod reachability;
 
 pub use builder::{point_to_point, NetworkBuilder};
+pub use cache::ReachabilityCache;
 pub use network::{Network, SegmentId, TopologyError};
 pub use reachability::Reachability;

@@ -1,6 +1,9 @@
 //! The result of a reachability computation: who can talk to whom, now.
 
-use dynvote_types::{SiteId, SiteSet};
+use dynvote_types::{SiteId, SiteSet, MAX_SITES};
+
+/// Sentinel for "site is in no group" in the per-site index array.
+const NO_GROUP: u8 = u8::MAX;
 
 /// A partition of the currently-up sites into maximal groups of mutually
 /// communicating sites.
@@ -9,10 +12,39 @@ use dynvote_types::{SiteId, SiteSet};
 /// to one side of a (possibly multi-way) network partition; within a
 /// group, the paper's fail-stop/reliable-delivery assumptions mean every
 /// member answers a broadcast.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Alongside the group list the value carries a compact per-site
+/// group-index array, so the hot-path queries [`Reachability::group_of`]
+/// and [`Reachability::can_communicate`] are O(1) lookups rather than
+/// linear scans — the simulation driver issues them on every event.
+#[derive(Clone, Debug)]
 pub struct Reachability {
     groups: Vec<SiteSet>,
     up: SiteSet,
+    /// `group_index[s]` is the index into `groups` of the group holding
+    /// site `s`, or [`NO_GROUP`] when the site is down.
+    group_index: [u8; MAX_SITES],
+}
+
+impl PartialEq for Reachability {
+    fn eq(&self, other: &Self) -> bool {
+        // The index array is derived from the groups; comparing it
+        // would be redundant.
+        self.groups == other.groups && self.up == other.up
+    }
+}
+
+impl Eq for Reachability {}
+
+fn index_groups(groups: &[SiteSet]) -> [u8; MAX_SITES] {
+    debug_assert!(groups.len() < NO_GROUP as usize, "group count fits in u8");
+    let mut index = [NO_GROUP; MAX_SITES];
+    for (i, g) in groups.iter().enumerate() {
+        for site in g.iter() {
+            index[site.index()] = i as u8;
+        }
+    }
+    index
 }
 
 impl Reachability {
@@ -21,7 +53,12 @@ impl Reachability {
             groups.iter().all(|g| g.is_subset_of(up)),
             "groups must contain only up sites"
         );
-        Reachability { groups, up }
+        let group_index = index_groups(&groups);
+        Reachability {
+            groups,
+            up,
+            group_index,
+        }
     }
 
     /// Builds a reachability directly from groups (for tests and for
@@ -37,7 +74,12 @@ impl Reachability {
             assert!(up.is_disjoint(*g), "groups must be pairwise disjoint");
             up |= *g;
         }
-        Reachability { groups, up }
+        let group_index = index_groups(&groups);
+        Reachability {
+            groups,
+            up,
+            group_index,
+        }
     }
 
     /// The maximal mutually-communicating groups, in unspecified order.
@@ -55,22 +97,37 @@ impl Reachability {
     /// The group containing `site`, or `None` when the site is down.
     ///
     /// This is the paper's `R` for a request originating at `site`: "the
-    /// set of all sites communicating with the requesting site".
+    /// set of all sites communicating with the requesting site". An O(1)
+    /// array lookup.
+    #[inline]
     #[must_use]
     pub fn group_of(&self, site: SiteId) -> Option<SiteSet> {
-        self.groups.iter().copied().find(|g| g.contains(site))
+        match self.group_index[site.index()] {
+            NO_GROUP => None,
+            i => Some(self.groups[i as usize]),
+        }
     }
 
-    /// `true` when the two sites can currently communicate.
+    /// `true` when the two sites can currently communicate. O(1).
+    #[inline]
     #[must_use]
     pub fn can_communicate(&self, a: SiteId, b: SiteId) -> bool {
-        self.group_of(a).is_some_and(|g| g.contains(b))
+        let ia = self.group_index[a.index()];
+        ia != NO_GROUP && ia == self.group_index[b.index()]
+    }
+
+    /// The linear-scan definition of [`Reachability::group_of`], kept as
+    /// the executable specification the O(1) index is tested against.
+    #[must_use]
+    pub fn group_of_linear(&self, site: SiteId) -> Option<SiteSet> {
+        self.groups.iter().copied().find(|g| g.contains(site))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn from_groups_and_queries() {
@@ -96,5 +153,49 @@ mod tests {
             SiteSet::from_indices([0, 1]),
             SiteSet::from_indices([1, 2]),
         ]);
+    }
+
+    /// A random partition of (a subset of) the first 12 sites into up to
+    /// four disjoint groups: each site draws a group id 0-4, where 4
+    /// means "down".
+    fn arb_partition() -> impl Strategy<Value = Vec<SiteSet>> {
+        proptest::collection::vec(0u8..5, 12).prop_map(|assignment| {
+            let mut groups = vec![SiteSet::EMPTY; 4];
+            for (site, &g) in assignment.iter().enumerate() {
+                if (g as usize) < groups.len() {
+                    groups[g as usize].insert(SiteId::new(site));
+                }
+            }
+            groups.retain(|g| !g.is_empty());
+            groups
+        })
+    }
+
+    proptest! {
+        /// The O(1) per-site index agrees with the linear-scan
+        /// definition for every site, on random group partitions.
+        #[test]
+        fn indexed_group_of_matches_linear_scan(groups in arb_partition()) {
+            let r = Reachability::from_groups(groups);
+            for site in (0..16).map(SiteId::new) {
+                prop_assert_eq!(r.group_of(site), r.group_of_linear(site));
+            }
+        }
+
+        /// `can_communicate` is exactly "same group under the linear
+        /// scan" on random partitions.
+        #[test]
+        fn can_communicate_matches_linear_scan(groups in arb_partition()) {
+            let r = Reachability::from_groups(groups);
+            for a in (0..14).map(SiteId::new) {
+                for b in (0..14).map(SiteId::new) {
+                    let expected = match (r.group_of_linear(a), r.group_of_linear(b)) {
+                        (Some(ga), Some(gb)) => ga == gb,
+                        _ => false,
+                    };
+                    prop_assert_eq!(r.can_communicate(a, b), expected);
+                }
+            }
+        }
     }
 }

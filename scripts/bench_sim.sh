@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_sim.json: times a --quick artefact sweep (into a temp
+# dir, so committed results/ stay untouched) and hands the measurement
+# to the sim_throughput harness, which adds driver-only and full-row
+# events/sec and writes the JSON at the repo root.
+#
+#   scripts/bench_sim.sh            # full snapshot (commit the result)
+#   scripts/bench_sim.sh --smoke    # small event counts, no quick study
+#                                   # (CI: exercises the path only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
+fi
+
+# Build everything first so cargo run below measures runtime, not
+# compilation.
+cargo build --release -p dynvote-experiments -p dynvote-bench
+
+if [[ "$SMOKE" == 1 ]]; then
+    # CI path: keep it to seconds and leave the committed JSON alone.
+    cargo run --release -p dynvote-bench --bin sim_throughput -- \
+        --events 200000 --out "$(mktemp -d)/BENCH_sim.json"
+    exit 0
+fi
+
+TMP_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$TMP_RESULTS"' EXIT
+echo ">>> timing regenerate_results.sh --quick (into $TMP_RESULTS)"
+START_NS=$(date +%s%N)
+DYNVOTE_RESULTS_DIR="$TMP_RESULTS" scripts/regenerate_results.sh --quick
+END_NS=$(date +%s%N)
+QUICK_SECS=$(( (END_NS - START_NS) / 1000000 ))
+QUICK_SECS="$((QUICK_SECS / 1000)).$(printf '%03d' $((QUICK_SECS % 1000)))"
+echo ">>> quick study took ${QUICK_SECS}s"
+
+cargo run --release -p dynvote-bench --bin sim_throughput -- \
+    --quick-study-secs "$QUICK_SECS"
