@@ -1,0 +1,339 @@
+//! Cross-policy differential oracle: lockstep exploration of two
+//! policies under identical event schedules.
+//!
+//! Two relations are checked:
+//!
+//! * [`Relation::GrantImplies`] — every operation the primary policy
+//!   grants, the reference grants too (grant-set inclusion under a
+//!   shared history). The sound instance is **DV ⊆ LDV**: LDV is DV
+//!   plus a tie-break, so it can only grant *more*.
+//! * [`Relation::Equivalent`] — the policies take identical decisions
+//!   and their clusters stay bit-identical (fingerprint equality).
+//!   The sound instances are **ODV ≡ LDV** and **OTDV ≡ TDV**: at
+//!   message level the optimistic/instantaneous distinction is about
+//!   *when clients invoke operations*, which the event schedule already
+//!   controls, so the rules coincide.
+//!
+//! The often-assumed third relation, **MCV ⊆ LDV**, is *false* — MCV
+//! counts every reachable copy while LDV's shrunk partitions demand the
+//! lineage's survivors, so a repaired-but-unrecovered copy lets MCV
+//! grant where LDV refuses. The checker found and minimized a witness;
+//! it is pinned as a corpus trace and documented in EXPERIMENTS.md
+//! rather than asserted as an invariant.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use dynvote_replica::Protocol;
+
+use crate::event::CheckEvent;
+use crate::explore::enumerate_events;
+use crate::scenario::{policy_name, Scenario};
+use crate::shrink::ddmin;
+use crate::world::World;
+
+/// The relation a differential run asserts between primary and
+/// reference policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// Primary grants ⟹ reference grants (grant-set inclusion).
+    GrantImplies,
+    /// Identical decisions and bit-identical cluster states.
+    Equivalent,
+}
+
+/// One differential run: primary policy (from `scenario`) vs
+/// `reference`, same sites/segments/depth.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Scenario of the *primary* policy.
+    pub scenario: Scenario,
+    /// The reference policy.
+    pub reference: Protocol,
+    /// The asserted relation.
+    pub relation: Relation,
+    /// Maximum number of events per path.
+    pub depth: usize,
+    /// Wall-clock budget; `None` is exhaustive.
+    pub budget: Option<Duration>,
+    /// At most this many counterexamples keep their traces.
+    pub max_findings: usize,
+}
+
+impl DiffConfig {
+    /// A default exhaustive configuration.
+    #[must_use]
+    pub fn new(
+        scenario: Scenario,
+        reference: Protocol,
+        relation: Relation,
+        depth: usize,
+    ) -> DiffConfig {
+        DiffConfig {
+            scenario,
+            reference,
+            relation,
+            depth,
+            budget: None,
+            max_findings: 4,
+        }
+    }
+
+    fn reference_scenario(&self) -> Scenario {
+        Scenario {
+            policy: self.reference,
+            ..self.scenario
+        }
+    }
+}
+
+/// One relation counterexample.
+#[derive(Clone, Debug)]
+pub struct DiffFinding {
+    /// The events leading to (and including) the diverging step.
+    pub trace: Vec<CheckEvent>,
+    /// What diverged.
+    pub detail: String,
+    /// The delta-debugged minimal reproduction.
+    pub shrunk: Vec<CheckEvent>,
+}
+
+/// The result of one differential run.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// The primary scenario.
+    pub scenario: Scenario,
+    /// The reference policy.
+    pub reference: Protocol,
+    /// The asserted relation.
+    pub relation: Relation,
+    /// Distinct lockstep states visited.
+    pub states_explored: u64,
+    /// Transitions landing on covered states.
+    pub dedup_hits: u64,
+    /// Total transitions applied.
+    pub transitions: u64,
+    /// Whether the budget truncated the run.
+    pub truncated: bool,
+    /// Total relation mismatches (not capped).
+    pub mismatches: u64,
+    /// Recorded counterexamples.
+    pub findings: Vec<DiffFinding>,
+}
+
+impl DiffReport {
+    /// Whether the relation held everywhere explored.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+struct Pair {
+    primary: World,
+    reference: World,
+}
+
+impl Pair {
+    fn fingerprint(&self) -> u64 {
+        self.primary.fingerprint() ^ self.reference.fingerprint().rotate_left(17)
+    }
+}
+
+/// Checks one event against the relation; `Some(detail)` on mismatch.
+fn check_event(config: &DiffConfig, pair: &mut Pair, event: CheckEvent) -> Option<String> {
+    let out_primary = pair.primary.apply(event);
+    let out_reference = pair.reference.apply(event);
+    let primary_name = policy_name(config.scenario.policy);
+    let reference_name = policy_name(config.reference);
+    match config.relation {
+        Relation::GrantImplies => {
+            if out_primary.granted && !out_reference.granted {
+                return Some(format!(
+                    "{primary_name} granted `{event}` but {reference_name} refused it \
+                     ({:?})",
+                    out_reference.refusal
+                ));
+            }
+        }
+        Relation::Equivalent => {
+            if out_primary.granted != out_reference.granted {
+                return Some(format!(
+                    "`{event}`: {primary_name} {} while {reference_name} {}",
+                    verdict(out_primary.granted),
+                    verdict(out_reference.granted)
+                ));
+            }
+            if pair.primary.fingerprint() != pair.reference.fingerprint() {
+                return Some(format!(
+                    "states diverged after `{event}` despite identical decisions"
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn verdict(granted: bool) -> &'static str {
+    if granted {
+        "granted"
+    } else {
+        "refused"
+    }
+}
+
+/// Replays `events` on fresh lockstep worlds; true if any step breaks
+/// the relation.
+fn mismatch_reproduces(config: &DiffConfig, events: &[CheckEvent]) -> bool {
+    let mut pair = Pair {
+        primary: World::new(&config.scenario),
+        reference: World::new(&config.reference_scenario()),
+    };
+    events
+        .iter()
+        .any(|&event| check_event(config, &mut pair, event).is_some())
+}
+
+/// Runs the lockstep differential exploration.
+#[must_use]
+pub fn run_differential(config: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport {
+        scenario: config.scenario,
+        reference: config.reference,
+        relation: config.relation,
+        states_explored: 1,
+        dedup_hits: 0,
+        transitions: 0,
+        truncated: false,
+        mismatches: 0,
+        findings: Vec::new(),
+    };
+    let root = Pair {
+        primary: World::new(&config.scenario),
+        reference: World::new(&config.reference_scenario()),
+    };
+    let deadline = config.budget.map(|b| Instant::now() + b);
+    let mut seen: HashMap<u64, u8> = HashMap::new();
+    seen.insert(root.fingerprint(), depth_u8(config.depth));
+    let mut path = Vec::new();
+    dfs(
+        config,
+        &root,
+        config.depth,
+        &deadline,
+        &mut seen,
+        &mut path,
+        &mut report,
+    );
+    for finding in &mut report.findings {
+        finding.shrunk = ddmin(&finding.trace, |candidate| {
+            mismatch_reproduces(config, candidate)
+        });
+    }
+    report
+}
+
+fn depth_u8(depth: usize) -> u8 {
+    u8::try_from(depth.min(usize::from(u8::MAX))).expect("clamped")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    config: &DiffConfig,
+    pair: &Pair,
+    depth_left: usize,
+    deadline: &Option<Instant>,
+    seen: &mut HashMap<u64, u8>,
+    path: &mut Vec<CheckEvent>,
+    report: &mut DiffReport,
+) {
+    if depth_left == 0 || report.truncated {
+        return;
+    }
+    // The alphabet comes from the primary world; fault events keep the
+    // two up-sets identical, so enumeration agrees between the worlds
+    // even after their partition sets diverge.
+    for event in enumerate_events(&pair.primary) {
+        report.transitions += 1;
+        if report.transitions & 0x3FF == 0 {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= *deadline {
+                    report.truncated = true;
+                    return;
+                }
+            }
+        }
+        let mut child = Pair {
+            primary: pair.primary.clone(),
+            reference: pair.reference.clone(),
+        };
+        let mismatch = check_event(config, &mut child, event);
+        path.push(event);
+        if let Some(detail) = mismatch {
+            report.mismatches += 1;
+            if report.findings.len() < config.max_findings {
+                report.findings.push(DiffFinding {
+                    trace: path.clone(),
+                    detail,
+                    shrunk: path.clone(),
+                });
+            }
+        } else {
+            let fingerprint = child.fingerprint();
+            let remaining = depth_u8(depth_left - 1);
+            match seen.get(&fingerprint) {
+                Some(&covered) if covered >= remaining => report.dedup_hits += 1,
+                _ => {
+                    seen.insert(fingerprint, remaining);
+                    report.states_explored += 1;
+                    dfs(config, &child, depth_left - 1, deadline, seen, path, report);
+                }
+            }
+        }
+        path.pop();
+        if report.truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odv_is_ldv_at_message_level() {
+        let scenario = Scenario::new(Protocol::Odv, 3, 1).unwrap();
+        let config = DiffConfig::new(scenario, Protocol::Ldv, Relation::Equivalent, 4);
+        let report = run_differential(&config);
+        assert!(report.holds(), "findings: {:?}", report.findings);
+        assert!(report.states_explored > 1);
+    }
+
+    #[test]
+    fn dv_grants_imply_ldv_grants() {
+        let scenario = Scenario::new(Protocol::Dv, 3, 1).unwrap();
+        let config = DiffConfig::new(scenario, Protocol::Ldv, Relation::GrantImplies, 4);
+        let report = run_differential(&config);
+        assert!(report.holds(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn mcv_domination_by_ldv_is_refuted() {
+        // The textbook-sounding "MCV ⊆ LDV" is false: a repaired but
+        // unrecovered copy counts for MCV's static majority but not for
+        // LDV's shrunk partition. The checker must find (and shrink) a
+        // witness at 4 sites within depth 6.
+        let scenario = Scenario::new(Protocol::Mcv, 4, 1).unwrap();
+        let config = DiffConfig::new(scenario, Protocol::Ldv, Relation::GrantImplies, 6);
+        let report = run_differential(&config);
+        assert!(!report.holds(), "MCV ⊆ LDV should be refuted");
+        let finding = &report.findings[0];
+        assert!(finding.shrunk.len() <= finding.trace.len());
+        assert!(
+            finding.shrunk.len() <= 6,
+            "witness should shrink small, got {:?}",
+            finding.shrunk
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Bounded exhaustive exploration with memoized deduplication.
+//!
+//! Depth-first search over every interleaving of the event alphabet, to
+//! a configurable depth. Branching clones the [`World`] (clusters share
+//! their reachability memo, so clones are cheap); deduplication hashes
+//! every reached state with [`World::fingerprint`] and skips a state
+//! already explored with at least as much remaining depth
+//! (*depth-left dominance* — a weaker revisit can only reach a subset
+//! of what the stronger visit already covered).
+//!
+//! Violating states are terminal: the violation is recorded with its
+//! full event path and the search backtracks, so every finding's trace
+//! ends at the exact step that surfaced it.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use dynvote_core::check::{StateInvariant, Violation};
+
+use crate::event::CheckEvent;
+use crate::scenario::Scenario;
+use crate::shrink::ddmin;
+use crate::trace::regression_snippet;
+use crate::world::{apply_and_detect, classify_known_hazard, default_suite, World};
+
+/// How often (in applied transitions) the wall-clock budget is polled.
+const BUDGET_POLL_MASK: u64 = 0x3FF;
+
+/// One run of the checker.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// The configuration under check.
+    pub scenario: Scenario,
+    /// Maximum number of events per path.
+    pub depth: usize,
+    /// Wall-clock budget; `None` explores exhaustively (and
+    /// deterministically — budgeted runs may truncate at a
+    /// machine-dependent point).
+    pub budget: Option<Duration>,
+    /// At most this many findings keep their full traces (all
+    /// violations are still *counted*).
+    pub max_findings: usize,
+    /// Minimize each recorded trace with delta debugging.
+    pub shrink: bool,
+}
+
+impl CheckConfig {
+    /// A default configuration: exhaustive, up to 8 recorded findings,
+    /// shrinking on.
+    #[must_use]
+    pub fn new(scenario: Scenario, depth: usize) -> CheckConfig {
+        CheckConfig {
+            scenario,
+            depth,
+            budget: None,
+            max_findings: 8,
+            shrink: true,
+        }
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The violated invariant.
+    pub violation: Violation,
+    /// Whether this is the topological protocols' documented
+    /// sequential-claim hazard rather than a fresh bug.
+    pub known_hazard: bool,
+    /// The event path that reached the violation, as found.
+    pub trace: Vec<CheckEvent>,
+    /// The delta-debugged 1-minimal reproduction (equals `trace` when
+    /// shrinking is off).
+    pub shrunk: Vec<CheckEvent>,
+    /// A ready-to-paste `#[test]` reproducing the violation.
+    pub regression: String,
+}
+
+/// The result of one exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The explored configuration.
+    pub scenario: Scenario,
+    /// The depth bound the run used.
+    pub depth: usize,
+    /// Distinct states visited (the root included).
+    pub states_explored: u64,
+    /// Transitions that landed on an already-covered state.
+    pub dedup_hits: u64,
+    /// Total transitions applied.
+    pub transitions: u64,
+    /// Whether the wall-clock budget truncated the search.
+    pub truncated: bool,
+    /// Violations classified as real bugs (total, not capped).
+    pub real_violations: u64,
+    /// Violations classified as known topological hazards (total).
+    pub known_hazards: u64,
+    /// Recorded findings, at most `max_findings`, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Whether the run is clean: no real violations (known hazards are
+    /// reported, not failed, unless the caller denies them).
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.real_violations == 0
+    }
+}
+
+/// Every event applicable in `world`, in canonical order: crash/repair
+/// per site, recover per up site, partition changes, then reads and
+/// writes per up site. Canonical ordering is what makes exploration
+/// (and therefore reports and recorded traces) deterministic.
+#[must_use]
+pub fn enumerate_events(world: &World) -> Vec<CheckEvent> {
+    let cluster = &world.cluster;
+    let copies = cluster.copies();
+    let up = cluster.up_sites();
+    let mut out = Vec::new();
+    for site in copies.iter() {
+        if up.contains(site) {
+            out.push(CheckEvent::Crash(site));
+        } else {
+            out.push(CheckEvent::Repair(site));
+        }
+    }
+    for site in copies.iter() {
+        if up.contains(site) {
+            out.push(CheckEvent::Recover(site));
+        }
+    }
+    let partitions = world.partitions();
+    if partitions.len() > 1 {
+        for index in 1..partitions.len() {
+            if world.forced() != Some(index) {
+                out.push(CheckEvent::Partition(index));
+            }
+        }
+        if world.forced().is_some() {
+            out.push(CheckEvent::Heal);
+        }
+    }
+    for site in copies.iter() {
+        if up.contains(site) {
+            out.push(CheckEvent::Read(site));
+        }
+    }
+    for site in copies.iter() {
+        if up.contains(site) {
+            out.push(CheckEvent::Write(site));
+        }
+    }
+    out
+}
+
+/// Runs the checker on the scenario's canonical cluster.
+#[must_use]
+pub fn run(config: &CheckConfig) -> Report {
+    run_with_factory(config, &|scenario: &Scenario| scenario.build_cluster())
+}
+
+/// Runs the checker with a pluggable cluster factory.
+///
+/// The factory builds the root cluster *and* every reproduction replay
+/// (shrinking re-validates candidate traces from scratch), so a factory
+/// that arms a fault keeps it armed through minimization.
+#[must_use]
+pub fn run_with_factory(
+    config: &CheckConfig,
+    factory: &dyn Fn(&Scenario) -> dynvote_replica::Cluster<u64>,
+) -> Report {
+    let suite = default_suite();
+    let mut explorer = Explorer {
+        config,
+        suite: &suite,
+        deadline: config.budget.map(|b| Instant::now() + b),
+        seen: HashMap::new(),
+        path: Vec::new(),
+        report: Report {
+            scenario: config.scenario,
+            depth: config.depth,
+            states_explored: 0,
+            dedup_hits: 0,
+            transitions: 0,
+            truncated: false,
+            real_violations: 0,
+            known_hazards: 0,
+            findings: Vec::new(),
+        },
+    };
+
+    let root = World::with_cluster(factory(&config.scenario));
+    explorer.report.states_explored = 1;
+    explorer
+        .seen
+        .insert(root.fingerprint(), depth_u8(config.depth));
+    explorer.dfs(&root, config.depth);
+
+    if config.shrink {
+        for finding in &mut explorer.report.findings {
+            finding.shrunk = shrink_finding(config, factory, &suite, finding);
+            finding.regression = regression_snippet(
+                &config.scenario,
+                &finding.shrunk,
+                finding.violation.invariant,
+                finding.known_hazard,
+            );
+        }
+    }
+    explorer.report
+}
+
+fn depth_u8(depth: usize) -> u8 {
+    u8::try_from(depth.min(usize::from(u8::MAX))).expect("clamped")
+}
+
+struct Explorer<'a> {
+    config: &'a CheckConfig,
+    suite: &'a [Box<dyn StateInvariant>],
+    deadline: Option<Instant>,
+    /// fingerprint → largest depth-left this state was explored with.
+    seen: HashMap<u64, u8>,
+    path: Vec<CheckEvent>,
+    report: Report,
+}
+
+impl Explorer<'_> {
+    fn out_of_budget(&mut self) -> bool {
+        if self.report.truncated {
+            return true;
+        }
+        if self.report.transitions & BUDGET_POLL_MASK == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.report.truncated = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn dfs(&mut self, world: &World, depth_left: usize) {
+        if depth_left == 0 {
+            return;
+        }
+        for event in enumerate_events(world) {
+            self.report.transitions += 1;
+            if self.out_of_budget() {
+                return;
+            }
+            let was_forked = world.forked();
+            let mut child = world.clone();
+            let found = apply_and_detect(&mut child, self.suite, event);
+            self.path.push(event);
+            if found.is_empty() {
+                let fingerprint = child.fingerprint();
+                let remaining = depth_u8(depth_left - 1);
+                match self.seen.get(&fingerprint) {
+                    Some(&covered) if covered >= remaining => {
+                        self.report.dedup_hits += 1;
+                    }
+                    _ => {
+                        self.seen.insert(fingerprint, remaining);
+                        self.report.states_explored += 1;
+                        self.dfs(&child, depth_left - 1);
+                    }
+                }
+            } else {
+                // Violating states are terminal: record and backtrack.
+                let now_forked = child.forked();
+                for violation in found {
+                    let hazard = classify_known_hazard(
+                        self.config.scenario.policy,
+                        was_forked,
+                        now_forked,
+                        &violation,
+                    );
+                    if hazard {
+                        self.report.known_hazards += 1;
+                    } else {
+                        self.report.real_violations += 1;
+                    }
+                    if self.report.findings.len() < self.config.max_findings {
+                        self.report.findings.push(Finding {
+                            violation,
+                            known_hazard: hazard,
+                            trace: self.path.clone(),
+                            shrunk: self.path.clone(),
+                            regression: String::new(),
+                        });
+                    }
+                }
+            }
+            self.path.pop();
+            if self.report.truncated {
+                return;
+            }
+        }
+    }
+}
+
+/// Replays `events` on a fresh factory-built world and reports whether
+/// the target violation (same invariant, same hazard classification)
+/// occurs at any step.
+pub fn reproduces(
+    scenario: &Scenario,
+    factory: &dyn Fn(&Scenario) -> dynvote_replica::Cluster<u64>,
+    suite: &[Box<dyn StateInvariant>],
+    invariant: &str,
+    known_hazard: bool,
+    events: &[CheckEvent],
+) -> bool {
+    let mut world = World::with_cluster(factory(scenario));
+    for &event in events {
+        let was_forked = world.forked();
+        let found = apply_and_detect(&mut world, suite, event);
+        let now_forked = world.forked();
+        for violation in &found {
+            let hazard = classify_known_hazard(scenario.policy, was_forked, now_forked, violation);
+            if violation.invariant == invariant && hazard == known_hazard {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn shrink_finding(
+    config: &CheckConfig,
+    factory: &dyn Fn(&Scenario) -> dynvote_replica::Cluster<u64>,
+    suite: &[Box<dyn StateInvariant>],
+    finding: &Finding,
+) -> Vec<CheckEvent> {
+    ddmin(&finding.trace, |candidate| {
+        reproduces(
+            &config.scenario,
+            factory,
+            suite,
+            finding.violation.invariant,
+            finding.known_hazard,
+            candidate,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use dynvote_replica::Protocol;
+
+    use super::*;
+
+    #[test]
+    fn enumeration_is_canonical_and_liveness_aware() {
+        let scenario = Scenario::new(Protocol::Ldv, 3, 1).unwrap();
+        let world = World::new(&scenario);
+        let events = enumerate_events(&world);
+        // 3 crash + 3 recover + 3 read + 3 write, no partitions at one
+        // segment.
+        assert_eq!(events.len(), 12);
+        assert_eq!(events, enumerate_events(&world), "stable order");
+
+        let mut crashed = world.clone();
+        crashed.apply(CheckEvent::Crash(dynvote_types::SiteId::new(1)));
+        let events = enumerate_events(&crashed);
+        // S1 swaps crash→repair and loses recover/read/write.
+        assert_eq!(events.len(), 9);
+        assert!(events.contains(&CheckEvent::Repair(dynvote_types::SiteId::new(1))));
+    }
+
+    #[test]
+    fn multi_segment_enumeration_offers_partitions() {
+        let scenario = Scenario::new(Protocol::Dv, 4, 2).unwrap();
+        let world = World::new(&scenario);
+        let events = enumerate_events(&world);
+        assert!(events.contains(&CheckEvent::Partition(1)));
+        assert!(!events.contains(&CheckEvent::Heal), "nothing to heal yet");
+    }
+
+    #[test]
+    fn tiny_exhaustive_run_is_clean_and_deterministic() {
+        let scenario = Scenario::new(Protocol::Odv, 2, 1).unwrap();
+        let config = CheckConfig::new(scenario, 3);
+        let a = run(&config);
+        let b = run(&config);
+        assert!(a.clean(), "ODV at depth 3 must be violation-free");
+        assert_eq!(a.known_hazards, 0);
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert_eq!(a.transitions, b.transitions);
+        assert!(a.states_explored > 1);
+        assert!(!a.truncated);
+    }
+
+    #[test]
+    fn tdv_two_sites_finds_the_fork_hazard() {
+        let scenario = Scenario::new(Protocol::Tdv, 2, 1).unwrap();
+        let report = run(&CheckConfig::new(scenario, 5));
+        assert_eq!(report.real_violations, 0, "the fork is a *known* hazard");
+        assert!(report.known_hazards > 0, "depth 5 reaches the 2-site fork");
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.violation.invariant == "lineage-fork")
+            .expect("a lineage-fork finding");
+        assert!(finding.known_hazard);
+        assert!(finding.shrunk.len() <= finding.trace.len());
+        assert_eq!(finding.shrunk.len(), 5, "the 2-site fork needs 5 events");
+    }
+}

@@ -1,0 +1,126 @@
+//! Delta-debugging trace minimization (Zeller's `ddmin`).
+//!
+//! A counterexample trace found by depth-first search carries every
+//! event of the path, most of which are incidental. `ddmin` removes
+//! chunks of decreasing size, re-validating each candidate against a
+//! *fresh replay* of the real cluster (the predicate), and finishes
+//! with a single-event sweep, so the result is 1-minimal: removing any
+//! one remaining event no longer reproduces the violation.
+
+use crate::event::CheckEvent;
+
+/// Minimizes `trace` against `reproduces`, which must hold for the
+/// input trace (if it does not, the input is returned unchanged).
+///
+/// The result is 1-minimal with respect to event *removal*. Replays are
+/// from scratch, so the predicate's verdict never depends on shrink
+/// order.
+pub fn ddmin<P: FnMut(&[CheckEvent]) -> bool>(
+    trace: &[CheckEvent],
+    mut reproduces: P,
+) -> Vec<CheckEvent> {
+    if trace.is_empty() || !reproduces(trace) {
+        return trace.to_vec();
+    }
+    let mut current = trace.to_vec();
+    let mut chunks = 2usize;
+    while current.len() >= 2 {
+        let chunk_len = current.len().div_ceil(chunks);
+        let mut removed = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk_len).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && reproduces(&candidate) {
+                current = candidate;
+                chunks = chunks.saturating_sub(1).max(2);
+                removed = true;
+                // Restart the sweep on the reduced trace.
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !removed {
+            if chunks >= current.len() {
+                break;
+            }
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+    // Final single-event sweep to guarantee 1-minimality.
+    let mut index = 0;
+    while current.len() > 1 && index < current.len() {
+        let mut candidate = current.clone();
+        candidate.remove(index);
+        if reproduces(&candidate) {
+            current = candidate;
+            index = 0;
+        } else {
+            index += 1;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use dynvote_types::SiteId;
+
+    use super::*;
+
+    fn event(index: usize) -> CheckEvent {
+        CheckEvent::Crash(SiteId::new(index))
+    }
+
+    #[test]
+    fn shrinks_to_the_embedded_kernel() {
+        // The "violation" needs crash 2 and crash 5, in order — every
+        // other event is noise.
+        let trace: Vec<CheckEvent> = (0..8).map(event).collect();
+        let shrunk = ddmin(&trace, |candidate| {
+            let pos2 = candidate.iter().position(|&e| e == event(2));
+            let pos5 = candidate.iter().position(|&e| e == event(5));
+            matches!((pos2, pos5), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(shrunk, vec![event(2), event(5)]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Any 3 of the first 6 events reproduce: ddmin must land on
+        // exactly 3, and no single removal may still reproduce.
+        let trace: Vec<CheckEvent> = (0..6).map(event).collect();
+        let mut replays = 0;
+        let shrunk = ddmin(&trace, |candidate| {
+            replays += 1;
+            candidate.len() >= 3
+        });
+        assert_eq!(shrunk.len(), 3);
+        assert!(replays > 0);
+    }
+
+    #[test]
+    fn irreducible_trace_survives() {
+        let trace: Vec<CheckEvent> = (0..4).map(event).collect();
+        let original = trace.clone();
+        let shrunk = ddmin(&trace, |candidate| candidate.len() == 4);
+        assert_eq!(shrunk, original);
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let trace: Vec<CheckEvent> = (0..3).map(event).collect();
+        let shrunk = ddmin(&trace, |_| false);
+        assert_eq!(shrunk, trace);
+    }
+
+    #[test]
+    fn single_event_kernel() {
+        let trace: Vec<CheckEvent> = (0..7).map(event).collect();
+        let shrunk = ddmin(&trace, |candidate| candidate.contains(&event(3)));
+        assert_eq!(shrunk, vec![event(3)]);
+    }
+}

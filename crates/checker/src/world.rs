@@ -1,0 +1,441 @@
+//! The explored state: a real cluster plus the ground truth the
+//! history-dependent oracles need.
+//!
+//! A [`World`] wraps the message-level [`Cluster`] — the checker drives
+//! the *actual* protocol implementation, it does not re-model it — and
+//! adds the per-path bookkeeping that table-level invariants cannot
+//! carry: the monotone write-token counter, the token of the last
+//! committed write (the "no read older than the last committed write"
+//! oracle), and the forced-partition index.
+
+use std::sync::Arc;
+
+use dynvote_core::check::{ProtocolSnapshot, StateInvariant, Violation};
+use dynvote_core::state::StateTable;
+use dynvote_replica::checker::Violation as ReplicaViolation;
+use dynvote_replica::{Cluster, Protocol, StepEvent};
+use dynvote_types::{AccessError, SiteSet};
+
+use crate::event::CheckEvent;
+use crate::scenario::Scenario;
+
+/// What applying one event did, before any invariant is consulted.
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    /// Whether the event took effect: always `true` for fault events,
+    /// and the grant/refuse outcome for operations.
+    pub granted: bool,
+    /// The protocol's refusal, when the operation was refused.
+    pub refusal: Option<AccessError>,
+    /// A token-oracle violation: a granted read returned a value other
+    /// than the last committed write token.
+    pub oracle: Option<Violation>,
+}
+
+/// One explored state: the live cluster plus per-path ground truth.
+#[derive(Clone)]
+pub struct World {
+    /// The cluster under check (value type = write token).
+    pub cluster: Cluster<u64>,
+    /// Canonical segment partitions of the scenario network (entry 0 is
+    /// the trivial one-block partition). Shared, not cloned per branch.
+    partitions: Arc<Vec<Vec<SiteSet>>>,
+    /// Index of the currently forced partition, if any.
+    forced: Option<usize>,
+    /// The next write token to mint (consumed only by granted writes).
+    next_token: u64,
+    /// Token of the last committed write (`0` = the initial value).
+    last_committed: u64,
+    /// How many token-oracle violations this path has seen.
+    oracle_violations: u64,
+}
+
+impl World {
+    /// A fresh world for the scenario's canonical cluster.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> World {
+        World::with_cluster(scenario.build_cluster())
+    }
+
+    /// A fresh world around a caller-built cluster — the hook that
+    /// fault-injection tests use to hand the checker a deliberately
+    /// broken cluster.
+    #[must_use]
+    pub fn with_cluster(cluster: Cluster<u64>) -> World {
+        let partitions = Arc::new(cluster.network().segment_partitions());
+        World {
+            cluster,
+            partitions,
+            forced: None,
+            next_token: 1,
+            last_committed: 0,
+            oracle_violations: 0,
+        }
+    }
+
+    /// The canonical segment partitions of this world's network.
+    #[must_use]
+    pub fn partitions(&self) -> &[Vec<SiteSet>] {
+        &self.partitions
+    }
+
+    /// Index of the currently forced partition, if any.
+    #[must_use]
+    pub fn forced(&self) -> Option<usize> {
+        self.forced
+    }
+
+    /// The token of the last committed write (`0` before any write).
+    #[must_use]
+    pub fn last_committed(&self) -> u64 {
+        self.last_committed
+    }
+
+    /// Whether this path has already committed a forked lineage — the
+    /// topological protocols' sequential-claim hazard. Violations on a
+    /// forked path are classified as known hazards, not fresh bugs.
+    #[must_use]
+    pub fn forked(&self) -> bool {
+        self.cluster
+            .checker()
+            .violations()
+            .iter()
+            .any(|v| matches!(v, ReplicaViolation::LineageFork { .. }))
+    }
+
+    /// Applies one event to the live cluster.
+    pub fn apply(&mut self, event: CheckEvent) -> StepOutcome {
+        let mut outcome = StepOutcome {
+            granted: true,
+            refusal: None,
+            oracle: None,
+        };
+        let result = match event {
+            CheckEvent::Crash(site) => self.cluster.step(StepEvent::FailSite(site)),
+            CheckEvent::Repair(site) => self.cluster.step(StepEvent::RepairSite(site)),
+            CheckEvent::Recover(site) => self.cluster.step(StepEvent::Recover(site)),
+            CheckEvent::Partition(index) => {
+                let groups = self.partitions[index].clone();
+                self.forced = Some(index);
+                self.cluster.step(StepEvent::ForcePartition(groups))
+            }
+            CheckEvent::Heal => {
+                self.forced = None;
+                self.cluster.step(StepEvent::HealPartition)
+            }
+            CheckEvent::Read(origin) => self.cluster.step(StepEvent::Read(origin)),
+            CheckEvent::Write(origin) => {
+                let token = self.next_token;
+                let result = self.cluster.step(StepEvent::Write(origin, token));
+                if result.is_ok() {
+                    self.next_token += 1;
+                    self.last_committed = token;
+                }
+                result
+            }
+        };
+        match result {
+            Ok(Some(value)) => {
+                if value != self.last_committed {
+                    self.oracle_violations += 1;
+                    outcome.oracle = Some(Violation {
+                        invariant: "token-oracle",
+                        detail: format!(
+                            "granted {event} returned write token {value}, \
+                             but the last committed write is token {}",
+                            self.last_committed
+                        ),
+                    });
+                }
+            }
+            Ok(None) => {}
+            Err(refusal) => {
+                outcome.granted = false;
+                outcome.refusal = Some(refusal);
+            }
+        }
+        outcome
+    }
+
+    /// Deterministic fingerprint of everything that can influence the
+    /// world's future behaviour or verdicts: the cluster fingerprint
+    /// (replica states, data, liveness, forced groups, checker digest)
+    /// plus the token bookkeeping.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.cluster.fingerprint()
+            ^ dynvote_core::fingerprint_of(&(
+                self.next_token,
+                self.last_committed,
+                self.oracle_violations,
+            ))
+            .rotate_left(7)
+    }
+}
+
+/// Maps a replica-checker violation to its stable invariant name.
+#[must_use]
+pub fn replica_invariant_name(violation: &ReplicaViolation) -> &'static str {
+    match violation {
+        ReplicaViolation::StaleRead { .. } => "stale-read",
+        ReplicaViolation::DuplicateVersion { .. } => "duplicate-version",
+        ReplicaViolation::LineageFork { .. } => "lineage-fork",
+    }
+}
+
+/// The default table-level invariant suite.
+#[must_use]
+pub fn default_suite() -> Vec<Box<dyn StateInvariant>> {
+    vec![
+        Box::new(dynvote_core::check::AtMostOneMajority),
+        Box::new(dynvote_core::check::MonotoneCounters),
+    ]
+}
+
+/// Snapshots every participant's control state into a dense table.
+#[must_use]
+pub fn state_table_of<T: Clone>(cluster: &Cluster<T>) -> StateTable {
+    let participants = cluster.participants();
+    let mut table = StateTable::fresh(participants);
+    for site in participants.iter() {
+        table.set(site, cluster.state_at(site));
+    }
+    table
+}
+
+/// The maximal communication groups of up participants, in site order.
+#[must_use]
+pub fn groups_of<T: Clone>(cluster: &Cluster<T>) -> Vec<SiteSet> {
+    let participants = cluster.participants();
+    let mut groups = Vec::new();
+    let mut grouped = SiteSet::EMPTY;
+    for site in participants.iter() {
+        if grouped.contains(site) {
+            continue;
+        }
+        let Some(group) = cluster.group_of(site) else {
+            continue; // down site: in no group
+        };
+        let group = group & participants;
+        grouped |= group;
+        groups.push(group);
+    }
+    groups
+}
+
+/// Applies one event and returns every invariant violation the step
+/// surfaced: the token oracle, fresh replica-checker findings (stale
+/// read / duplicate version / lineage fork), and the table-level
+/// [`StateInvariant`] suite on the resulting state and transition.
+///
+/// This is *the* detection path — the explorer, the shrinker's
+/// reproduction check, and trace replay all go through it, so a shrunk
+/// trace is judged by exactly the rules that convicted the original.
+pub fn apply_and_detect(
+    world: &mut World,
+    suite: &[Box<dyn StateInvariant>],
+    event: CheckEvent,
+) -> Vec<Violation> {
+    let participants = world.cluster.participants();
+    let prev_table = state_table_of(&world.cluster);
+    let seen_before = world.cluster.checker().violations().len();
+
+    let outcome = world.apply(event);
+
+    let mut found = Vec::new();
+    if let Some(oracle) = outcome.oracle {
+        found.push(oracle);
+    }
+    for violation in &world.cluster.checker().violations()[seen_before..] {
+        found.push(Violation {
+            invariant: replica_invariant_name(violation),
+            detail: violation.to_string(),
+        });
+    }
+    let next_table = state_table_of(&world.cluster);
+    let groups = groups_of(&world.cluster);
+    let snapshot = ProtocolSnapshot {
+        copies: world.cluster.copies(),
+        witnesses: world.cluster.witnesses(),
+        states: &next_table,
+        groups: &groups,
+        rule: world.cluster.rule(),
+        network: Some(world.cluster.network()),
+    };
+    for invariant in suite {
+        if let Err(violation) = invariant.check_state(&snapshot) {
+            found.push(violation);
+        }
+        if let Err(violation) = invariant.check_step(&prev_table, &next_table, participants) {
+            found.push(violation);
+        }
+    }
+    found
+}
+
+/// Classifies a violation: `true` means *known hazard* — the
+/// documented sequential-claim behaviour of the topological protocols —
+/// rather than a fresh bug.
+///
+/// Two signals mark a hazard, both only under TDV/OTDV: the path has
+/// (or just) committed a forked lineage, or the violation is the
+/// rival-majority state (`at-most-one-majority`), which a sequential
+/// claim produces *before* the rival group commits anything. Every
+/// violation under the non-topological policies is a real finding.
+#[must_use]
+pub fn classify_known_hazard(
+    policy: Protocol,
+    was_forked: bool,
+    now_forked: bool,
+    violation: &Violation,
+) -> bool {
+    matches!(policy, Protocol::Tdv | Protocol::Otdv)
+        && (was_forked || now_forked || violation.invariant == "at-most-one-majority")
+}
+
+#[cfg(test)]
+mod tests {
+    use dynvote_replica::Protocol;
+    use dynvote_types::SiteId;
+
+    use super::*;
+
+    fn scenario(policy: Protocol) -> Scenario {
+        Scenario::new(policy, 3, 1).unwrap()
+    }
+
+    #[test]
+    fn tokens_follow_committed_writes() {
+        let mut world = World::new(&scenario(Protocol::Odv));
+        assert_eq!(world.last_committed(), 0);
+        let out = world.apply(CheckEvent::Write(SiteId::new(0)));
+        assert!(out.granted);
+        assert_eq!(world.last_committed(), 1);
+        // A granted read returns the committed token: no oracle firing.
+        let out = world.apply(CheckEvent::Read(SiteId::new(2)));
+        assert!(out.granted && out.oracle.is_none());
+    }
+
+    #[test]
+    fn refused_write_consumes_no_token() {
+        let mut world = World::new(&scenario(Protocol::Odv));
+        for site in 0..2 {
+            world.apply(CheckEvent::Crash(SiteId::new(site)));
+        }
+        let out = world.apply(CheckEvent::Write(SiteId::new(2)));
+        assert!(!out.granted, "1 of 3 is no quorum");
+        assert_eq!(world.last_committed(), 0);
+        let fp = world.fingerprint();
+        // Refusals leave the world byte-identical: same fingerprint.
+        let again = world.apply(CheckEvent::Write(SiteId::new(2)));
+        assert!(!again.granted);
+        assert_eq!(world.fingerprint(), fp);
+    }
+
+    #[test]
+    fn clean_steps_surface_no_violations() {
+        let mut world = World::new(&scenario(Protocol::Ldv));
+        let suite = default_suite();
+        let events = [
+            CheckEvent::Write(SiteId::new(0)),
+            CheckEvent::Crash(SiteId::new(2)),
+            CheckEvent::Read(SiteId::new(1)),
+            CheckEvent::Repair(SiteId::new(2)),
+            CheckEvent::Recover(SiteId::new(2)),
+            CheckEvent::Read(SiteId::new(2)),
+        ];
+        for event in events {
+            let found = apply_and_detect(&mut world, &suite, event);
+            assert!(found.is_empty(), "unexpected violations: {found:?}");
+        }
+    }
+
+    #[test]
+    fn lineage_fork_is_detected_and_classified() {
+        // The 2-site TDV sequential-claim hazard (the PR 1 finding):
+        // S1 claims the crashed S0's vote, shrinks to P={1}, then S0
+        // repairs alone, claims S1's vote back, and RECOVER forks the
+        // lineage: operation 2 committed by {1} and again by {0}.
+        let mut world = World::new(&Scenario::new(Protocol::Tdv, 2, 1).unwrap());
+        let suite = default_suite();
+        let path = [
+            CheckEvent::Crash(SiteId::new(0)),
+            CheckEvent::Read(SiteId::new(1)),
+            CheckEvent::Crash(SiteId::new(1)),
+            CheckEvent::Repair(SiteId::new(0)),
+        ];
+        for event in path {
+            let found = apply_and_detect(&mut world, &suite, event);
+            assert!(found.is_empty(), "no violation before the fork: {found:?}");
+        }
+        let was_forked = world.forked();
+        let found = apply_and_detect(&mut world, &suite, CheckEvent::Recover(SiteId::new(0)));
+        assert!(
+            found.iter().any(|v| v.invariant == "lineage-fork"),
+            "expected a lineage fork, got {found:?}"
+        );
+        let now_forked = world.forked();
+        for violation in &found {
+            assert!(
+                classify_known_hazard(Protocol::Tdv, was_forked, now_forked, violation),
+                "the TDV fork is the documented hazard"
+            );
+        }
+        // The same violation under a non-topological policy would be a
+        // real finding.
+        assert!(!classify_known_hazard(
+            Protocol::Ldv,
+            was_forked,
+            now_forked,
+            &found[0]
+        ));
+    }
+
+    #[test]
+    fn ldv_refuses_where_tdv_claims() {
+        // Control for the test above: LDV has no vote claiming, so
+        // S1's READ loses the 1-of-2 tie (the default lexicon ranks S0
+        // highest), the partition never shrinks to {1}, and S0's later
+        // RECOVER is a legitimate, fork-free tie win.
+        let mut world = World::new(&Scenario::new(Protocol::Ldv, 2, 1).unwrap());
+        let suite = default_suite();
+        assert!(apply_and_detect(&mut world, &suite, CheckEvent::Crash(SiteId::new(0))).is_empty());
+        let out = world.apply(CheckEvent::Read(SiteId::new(1)));
+        assert!(!out.granted, "S1 alone loses the {{S0,S1}} tie to S0");
+        for event in [
+            CheckEvent::Crash(SiteId::new(1)),
+            CheckEvent::Repair(SiteId::new(0)),
+            CheckEvent::Recover(SiteId::new(0)),
+        ] {
+            assert!(apply_and_detect(&mut world, &suite, event).is_empty());
+        }
+        assert!(!world.forked(), "only one lineage ever committed");
+    }
+
+    #[test]
+    fn groups_respect_gateway_loss() {
+        let scenario = Scenario::new(Protocol::Otdv, 4, 2).unwrap();
+        let mut world = World::new(&scenario);
+        assert_eq!(groups_of(&world.cluster).len(), 1);
+        world.apply(CheckEvent::Crash(SiteId::new(1)));
+        // Gateway S1 down: {0} and {2,3}.
+        let groups = groups_of(&world.cluster);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.contains(&SiteSet::from_indices([0])));
+        assert!(groups.contains(&SiteSet::from_indices([2, 3])));
+    }
+
+    #[test]
+    fn forced_partition_tracks_index() {
+        let scenario = Scenario::new(Protocol::Dv, 4, 2).unwrap();
+        let mut world = World::new(&scenario);
+        assert!(world.partitions().len() > 1, "two segments: 2 partitions");
+        let fp_healed = world.fingerprint();
+        world.apply(CheckEvent::Partition(1));
+        assert_eq!(world.forced(), Some(1));
+        assert_ne!(world.fingerprint(), fp_healed);
+        world.apply(CheckEvent::Heal);
+        assert_eq!(world.forced(), None);
+        assert_eq!(world.fingerprint(), fp_healed);
+    }
+}

@@ -1,0 +1,296 @@
+//! Pluggable protocol invariants for model checking.
+//!
+//! The paper's safety argument (Section 3) rests on two claims: at any
+//! instant *at most one* group of communicating sites can win the
+//! majority-partition decision, and the consistency-control counters
+//! only ever move forward. This module states those claims as
+//! [`StateInvariant`]s — pure checks over a [`ProtocolSnapshot`] — so
+//! an exhaustive explorer (crate `dynvote-check`) can evaluate them at
+//! every reachable state, and so new invariants can be plugged in
+//! without touching the explorer.
+//!
+//! The invariants here are *table-level*: they see the per-site
+//! `(op, version, partition)` state and the communication groups, and
+//! they re-run the real Algorithm 1 ([`crate::decision::decide`] /
+//! [`crate::ops::plan_with_witnesses`]) — not a re-model of it.
+//! History-dependent oracles (operation numbers minted at most once, no
+//! read older than the last committed write, cross-policy differentials)
+//! need per-path ground truth and live with the explorer.
+
+use dynvote_topology::Network;
+use dynvote_types::SiteSet;
+
+use crate::decision::Rule;
+use crate::lexicon::Lexicon;
+use crate::ops::{plan_with_witnesses, OpKind};
+use crate::state::StateTable;
+
+/// One observed invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the invariant that failed ([`StateInvariant::name`]).
+    pub invariant: &'static str,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Everything a table-level invariant may inspect about one state.
+///
+/// Borrowed, not owned: the explorer assembles it per state from the
+/// live cluster without copying tables.
+pub struct ProtocolSnapshot<'a> {
+    /// Sites holding full data copies.
+    pub copies: SiteSet,
+    /// Sites holding witness (state-only) replicas.
+    pub witnesses: SiteSet,
+    /// Per-site consistency-control state.
+    pub states: &'a StateTable,
+    /// The maximal communication groups of *up* sites, pairwise
+    /// disjoint. Down sites appear in no group.
+    pub groups: &'a [SiteSet],
+    /// The decision rule, or `None` for static-quorum MCV.
+    pub rule: Option<&'a Rule>,
+    /// The topology (required by topological rules).
+    pub network: Option<&'a Network>,
+}
+
+impl ProtocolSnapshot<'_> {
+    /// Would Algorithm 1 grant a READ coordinated from inside `group`?
+    ///
+    /// Runs the real planner (or the static MCV quorum test with the
+    /// paper-calibrated half-plus-top-copy tie) — the same decision the
+    /// message-level cluster takes, minus the messages.
+    #[must_use]
+    pub fn granted(&self, group: SiteSet) -> bool {
+        match self.rule {
+            Some(rule) => plan_with_witnesses(
+                OpKind::Read,
+                group,
+                self.copies,
+                self.witnesses,
+                self.states,
+                rule,
+                self.network,
+            )
+            .is_ok(),
+            None => {
+                let reachable = group & self.copies;
+                let n = self.copies.len();
+                2 * reachable.len() > n
+                    || (2 * reachable.len() == n
+                        && Lexicon::default()
+                            .max_of(self.copies)
+                            .is_some_and(|top| reachable.contains(top)))
+            }
+        }
+    }
+}
+
+/// A pluggable invariant over protocol states and transitions.
+///
+/// Implementations should be pure: both hooks may be called on any
+/// state in any order (the explorer memoizes and backtracks), so no
+/// internal mutable bookkeeping is allowed.
+pub trait StateInvariant {
+    /// Short stable name, used in reports and trace files.
+    fn name(&self) -> &'static str;
+
+    /// Checks a single state. Default: nothing to check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] when the state breaks the invariant.
+    fn check_state(&self, snapshot: &ProtocolSnapshot<'_>) -> Result<(), Violation> {
+        let _ = snapshot;
+        Ok(())
+    }
+
+    /// Checks one transition between consecutive states. Default:
+    /// nothing to check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] when the transition breaks the
+    /// invariant.
+    fn check_step(
+        &self,
+        prev: &StateTable,
+        next: &StateTable,
+        sites: SiteSet,
+    ) -> Result<(), Violation> {
+        let _ = (prev, next, sites);
+        Ok(())
+    }
+}
+
+/// *At most one* communication group may win the majority-partition
+/// decision in any state (the paper's mutual-exclusion claim).
+///
+/// Under the topological rules this can genuinely fail after a
+/// sequential claim (DESIGN.md, "the sequential-claim hazard") — the
+/// explorer reports those as known hazards rather than errors, but the
+/// invariant itself stays strict: it *detects*, classification is the
+/// caller's policy.
+pub struct AtMostOneMajority;
+
+impl StateInvariant for AtMostOneMajority {
+    fn name(&self) -> &'static str {
+        "at-most-one-majority"
+    }
+
+    fn check_state(&self, snapshot: &ProtocolSnapshot<'_>) -> Result<(), Violation> {
+        let mut winner: Option<SiteSet> = None;
+        for &group in snapshot.groups {
+            if group.is_empty() || !snapshot.granted(group) {
+                continue;
+            }
+            if let Some(first) = winner {
+                return Err(Violation {
+                    invariant: self.name(),
+                    detail: format!("rival majority partitions: {first} and {group}"),
+                });
+            }
+            winner = Some(group);
+        }
+        Ok(())
+    }
+}
+
+/// Per-site operation and version numbers never decrease.
+///
+/// Commits only ever install `max + 1` counters, so any decrease means
+/// a site adopted state from a forked or stale lineage.
+pub struct MonotoneCounters;
+
+impl StateInvariant for MonotoneCounters {
+    fn name(&self) -> &'static str {
+        "monotone-counters"
+    }
+
+    fn check_step(
+        &self,
+        prev: &StateTable,
+        next: &StateTable,
+        sites: SiteSet,
+    ) -> Result<(), Violation> {
+        for site in sites.iter() {
+            let before = prev.get(site);
+            let after = next.get(site);
+            if after.op < before.op || after.version < before.version {
+                return Err(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "{site} went from (o={}, v={}) to (o={}, v={})",
+                        before.op, before.version, after.op, after.version
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dynvote_types::SiteId;
+
+    use super::*;
+    use crate::state::ReplicaState;
+
+    fn snapshot_with<'a>(
+        states: &'a StateTable,
+        groups: &'a [SiteSet],
+        rule: Option<&'a Rule>,
+    ) -> ProtocolSnapshot<'a> {
+        ProtocolSnapshot {
+            copies: SiteSet::first_n(4),
+            witnesses: SiteSet::EMPTY,
+            states,
+            groups,
+            rule,
+            network: None,
+        }
+    }
+
+    #[test]
+    fn healthy_partition_passes() {
+        let states = StateTable::fresh(SiteSet::first_n(4));
+        let rule = Rule::lexicographic();
+        let groups = [SiteSet::from_indices([0, 1, 2]), SiteSet::from_indices([3])];
+        let snap = snapshot_with(&states, &groups, Some(&rule));
+        assert!(AtMostOneMajority.check_state(&snap).is_ok());
+    }
+
+    #[test]
+    fn rival_majorities_detected() {
+        // Two groups that each believe they are the full partition:
+        // forge forked partition sets, the fingerprint of a sequential
+        // claim gone wrong.
+        let copies = SiteSet::first_n(4);
+        let mut states = StateTable::fresh(copies);
+        let left = SiteSet::from_indices([0, 1]);
+        let right = SiteSet::from_indices([2, 3]);
+        for site in left.iter() {
+            states.set(
+                site,
+                ReplicaState {
+                    op: 2,
+                    version: 1,
+                    partition: left,
+                },
+            );
+        }
+        for site in right.iter() {
+            states.set(
+                site,
+                ReplicaState {
+                    op: 2,
+                    version: 1,
+                    partition: right,
+                },
+            );
+        }
+        let rule = Rule::lexicographic();
+        let groups = [left, right];
+        let snap = snapshot_with(&states, &groups, Some(&rule));
+        let err = AtMostOneMajority.check_state(&snap).unwrap_err();
+        assert_eq!(err.invariant, "at-most-one-majority");
+    }
+
+    #[test]
+    fn mcv_half_with_top_copy_is_single_winner() {
+        let states = StateTable::fresh(SiteSet::first_n(4));
+        let groups = [SiteSet::from_indices([0, 1]), SiteSet::from_indices([2, 3])];
+        let snap = snapshot_with(&states, &groups, None);
+        // {S0,S1} wins the calibrated tie, {S2,S3} loses it: one winner.
+        assert!(snap.granted(SiteSet::from_indices([0, 1])));
+        assert!(!snap.granted(SiteSet::from_indices([2, 3])));
+        assert!(AtMostOneMajority.check_state(&snap).is_ok());
+    }
+
+    #[test]
+    fn counter_regression_detected() {
+        let copies = SiteSet::first_n(2);
+        let prev = StateTable::fresh(copies);
+        let mut next = prev.clone();
+        next.set(
+            SiteId::new(1),
+            ReplicaState {
+                op: 0,
+                version: 1,
+                partition: copies,
+            },
+        );
+        let err = MonotoneCounters
+            .check_step(&prev, &next, copies)
+            .unwrap_err();
+        assert_eq!(err.invariant, "monotone-counters");
+        assert!(MonotoneCounters.check_step(&prev, &prev, copies).is_ok());
+    }
+}

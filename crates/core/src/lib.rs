@@ -54,14 +54,18 @@
 //! assert!(d.granted().is_ok(), "2 of 3 is a strict majority");
 //! ```
 
+pub mod check;
 pub mod decision;
+pub mod fingerprint;
 pub mod lexicon;
 pub mod ops;
 pub mod policy;
 pub mod state;
 
+pub use check::{ProtocolSnapshot, StateInvariant};
 pub use decision::{decide, explain, Decision, Rule};
 pub use dynvote_types::{AccessError, AccessKind, SiteId, SiteSet, VoteMap};
+pub use fingerprint::{fingerprint_of, Fnv64};
 pub use lexicon::Lexicon;
 pub use ops::{plan, plan_with_witnesses, OpKind, Plan};
 pub use policy::{AvailabilityPolicy, PolicyKind};

@@ -133,6 +133,31 @@ impl Checker {
         self.latest_written
     }
 
+    /// A deterministic, order-independent digest of the checker's
+    /// ground truth (commit log, written versions, violation count).
+    ///
+    /// Exhaustive explorers fold this into the cluster fingerprint:
+    /// lineage-fork and duplicate-version detection depend on the
+    /// *history* of commits, not just the current replica states, so
+    /// two states may only be deduplicated against each other when
+    /// their detection-relevant histories also match. XOR-folding makes
+    /// the digest independent of `HashMap` iteration order.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut acc =
+            dynvote_core::fingerprint_of(&(self.latest_written, self.violations.len() as u64));
+        let mut fold = 0u64;
+        for (&op, &participants) in &self.committed_ops {
+            fold ^= dynvote_core::fingerprint_of(&(op, participants));
+        }
+        acc ^= fold.rotate_left(1);
+        fold = 0;
+        for (&version, &times) in &self.written_versions {
+            fold ^= dynvote_core::fingerprint_of(&(version, times));
+        }
+        acc ^ fold.rotate_left(2)
+    }
+
     /// All recorded violations, in detection order.
     #[must_use]
     pub fn violations(&self) -> &[Violation] {
@@ -201,6 +226,31 @@ mod tests {
         c.note_commit(4, SiteSet::from_indices([0, 1]));
         c.note_commit(4, SiteSet::from_indices([0, 1]));
         assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn digest_tracks_history_not_insertion_order() {
+        let mut a = Checker::new();
+        let mut b = Checker::new();
+        assert_eq!(a.digest(), b.digest());
+
+        // Same history, different note order → same digest.
+        a.note_commit(2, SiteSet::from_indices([0, 1]));
+        a.note_commit(3, SiteSet::from_indices([0]));
+        b.note_commit(3, SiteSet::from_indices([0]));
+        b.note_commit(2, SiteSet::from_indices([0, 1]));
+        assert_eq!(a.digest(), b.digest());
+
+        // Different participants for the same op → different digest.
+        let mut c = Checker::new();
+        c.note_commit(2, SiteSet::from_indices([0]));
+        c.note_commit(3, SiteSet::from_indices([0]));
+        assert_ne!(a.digest(), c.digest());
+
+        // A recorded write changes the digest too.
+        let before = a.digest();
+        a.note_write(2);
+        assert_ne!(before, a.digest());
     }
 
     #[test]

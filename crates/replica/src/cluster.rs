@@ -234,7 +234,11 @@ impl ClusterBuilder {
             rule: self.protocol.rule(self.lexicon),
             protocol: self.protocol,
             up: network.sites(),
-            reach_cache: std::cell::RefCell::new(ReachabilityCache::new(&network)),
+            reach_cache: std::sync::Arc::new(std::sync::Mutex::new(ReachabilityCache::new(
+                &network,
+            ))),
+            #[cfg(any(test, feature = "stale-read-fault"))]
+            stale_read_fault: false,
             network,
             copies,
             witnesses,
@@ -297,6 +301,14 @@ impl ClusterBuilder {
 /// respects the current failure/partition state: messages to down or
 /// unreachable sites are silently lost, exactly as the paper's fail-stop
 /// model prescribes.
+///
+/// `Cluster` is `Clone`: a clone is an independent replicated file that
+/// evolves separately from the original — the branch operation an
+/// exhaustive explorer (`dynvote-check`) performs at every state. Only
+/// the reachability memo is shared between clones (it is a pure cache
+/// keyed by up-set, so sharing changes no observable behavior and keeps
+/// branching cheap).
+#[derive(Clone)]
 pub struct Cluster<T> {
     network: Network,
     protocol: Protocol,
@@ -312,8 +324,18 @@ pub struct Cluster<T> {
     /// Interior mutability keeps [`Cluster::group_of`] a `&self` query;
     /// each operation phase asks for the origin's group, and without
     /// the memo every ask re-ran the union-find and allocated fresh
-    /// group vectors.
-    reach_cache: std::cell::RefCell<ReachabilityCache>,
+    /// group vectors. Shared (`Arc`) so that cloning a cluster — the
+    /// hot branch operation of exhaustive exploration — does not copy
+    /// the dense memo table, and so every branch keeps hitting memo
+    /// entries interned by its siblings.
+    reach_cache: std::sync::Arc<std::sync::Mutex<ReachabilityCache>>,
+    /// Deliberate fault for checker self-tests: a granted read serves
+    /// the origin's *local* copy (skipping the planned data source)
+    /// whenever the origin holds one — the classic "trust the local
+    /// replica" optimization that breaks one-copy semantics. Compiled
+    /// only for tests and the `stale-read-fault` feature; defaults off.
+    #[cfg(any(test, feature = "stale-read-fault"))]
+    stale_read_fault: bool,
     trace: Trace,
     checker: Checker,
     stats: OpStats,
@@ -435,6 +457,15 @@ impl<T: Clone> Cluster<T> {
         self.protocol
     }
 
+    /// The voting rule the protocol evaluates accesses with — `None`
+    /// for MCV, which uses the static-majority path. External invariant
+    /// checkers use this to re-evaluate grant decisions from pure state
+    /// (see [`dynvote_core::ProtocolSnapshot`]).
+    #[must_use]
+    pub fn rule(&self) -> Option<&Rule> {
+        self.rule.as_ref()
+    }
+
     /// The network topology.
     #[must_use]
     pub fn network(&self) -> &Network {
@@ -499,6 +530,43 @@ impl<T: Clone> Cluster<T> {
                 .iter()
                 .map(|w| (w.id(), w.state()))
                 .collect(),
+        }
+    }
+
+    /// Applies one [`StepEvent`](crate::StepEvent) — the deterministic
+    /// step API exhaustive explorers and trace replayers drive (see
+    /// [`crate::step`] for the determinism contract).
+    ///
+    /// Returns `Ok(Some(value))` for a granted read, `Ok(None)` for
+    /// every other successful (or purely topological) event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the protocol's refusal for `Recover`, `Read`, and
+    /// `Write` events; the cluster state is exactly as the refused
+    /// operation left it (for fault-free buses: unchanged).
+    pub fn step(&mut self, event: crate::StepEvent<T>) -> Result<Option<T>, AccessError> {
+        use crate::StepEvent;
+        match event {
+            StepEvent::FailSite(site) => {
+                self.fail_site(site);
+                Ok(None)
+            }
+            StepEvent::RepairSite(site) => {
+                self.repair_site(site);
+                Ok(None)
+            }
+            StepEvent::Recover(site) => self.recover(site).map(|()| None),
+            StepEvent::ForcePartition(groups) => {
+                self.force_partition(groups);
+                Ok(None)
+            }
+            StepEvent::HealPartition => {
+                self.heal_partition();
+                Ok(None)
+            }
+            StepEvent::Read(origin) => self.read(origin).map(Some),
+            StepEvent::Write(origin, value) => self.write(origin, value).map(|()| None),
         }
     }
 
@@ -573,7 +641,8 @@ impl<T: Clone> Cluster<T> {
                 .find(|g| g.contains(origin)),
             None => self
                 .reach_cache
-                .borrow_mut()
+                .lock()
+                .expect("reachability memo poisoned")
                 .get(&self.network, self.up)
                 .group_of(origin),
         }
@@ -603,6 +672,18 @@ impl<T: Clone> Cluster<T> {
     /// operation, or [`Cluster::recover`] at the site).
     pub fn clear_message_faults(&mut self) {
         self.bus.clear();
+    }
+
+    /// Arms (or disarms) the deliberate stale-read fault: a granted
+    /// read at a copy-holding origin serves the origin's **local** data
+    /// instead of the planner's chosen source — the classic "trust the
+    /// local replica" bug. Exists so the model checker's own tests can
+    /// prove the invariant suite catches a real one-copy violation;
+    /// compiled only for tests and under the `stale-read-fault`
+    /// feature, and off by default even then.
+    #[cfg(any(test, feature = "stale-read-fault"))]
+    pub fn set_stale_read_fault(&mut self, armed: bool) {
+        self.stale_read_fault = armed;
     }
 
     /// Bounds how many delivery rounds each operation phase may use
@@ -1125,7 +1206,21 @@ impl<T: Clone> Cluster<T> {
                 return Err(self.timeout_or(refusal, AccessKind::Read, origin, &poll));
             }
         };
-        let value = match self.transfer_copy(origin, p.data_source) {
+        #[allow(unused_mut)]
+        let mut data_source = p.data_source;
+        #[cfg(any(test, feature = "stale-read-fault"))]
+        if self.stale_read_fault && self.copies.contains(origin) {
+            // The injected bug: trust the local replica, skip the
+            // planner's source. Correct when the origin is current,
+            // silently stale when it is not.
+            data_source = origin;
+        }
+        // The version actually being served — for a correct cluster this
+        // equals the planned `p.new_version` (the source is a current
+        // copy), but the checker must grade what was *served*, not what
+        // was planned, or a bug in source selection would grade itself.
+        let served_version = self.node(data_source).state().version;
+        let value = match self.transfer_copy(origin, data_source) {
             Ok(value) => value,
             Err(failure) => {
                 self.release_pending(ticket, SiteSet::EMPTY);
@@ -1145,7 +1240,7 @@ impl<T: Clone> Cluster<T> {
         }
         self.release_pending(ticket, outcome.missing);
         if outcome.missing.is_empty() {
-            self.checker.note_read(p.new_version);
+            self.checker.note_read(served_version);
             self.record_op(CommittedOp {
                 kind: AccessKind::Read,
                 origin,
@@ -1532,6 +1627,59 @@ impl<T: Clone> Cluster<T> {
                 missing,
             })
         }
+    }
+}
+
+impl<T: Clone + std::hash::Hash> Cluster<T> {
+    /// A deterministic 64-bit fingerprint of the cluster's
+    /// protocol-visible state, for frontier deduplication in exhaustive
+    /// exploration.
+    ///
+    /// Covered: the up-set, any forced partition, every participant's
+    /// control state, the data at every copy, whether each participant
+    /// holds an outstanding vote, and the invariant monitor's
+    /// [`Checker::digest`] (lineage-fork and duplicate-version
+    /// detection depend on commit *history*, so states may only be
+    /// merged when their detection-relevant histories also match).
+    ///
+    /// Excluded: message-count statistics, the history log, and the
+    /// operation ticket counter — none of them influence future
+    /// grant/refuse decisions. Outstanding votes are hashed by
+    /// *presence* only, not ticket number: tickets come from a global
+    /// counter, so two states reached by different-length paths could
+    /// never merge if the raw numbers were hashed, yet the protocol
+    /// only ever asks whether a vote is outstanding. In fault-free
+    /// exploration no vote stays outstanding between operations.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+
+        let mut h = dynvote_core::Fnv64::new();
+        self.up.bits().hash(&mut h);
+        match &self.forced_groups {
+            None => 0u8.hash(&mut h),
+            Some(groups) => {
+                1u8.hash(&mut h);
+                groups.len().hash(&mut h);
+                for g in groups {
+                    g.bits().hash(&mut h);
+                }
+            }
+        }
+        for node in &self.nodes {
+            node.id().hash(&mut h);
+            node.is_up().hash(&mut h);
+            node.state().hash(&mut h);
+            node.peek().hash(&mut h);
+            node.pending().is_some().hash(&mut h);
+        }
+        for witness in &self.witness_nodes {
+            witness.id().hash(&mut h);
+            witness.is_up().hash(&mut h);
+            witness.state().hash(&mut h);
+            witness.pending().is_some().hash(&mut h);
+        }
+        h.finish() ^ self.checker.digest()
     }
 }
 

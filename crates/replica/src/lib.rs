@@ -22,6 +22,11 @@
 //!   verify the paper's claim that the optimistic protocols cost "much
 //!   the same message traffic overhead as majority consensus voting".
 //!
+//! For exhaustive exploration, [`step::StepEvent`] reifies the whole
+//! mutating surface as one event type ([`Cluster::step`]), and
+//! [`Cluster::fingerprint`] gives each protocol-visible state a
+//! deterministic 64-bit hash for frontier deduplication.
+//!
 //! # Quick example
 //!
 //! ```
@@ -49,6 +54,7 @@ pub mod nemesis;
 pub mod node;
 pub mod scenario;
 pub mod snapshot;
+pub mod step;
 
 pub use bus::{Bus, BusStats, FaultAction, FaultRule, MessageClass, Verdict};
 pub use checker::{Checker, Violation};
@@ -60,3 +66,4 @@ pub use nemesis::{run_nemesis, NemesisProfile, NemesisReport};
 pub use node::{Node, WitnessNode};
 pub use scenario::{Command, ScenarioError};
 pub use snapshot::Snapshot;
+pub use step::StepEvent;

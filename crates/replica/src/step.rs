@@ -1,0 +1,155 @@
+//! The deterministic step API: one event type driving every way a
+//! [`Cluster`](crate::Cluster) can change.
+//!
+//! The cluster's mutating surface — fail/repair, RECOVER, forced
+//! partitions, READ/WRITE — is a set of named methods, convenient for
+//! hand-written tests but awkward for tools that must *enumerate*,
+//! *replay*, and *shrink* event sequences. [`StepEvent`] reifies that
+//! surface as data, and [`Cluster::step`](crate::Cluster::step) applies
+//! any event through one entry point.
+//!
+//! # Determinism contract
+//!
+//! With no message faults injected, `Cluster` contains no randomness and
+//! reads no clocks: applying the same event sequence to a freshly built
+//! cluster always produces the same state, the same grant/refuse
+//! outcomes, and the same [`Cluster::fingerprint`](crate::Cluster::fingerprint).
+//! That contract is what makes exhaustive exploration (branch by
+//! cloning, dedupe by fingerprint) and delta-debugging shrinks (replay
+//! a candidate subsequence from scratch) sound. The `dynvote-check`
+//! crate is the consumer; `tests/` in this crate pin the contract.
+
+use dynvote_types::{SiteId, SiteSet};
+
+/// One atomic cluster transition, as data.
+///
+/// Operations (`Recover`, `Read`, `Write`) may be *refused* by the
+/// protocol — a refusal is a legitimate outcome, not an error in the
+/// event: replaying a trace through [`Cluster::step`](crate::Cluster::step)
+/// surfaces the refusal in the step result and the cluster state is
+/// unchanged, exactly as a live coordinator would experience it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepEvent<T> {
+    /// Site crash (fail-stop; state and data survive on stable storage).
+    FailSite(SiteId),
+    /// Site repair: liveness only — the protocol-level rejoin is an
+    /// explicit [`StepEvent::Recover`].
+    RepairSite(SiteId),
+    /// The RECOVER operation (Figure 3 / Figure 7) coordinated at the
+    /// recovering site.
+    Recover(SiteId),
+    /// Force an explicit partition (groups of mutually-communicating
+    /// sites), overriding topology-derived reachability.
+    ForcePartition(Vec<SiteSet>),
+    /// Remove the forced partition; reachability follows topology again.
+    HealPartition,
+    /// The READ operation (Figure 1 / Figure 5) coordinated at a site.
+    Read(SiteId),
+    /// The WRITE operation (Figure 2 / Figure 6) coordinated at a site.
+    Write(SiteId, T),
+}
+
+impl<T> StepEvent<T> {
+    /// Short label for progress reports and traces.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepEvent::FailSite(_) => "crash",
+            StepEvent::RepairSite(_) => "repair",
+            StepEvent::Recover(_) => "recover",
+            StepEvent::ForcePartition(_) => "partition",
+            StepEvent::HealPartition => "heal",
+            StepEvent::Read(_) => "read",
+            StepEvent::Write(_, _) => "write",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dynvote_types::SiteId;
+
+    use super::*;
+    use crate::cluster::{ClusterBuilder, Protocol};
+
+    fn build() -> crate::Cluster<u64> {
+        ClusterBuilder::new()
+            .copies([0, 1, 2, 3])
+            .protocol(Protocol::Ldv)
+            .build_with_value(0)
+    }
+
+    #[test]
+    fn step_matches_named_methods() {
+        let mut by_step = build();
+        let mut by_hand = build();
+
+        let s1 = SiteId::new(1);
+        let s2 = SiteId::new(2);
+        by_step.step(StepEvent::FailSite(s1)).unwrap();
+        by_hand.fail_site(s1);
+        assert!(by_step.step(StepEvent::Write(s2, 7)).unwrap().is_none());
+        by_hand.write(s2, 7).unwrap();
+        by_step.step(StepEvent::RepairSite(s1)).unwrap();
+        by_hand.repair_site(s1);
+        by_step.step(StepEvent::Recover(s1)).unwrap();
+        by_hand.recover(s1).unwrap();
+        assert_eq!(by_step.step(StepEvent::Read(s1)).unwrap(), Some(7));
+        assert_eq!(by_hand.read(s1).unwrap(), 7);
+
+        assert_eq!(by_step.fingerprint(), by_hand.fingerprint());
+    }
+
+    #[test]
+    fn refused_operation_leaves_state_unchanged() {
+        let mut cluster = build();
+        for site in [0, 2, 3] {
+            cluster
+                .step(StepEvent::FailSite(SiteId::new(site)))
+                .unwrap();
+        }
+        let before = cluster.fingerprint();
+        // S1 alone: 1 of 4, refused; state (and fingerprint) unchanged.
+        assert!(cluster.step(StepEvent::Read(SiteId::new(1))).is_err());
+        assert_eq!(cluster.fingerprint(), before);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_clone_independent() {
+        let events: Vec<StepEvent<u64>> = vec![
+            StepEvent::FailSite(SiteId::new(3)),
+            StepEvent::Write(SiteId::new(0), 1),
+            StepEvent::FailSite(SiteId::new(2)),
+            StepEvent::Write(SiteId::new(1), 2),
+            StepEvent::RepairSite(SiteId::new(2)),
+            StepEvent::Recover(SiteId::new(2)),
+            StepEvent::Read(SiteId::new(2)),
+        ];
+        let mut a = build();
+        let mut b = build();
+        for e in &events {
+            let ra = a.step(e.clone());
+            let rb = b.step(e.clone());
+            assert_eq!(ra.is_ok(), rb.is_ok());
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // A clone branches independently: stepping the clone does not
+        // disturb the original.
+        let fork = a.clone();
+        let before = a.fingerprint();
+        let mut fork = fork;
+        fork.step(StepEvent::FailSite(SiteId::new(0))).unwrap();
+        assert_eq!(a.fingerprint(), before);
+        assert_ne!(fork.fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_reflects_data_not_just_counters() {
+        let mut a = build();
+        let mut b = build();
+        a.step(StepEvent::Write(SiteId::new(0), 10)).unwrap();
+        b.step(StepEvent::Write(SiteId::new(0), 11)).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -21,11 +21,15 @@
 //!   [`Reachability`] per up-set, turning the per-event recomputation
 //!   done by simulators into a table lookup,
 //! * [`NetworkBuilder`] — ergonomic construction (and the classic UCSD
-//!   Figure 8 network lives in `dynvote-availability::network`).
+//!   Figure 8 network lives in `dynvote-availability::network`),
+//! * [`Network::segment_partitions`] — the canonical enumeration of
+//!   every partition the topology can be driven into (set partitions of
+//!   the segment set), the event alphabet model checkers explore.
 
 pub mod builder;
 pub mod cache;
 pub mod network;
+pub mod partitions;
 pub mod reachability;
 
 pub use builder::{point_to_point, NetworkBuilder};

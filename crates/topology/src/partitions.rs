@@ -1,0 +1,134 @@
+//! Canonical enumeration of segment-granularity network partitions.
+//!
+//! Segments are non-partitionable (Section 3): any partition the network
+//! can be driven into splits along segment boundaries, never through a
+//! segment. The adversarial partitions a model checker needs to explore
+//! are therefore exactly the *set partitions of the segment set* — each
+//! block of segments becomes one group of mutually-communicating sites.
+//!
+//! The enumeration is canonical: partitions are generated from restricted
+//! growth strings in lexicographic order, so the list is identical on
+//! every run (the checker's event alphabet and trace files index into
+//! it), and the first entry is always the trivial one-block partition
+//! (everything connected).
+
+use dynvote_types::SiteSet;
+
+use crate::network::{Network, SegmentId};
+
+impl Network {
+    /// All set partitions of this network's segments, as site groups.
+    ///
+    /// Entry `0` is always the trivial partition (one block containing
+    /// every segment). Each subsequent entry splits the segments into
+    /// two or more blocks; within a partition the blocks are disjoint
+    /// and their union is [`Network::sites`]. No block ever splits a
+    /// segment, so every entry is a *sound* adversarial partition for
+    /// the topological protocols (vote claiming stays within segments).
+    ///
+    /// The count is the Bell number of the segment count (1 segment →
+    /// 1 partition, 2 → 2, 3 → 5, 4 → 15, …); callers bound the segment
+    /// count, not this method.
+    #[must_use]
+    pub fn segment_partitions(&self) -> Vec<Vec<SiteSet>> {
+        let k = self.segment_count();
+        let mut out = Vec::new();
+        // Restricted growth strings: a[0] = 0, a[i] <= max(a[..i]) + 1.
+        // Lexicographic generation by recursion keeps the order stable.
+        let mut assignment = vec![0usize; k];
+        self.enumerate_rgs(1, 0, &mut assignment, &mut out);
+        out
+    }
+
+    fn enumerate_rgs(
+        &self,
+        position: usize,
+        max_used: usize,
+        assignment: &mut Vec<usize>,
+        out: &mut Vec<Vec<SiteSet>>,
+    ) {
+        let k = self.segment_count();
+        if position == k {
+            let blocks = max_used + 1;
+            let mut groups = vec![SiteSet::EMPTY; blocks];
+            for (segment, &block) in assignment.iter().enumerate() {
+                groups[block] |= self.segment_members(SegmentId(segment as u16));
+            }
+            out.push(groups);
+            return;
+        }
+        for block in 0..=max_used + 1 {
+            assignment[position] = block;
+            self.enumerate_rgs(position + 1, max_used.max(block), assignment, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetworkBuilder;
+    use dynvote_types::SiteSet;
+
+    use super::*;
+
+    fn three_segments() -> Network {
+        NetworkBuilder::new()
+            .segment("a", [0, 1])
+            .segment("b", [2, 3])
+            .segment("c", [4])
+            .bridge(1, "b")
+            .bridge(3, "c")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bell_numbers() {
+        assert_eq!(Network::single_segment(4).segment_partitions().len(), 1);
+        let two = NetworkBuilder::new()
+            .segment("a", [0, 1])
+            .segment("b", [2, 3])
+            .bridge(1, "b")
+            .build()
+            .unwrap();
+        assert_eq!(two.segment_partitions().len(), 2);
+        assert_eq!(three_segments().segment_partitions().len(), 5);
+    }
+
+    #[test]
+    fn first_entry_is_trivial() {
+        let net = three_segments();
+        let partitions = net.segment_partitions();
+        assert_eq!(partitions[0], vec![net.sites()]);
+    }
+
+    #[test]
+    fn blocks_are_disjoint_cover_everything_and_respect_segments() {
+        let net = three_segments();
+        for partition in net.segment_partitions() {
+            let mut seen = SiteSet::EMPTY;
+            for block in &partition {
+                assert!(seen.is_disjoint(*block), "blocks overlap");
+                seen |= *block;
+            }
+            assert_eq!(seen, net.sites(), "blocks must cover all sites");
+            // No block splits a segment: each segment's members land in
+            // exactly one block.
+            for segment in 0..net.segment_count() {
+                let members = net.segment_members(SegmentId(segment as u16));
+                let holding: Vec<_> = partition
+                    .iter()
+                    .filter(|b| !(**b & members).is_empty())
+                    .collect();
+                assert_eq!(holding.len(), 1, "segment split across blocks");
+                assert!(members.is_subset_of(*holding[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_stable() {
+        let net = three_segments();
+        assert_eq!(net.segment_partitions(), net.segment_partitions());
+    }
+}

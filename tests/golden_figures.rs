@@ -1,0 +1,219 @@
+//! Golden-trace regressions for the paper's procedure figures: every
+//! READ / WRITE / RECOVER decision of Figures 1–3 (the ODV procedures)
+//! and Figures 5–7 (the topological OTDV procedures) pinned on
+//! hand-worked four-site scenarios, with the deciding clause of the
+//! procedure quoted at each step.
+//!
+//! The majority test common to all the figures (Algorithm 1): gather
+//! the (o, v, P) triples of the reachable sites; let Q be the
+//! reachable sites holding the maximum operation number o_max and P
+//! the partition set of one such site. The group is the (unique)
+//! majority partition iff
+//!
+//! > |Q ∩ P| > |P| / 2, or
+//! > |Q ∩ P| = |P| / 2 and Q contains the highest-ranked site of P
+//!
+//! with ranks in lexicographic order (site A outranks B outranks C…).
+//! A granted operation then mints o_max + 1 and installs the new
+//! partition set; a granted WRITE also advances the version number.
+
+use dynamic_voting::replica::{Cluster, ClusterBuilder, Protocol};
+use dynamic_voting::topology::NetworkBuilder;
+use dynamic_voting::types::{SiteId, SiteSet};
+
+fn s(indices: &[usize]) -> SiteSet {
+    SiteSet::from_indices(indices.iter().copied())
+}
+
+const A: SiteId = SiteId::new(0);
+const B: SiteId = SiteId::new(1);
+const C: SiteId = SiteId::new(2);
+const D: SiteId = SiteId::new(3);
+
+fn assert_triple<T: Clone>(cluster: &Cluster<T>, site: SiteId, o: u64, v: u64, p: &[usize]) {
+    let state = cluster.state_at(site);
+    assert_eq!(state.op, o, "{site}: operation number");
+    assert_eq!(state.version, v, "{site}: version number");
+    assert_eq!(state.partition, s(p), "{site}: partition set");
+}
+
+/// Figures 1–3 (ODV READ / WRITE / RECOVER) on four copies A, B, C, D
+/// of a single segment, worked through shrink, tie-break, refusal and
+/// recovery — each (o, v, P) triple checked after each decision.
+#[test]
+fn figures_1_to_3_odv_four_site_walkthrough() {
+    let mut cluster: Cluster<u32> = ClusterBuilder::new()
+        .copies([0, 1, 2, 3])
+        .protocol(Protocol::Odv)
+        .build_with_value(0);
+
+    // Initial state: o = v = 1 and P = {A, B, C, D} at every copy.
+    for site in [A, B, C, D] {
+        assert_triple(&cluster, site, 1, 1, &[0, 1, 2, 3]);
+    }
+
+    // Figure 2, WRITE at A, everyone up: Q = {A,B,C,D}, P = {A,B,C,D},
+    // |Q ∩ P| = 4 > 2 — "the request is granted"; o and v advance and
+    // all participants install P = Q.
+    cluster.write(A, 10).unwrap();
+    for site in [A, B, C, D] {
+        assert_triple(&cluster, site, 2, 2, &[0, 1, 2, 3]);
+    }
+
+    // D fails. "Information is exchanged only at access time": no
+    // state changes until the next operation.
+    cluster.fail_site(D);
+    assert_triple(&cluster, A, 2, 2, &[0, 1, 2, 3]);
+
+    // Figure 1, READ at B: Q = {A,B,C}, P = {A,B,C,D},
+    // |Q ∩ P| = 3 > 2 — granted. The survivors mint o = 3 and shrink
+    // the partition set to {A,B,C}; a READ leaves the version alone.
+    // D's stable storage still holds the stale triple.
+    assert_eq!(cluster.read(B).unwrap(), 10);
+    for site in [A, B, C] {
+        assert_triple(&cluster, site, 3, 2, &[0, 1, 2]);
+    }
+    assert_triple(&cluster, D, 2, 2, &[0, 1, 2, 3]);
+
+    // C fails too. Figure 2, WRITE at A: Q = {A,B}, P = {A,B,C},
+    // |Q ∩ P| = 2 > 3/2 — granted. P shrinks to {A,B}, v advances.
+    cluster.fail_site(C);
+    cluster.write(A, 20).unwrap();
+    for site in [A, B] {
+        assert_triple(&cluster, site, 4, 3, &[0, 1]);
+    }
+    assert_triple(&cluster, C, 3, 2, &[0, 1, 2]);
+
+    // The A–B link fails: each survivor is alone. Figure 1's tie
+    // clause decides both sides of the partition against P = {A,B}:
+    //  - READ at B: |Q ∩ P| = |{B}| = 1 = |P|/2, but the
+    //    highest-ranked site of P is A ∉ Q — "the request is refused".
+    //  - READ at A: |Q ∩ P| = 1 = |P|/2 and A ∈ Q — granted; A alone
+    //    becomes the new majority partition P = {A} with o = 5.
+    cluster.force_partition(vec![s(&[0]), s(&[1])]);
+    assert!(cluster.read(B).is_err(), "B loses the tie to A");
+    assert_eq!(cluster.read(A).unwrap(), 20);
+    assert_triple(&cluster, A, 5, 3, &[0]);
+    assert_triple(&cluster, B, 4, 3, &[0, 1]);
+
+    // Figure 3, RECOVER at D once the link heals: D's own triple is
+    // two generations stale, but the majority partition P = {A} is
+    // reachable, so the recovery is granted: D fetches the current
+    // version from a current copy and is added to the partition set.
+    // B — reachable again and still holding the current version 3 —
+    // takes part in the exchange too, so the new partition set is
+    // {A, B, D}: P is "the set of sites that took part in the last
+    // successful operation", and B participated.
+    cluster.heal_partition();
+    cluster.repair_site(D);
+    cluster.recover(D).unwrap();
+    assert_eq!(cluster.value_at(D), 20);
+    for site in [A, B, D] {
+        assert_triple(&cluster, site, 6, 3, &[0, 1, 3]);
+    }
+    assert_triple(&cluster, C, 3, 2, &[0, 1, 2]);
+
+    // C — genuinely stale at version 2 — re-enters the same way:
+    // RECOVER against the live majority restores the full partition.
+    cluster.repair_site(C);
+    cluster.recover(C).unwrap();
+    assert_eq!(cluster.value_at(C), 20);
+    for site in [A, B, C, D] {
+        assert_triple(&cluster, site, 7, 3, &[0, 1, 2, 3]);
+    }
+
+    // The monitor saw a single lineage throughout.
+    assert!(cluster.checker().violations().is_empty());
+}
+
+/// Builds the two-segment LAN of the topological walkthrough: copies
+/// A, B on segment α, copies C, D on segment β, joined by the
+/// dedicated repeater X (site 8) — the only partition point.
+fn two_segment_cluster(protocol: Protocol) -> Cluster<u32> {
+    let network = NetworkBuilder::new()
+        .segment("alpha", [0, 1, 8])
+        .segment("beta", [2, 3])
+        .bridge(8, "beta")
+        .build()
+        .unwrap();
+    ClusterBuilder::new()
+        .network(network)
+        .copies([0, 1, 2, 3])
+        .protocol(protocol)
+        .build_with_value(0)
+}
+
+/// Figures 5–7 (OTDV READ / WRITE / RECOVER) on the two-segment LAN:
+/// the topological procedures extend the Figure 1–3 majority test with
+/// vote claiming — "a live member of the previous majority partition
+/// may claim the votes of unreachable members that reside on its own
+/// segment" (they cannot be across a partition; they must be down).
+#[test]
+fn figures_5_to_7_otdv_two_segment_walkthrough() {
+    let mut cluster = two_segment_cluster(Protocol::Otdv);
+
+    // Figure 6, WRITE at A with the whole network up: plain majority,
+    // no claiming needed — granted, P = {A,B,C,D}.
+    cluster.write(A, 10).unwrap();
+    for site in [A, B, C, D] {
+        assert_triple(&cluster, site, 2, 2, &[0, 1, 2, 3]);
+    }
+
+    // The repeater X fails: α = {A,B} and β = {C,D} are cut apart.
+    // Figure 6's majority test on the α side: Q = {A,B}, P =
+    // {A,B,C,D}, |Q ∩ P| = 2 = |P|/2 and the top-ranked site A ∈ Q —
+    // granted by the lexicographic tie-break, NOT by claiming: C and D
+    // are unreachable but on the *other* segment, so their votes are
+    // unclaimable (they may well be alive across the partition).
+    cluster.fail_site(SiteId::new(8));
+    cluster.write(A, 20).unwrap();
+    for site in [A, B] {
+        assert_triple(&cluster, site, 3, 3, &[0, 1]);
+    }
+
+    // Figure 5, READ on the β side: Q = {C,D} still holds the stale
+    // P = {A,B,C,D}; |Q ∩ P| = 2 = |P|/2 but A ∉ Q, and neither A nor
+    // B is on segment β, so no vote can be claimed — refused. The cut
+    // off segment stays read-only-nothing, exactly the safety the
+    // same-segment restriction buys.
+    assert!(cluster.read(C).is_err(), "β loses the tie and cannot claim");
+    assert_triple(&cluster, C, 2, 2, &[0, 1, 2, 3]);
+
+    // A fails. Figure 6, WRITE at B: Q = {B}, P = {A,B},
+    // |Q ∩ P| = 1 = |P|/2 and the top-ranked A ∉ Q — the plain test
+    // refuses. But A is an unreachable member of P on B's *own*
+    // segment α, so B claims A's vote: the claimed quorum carries the
+    // majority and the write is granted with P = {B}.
+    cluster.fail_site(A);
+    cluster.write(B, 30).unwrap();
+    assert_triple(&cluster, B, 4, 4, &[1]);
+
+    // Contrast: the non-topological ODV of Figures 1–3 refuses the
+    // same write — same history, no claiming clause.
+    let mut odv = two_segment_cluster(Protocol::Odv);
+    odv.write(A, 10).unwrap();
+    odv.fail_site(SiteId::new(8));
+    odv.write(A, 20).unwrap();
+    odv.fail_site(A);
+    assert!(odv.write(B, 30).is_err(), "ODV has no claim to make");
+
+    // Figure 7, RECOVER at A: the current majority partition P = {B}
+    // is reachable on α, so A's recovery is granted — A fetches the
+    // current version (B's claimed-quorum write included) and rejoins.
+    cluster.repair_site(A);
+    cluster.recover(A).unwrap();
+    assert_eq!(cluster.value_at(A), 30);
+    assert_triple(&cluster, A, 5, 4, &[0, 1]);
+
+    // The repeater returns and β rejoins through Figure 7 as well:
+    // RECOVER at C and D against the live majority {A, B}.
+    cluster.repair_site(SiteId::new(8));
+    cluster.recover(C).unwrap();
+    cluster.recover(D).unwrap();
+    assert_eq!(cluster.value_at(C), 30);
+    assert_eq!(cluster.value_at(D), 30);
+    assert_triple(&cluster, D, 7, 4, &[0, 1, 2, 3]);
+
+    // One lineage, no stale reads: the claims were all safe.
+    assert!(cluster.checker().violations().is_empty());
+}

@@ -1,0 +1,228 @@
+//! Property tests for the §4 vote-claiming precondition: a topological
+//! rule may only claim the votes of *unreachable* members of the
+//! previous majority partition that reside on the *same segment* as a
+//! reachable member — such sites cannot be across a partition, they
+//! must be down. Random topologies up to 12 sites, both as a pure
+//! check of Algorithm 1's `decide` and end-to-end against clusters
+//! driven through random fault schedules.
+
+use dynamic_voting::core::decision::{decide, Rule};
+use dynamic_voting::core::state::{ReplicaState, StateTable};
+use dynamic_voting::replica::{ClusterBuilder, Protocol};
+use dynamic_voting::topology::{Network, NetworkBuilder};
+use dynamic_voting::types::{SiteId, SiteSet};
+use dynvote_check::{groups_of, state_table_of};
+use proptest::prelude::*;
+
+/// An arbitrary hub-and-spoke LAN: up to 12 sites spread over up to 4
+/// segments, every non-hub segment bridged from a generator-chosen
+/// gateway on the hub segment. Every reachability structure the paper
+/// considers (fully-connected, star of segments, isolated segments
+/// after gateway loss) is reachable from this family.
+fn arb_network() -> impl Strategy<Value = (Network, usize)> {
+    (
+        2usize..13,
+        proptest::collection::vec(0u8..4, 12),
+        proptest::collection::vec(0usize..12, 4),
+    )
+        .prop_map(|(n, labels, gateways)| {
+            // Partition sites 0..n by label, dropping empty segments;
+            // segment of site 0 is the hub.
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); 4];
+            for site in 0..n {
+                members[labels[site] as usize % 4].push(site);
+            }
+            let mut segments: Vec<Vec<usize>> =
+                members.into_iter().filter(|m| !m.is_empty()).collect();
+            let hub_index = segments
+                .iter()
+                .position(|m| m.contains(&0))
+                .expect("site 0 is somewhere");
+            segments.swap(0, hub_index);
+
+            let names = ["a", "b", "c", "d"];
+            let mut builder = NetworkBuilder::new();
+            for (i, m) in segments.iter().enumerate() {
+                builder = builder.segment(names[i], m.iter().copied());
+            }
+            let hub = &segments[0];
+            for (i, _) in segments.iter().enumerate().skip(1) {
+                let gateway = hub[gateways[i] % hub.len()];
+                builder = builder.bridge(gateway, names[i]);
+            }
+            (builder.build().expect("generator produces valid LANs"), n)
+        })
+}
+
+/// Fully arbitrary per-site states: operation and version numbers with
+/// non-empty partition sets drawn from the copy set. Topological
+/// `decide` must uphold the claiming precondition for *any* stored
+/// states — including the incoherent ones a sequential-claim fork
+/// leaves behind — so no coherence is imposed. (Non-topological rules
+/// assume members of Q agree on P, so they get [`arb_coherent_states`]
+/// instead.)
+fn arb_states(n: usize) -> impl Strategy<Value = StateTable> {
+    proptest::collection::vec((1u64..6, 1u64..6, 1u64..(1 << 12)), n).prop_map(move |rows| {
+        let copies = SiteSet::first_n(rows.len());
+        let mut table = StateTable::fresh(copies);
+        for (site, (op, version, bits)) in rows.iter().enumerate() {
+            let mut partition = SiteSet::from_bits(*bits) & copies;
+            if partition.is_empty() {
+                partition = copies;
+            }
+            table.set(
+                SiteId::new(site),
+                ReplicaState {
+                    op: *op,
+                    version: *version,
+                    partition,
+                },
+            );
+        }
+        table
+    })
+}
+
+/// Random states that uphold the invariant real (non-forked)
+/// executions maintain: every operation number was minted with exactly
+/// one partition set, so all sites holding the same `o` store the same
+/// `P` — the precondition of `decide` for non-topological rules.
+fn arb_coherent_states(n: usize) -> impl Strategy<Value = StateTable> {
+    (
+        proptest::collection::vec((1u64..6, 1u64..6), n),
+        proptest::collection::vec(1u64..(1 << 12), 6),
+    )
+        .prop_map(move |(rows, op_partitions)| {
+            let copies = SiteSet::first_n(rows.len());
+            let mut table = StateTable::fresh(copies);
+            for (site, (op, version)) in rows.iter().enumerate() {
+                let mut partition = SiteSet::from_bits(op_partitions[*op as usize]) & copies;
+                if partition.is_empty() {
+                    partition = copies;
+                }
+                table.set(
+                    SiteId::new(site),
+                    ReplicaState {
+                        op: *op,
+                        version: *version,
+                        partition,
+                    },
+                );
+            }
+            table
+        })
+}
+
+/// Checks the §4 precondition on one decision: every *claimed* vote —
+/// counted but not reachable — belongs to the previous partition set
+/// and shares a segment with a reachable member of it.
+fn assert_claims_are_topological(network: &Network, d: &dynamic_voting::core::decision::Decision) {
+    let claimed = d.counted - d.reachable;
+    let anchors = d.prev_partition & d.reachable;
+    for c in claimed.iter() {
+        assert!(
+            d.prev_partition.contains(c),
+            "claimed {c} outside P_m = {}",
+            d.prev_partition
+        );
+        assert!(
+            anchors.iter().any(|a| network.same_segment(a, c)),
+            "claimed {c} with no reachable co-segment member of P_m = {} (anchors {})",
+            d.prev_partition,
+            anchors
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Pure Algorithm 1: for any topology, any stored states, and any
+    /// reachable group, the topological rule claims only same-segment
+    /// votes of the previous partition — and counts every reachable
+    /// quorum member it would have counted anyway.
+    #[test]
+    fn decide_claims_only_cosegment_votes(
+        net_n in arb_network(),
+        states in arb_states(12),
+        group_bits in 1u64..(1 << 12),
+    ) {
+        let (network, n) = net_n;
+        let copies = SiteSet::first_n(n);
+        let group = SiteSet::from_bits(group_bits) & copies;
+        let d = decide(group, copies, &states, &Rule::topological(), Some(&network));
+        if (group & copies).is_empty() {
+            return;
+        }
+        assert_claims_are_topological(&network, &d);
+        // Claiming only ever widens the counted set within P_m.
+        prop_assert!(
+            (d.quorum_set & d.prev_partition).is_subset_of(d.counted),
+            "counted {} lost quorum members {}",
+            d.counted,
+            d.quorum_set & d.prev_partition
+        );
+    }
+
+    /// The same states and groups under a non-topological rule never
+    /// claim anything: counted is exactly the quorum set.
+    #[test]
+    fn non_topological_rules_claim_nothing(
+        net_n in arb_network(),
+        states in arb_coherent_states(12),
+        group_bits in 1u64..(1 << 12),
+    ) {
+        let (network, n) = net_n;
+        let copies = SiteSet::first_n(n);
+        let group = SiteSet::from_bits(group_bits) & copies;
+        if group.is_empty() {
+            return;
+        }
+        let d = decide(group, copies, &states, &Rule::lexicographic(), Some(&network));
+        prop_assert_eq!(d.counted, d.quorum_set);
+        prop_assert!((d.counted - d.reachable).is_empty());
+    }
+
+    /// End-to-end: drive a TDV/OTDV cluster over a random topology
+    /// through a random fault schedule, then re-run Algorithm 1 from
+    /// every live site's viewpoint on the *actual* replica states and
+    /// check the precondition on what it claims.
+    #[test]
+    fn cluster_states_only_admit_cosegment_claims(
+        net_n in arb_network(),
+        optimistic in any::<bool>(),
+        schedule in proptest::collection::vec((0usize..12, 0u8..4), 0..24),
+    ) {
+        let (network, n) = net_n;
+        let protocol = if optimistic { Protocol::Otdv } else { Protocol::Tdv };
+        let mut cluster = ClusterBuilder::new()
+            .network(network.clone())
+            .copies(0..n)
+            .protocol(protocol)
+            .build_with_value(0u32);
+        let mut token = 1u32;
+        for (raw, kind) in schedule {
+            let site = SiteId::new(raw % n);
+            match kind {
+                0 => cluster.fail_site(site),
+                1 => cluster.repair_site(site),
+                2 => {
+                    let _ = cluster.recover(site);
+                }
+                _ => {
+                    token += 1;
+                    let _ = cluster.write(site, token);
+                }
+            }
+        }
+        let states = state_table_of(&cluster);
+        let copies = cluster.participants();
+        for group in groups_of(&cluster) {
+            if (group & copies).is_empty() {
+                continue;
+            }
+            let d = decide(group, copies, &states, &Rule::topological(), Some(&network));
+            assert_claims_are_topological(&network, &d);
+        }
+    }
+}

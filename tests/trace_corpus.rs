@@ -1,0 +1,160 @@
+//! Replays every minimized counterexample trace under `tests/traces/`
+//! through the real cluster code and checks each file's pinned
+//! expectation, so a behavioral change that invalidates a corpus trace
+//! fails loudly with the file name attached.
+//!
+//! The corpus is the durable output of `dynvote-check` runs: hazard
+//! traces are written verbatim from `--trace-dir` artifacts, and the
+//! `expect: none` files pin correct behavior at the exact event
+//! sequences where a bug (injected or historical) would surface.
+
+use std::path::PathBuf;
+
+use dynvote_check::{verify, CheckEvent, Expectation, Scenario, TraceFile, World};
+use dynvote_replica::Protocol;
+use dynvote_types::{AccessError, SiteId};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/traces")
+}
+
+fn corpus() -> Vec<(String, TraceFile)> {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/traces/ must exist")
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let file = TraceFile::parse(&text)
+                .unwrap_or_else(|error| panic!("{name}: malformed trace: {error}"));
+            (name, file)
+        })
+        .collect()
+}
+
+/// Every corpus file replays to its pinned expectation.
+#[test]
+fn every_corpus_trace_replays_to_its_expectation() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 6, "corpus unexpectedly small: {corpus:?}");
+    for (name, file) in &corpus {
+        verify(file).unwrap_or_else(|error| panic!("{name}: {error}"));
+    }
+}
+
+/// The corpus covers both outcomes: minimized hazard forks AND
+/// clean-replay pins. A corpus of only one kind has lost half its
+/// regression value.
+#[test]
+fn corpus_covers_hazards_and_clean_pins() {
+    let corpus = corpus();
+    let forks = corpus
+        .iter()
+        .filter(|(_, f)| {
+            matches!(
+                &f.expect,
+                Expectation::Violation { invariant, known_hazard }
+                    if invariant == "lineage-fork" && *known_hazard
+            )
+        })
+        .count();
+    let clean = corpus
+        .iter()
+        .filter(|(_, f)| f.expect == Expectation::None)
+        .count();
+    assert!(forks >= 3, "expected ≥3 lineage-fork traces, got {forks}");
+    assert!(clean >= 2, "expected ≥2 clean-pin traces, got {clean}");
+
+    // Both topological claim policies are represented.
+    for policy in [Protocol::Tdv, Protocol::Otdv] {
+        assert!(
+            corpus.iter().any(|(_, f)| f.scenario.policy == policy),
+            "no corpus trace for {policy:?}"
+        );
+    }
+}
+
+/// Round-trip stability: re-rendering a parsed corpus file and parsing
+/// it again yields the same trace, so the on-disk format is canonical.
+#[test]
+fn corpus_files_roundtrip_through_the_renderer() {
+    for (name, file) in corpus() {
+        let rendered = file.render();
+        let reparsed = TraceFile::parse(&rendered)
+            .unwrap_or_else(|error| panic!("{name}: re-render broke parsing: {error}"));
+        assert_eq!(reparsed, file, "{name}: render/parse is not a fixpoint");
+    }
+}
+
+/// Replays one event sequence through an MCV world and an LDV world in
+/// lockstep and returns the final `(mcv, ldv)` outcomes.
+fn lockstep(
+    events: &[CheckEvent],
+) -> (
+    dynvote_check::world::StepOutcome,
+    dynvote_check::world::StepOutcome,
+) {
+    let mut mcv = World::new(&Scenario::new(Protocol::Mcv, 4, 1).unwrap());
+    let mut ldv = World::new(&Scenario::new(Protocol::Ldv, 4, 1).unwrap());
+    let mut last = None;
+    for &event in events {
+        let mcv_outcome = mcv.apply(event);
+        let ldv_outcome = ldv.apply(event);
+        assert!(mcv_outcome.granted, "MCV must grant every event here");
+        assert!(mcv_outcome.oracle.is_none(), "MCV replay must stay clean");
+        last = Some((mcv_outcome, ldv_outcome));
+    }
+    last.expect("at least one event")
+}
+
+/// The divergence behind `mcv-lone-rejoin-clean.trace`, pinned as a
+/// dual-world replay since one trace file carries one policy: MCV
+/// recovery is vacuous (no partition bookkeeping to rebuild), so MCV
+/// grants the `recover 0` of a still-down site that LDV refuses with
+/// OriginUnavailable. This is the minimal witness that MCV grants are
+/// not a subset of LDV grants; `dynvote-check --diff mcv-ldv`
+/// rediscovers it exhaustively.
+#[test]
+fn mcv_grants_the_lone_rejoin_that_ldv_refuses() {
+    let (_, ldv) = lockstep(&[
+        CheckEvent::Crash(SiteId::new(0)),
+        CheckEvent::Recover(SiteId::new(0)),
+    ]);
+    assert!(!ldv.granted, "LDV must refuse the lone rejoin");
+    assert!(
+        matches!(ldv.refusal, Some(AccessError::OriginUnavailable { .. })),
+        "expected OriginUnavailable, got {:?}",
+        ldv.refusal
+    );
+}
+
+/// The deeper, write-level divergence: after S0 misses a write, LDV's
+/// current partition shrinks to {S1,S2,S3}. Crash S2 and S3, repair S0,
+/// and write again — MCV sees two of four static votes with the
+/// top-ranked copy S0 present and grants via its half-with-top-copy
+/// tie-breaker, while LDV counts only S1 of its three-member partition
+/// and refuses with NoQuorum. MCV's static majority counts the
+/// repaired-but-stale S0; LDV's shrunk partition excludes it until it
+/// recovers.
+#[test]
+fn mcv_tiebreak_grants_the_write_that_ldv_refuses() {
+    let (_, ldv) = lockstep(&[
+        CheckEvent::Crash(SiteId::new(0)),
+        CheckEvent::Write(SiteId::new(1)),
+        CheckEvent::Crash(SiteId::new(2)),
+        CheckEvent::Crash(SiteId::new(3)),
+        CheckEvent::Repair(SiteId::new(0)),
+        CheckEvent::Write(SiteId::new(1)),
+    ]);
+    assert!(!ldv.granted, "LDV must refuse the post-repair write");
+    assert!(
+        matches!(ldv.refusal, Some(AccessError::NoQuorum { .. })),
+        "expected NoQuorum, got {:?}",
+        ldv.refusal
+    );
+}
