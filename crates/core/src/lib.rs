@@ -61,6 +61,7 @@ pub mod lexicon;
 pub mod ops;
 pub mod policy;
 pub mod state;
+pub mod wire;
 
 pub use check::{ProtocolSnapshot, StateInvariant};
 pub use decision::{decide, explain, Decision, Rule};

@@ -1,5 +1,5 @@
-//! The cluster: nodes, the partition-aware message bus, and the
-//! READ / WRITE / RECOVER operations.
+//! The cluster: nodes, the transport carrying protocol messages, and
+//! the READ / WRITE / RECOVER operations.
 
 use dynvote_core::decision::Rule;
 use dynvote_core::lexicon::Lexicon;
@@ -13,6 +13,7 @@ use crate::checker::Checker;
 use crate::message::{Message, MessageKind, Trace};
 use crate::node::{Node, WitnessNode};
 use crate::snapshot::Snapshot;
+use crate::transport::{BusTransport, Carried, Reply, Transport, WireRequest};
 
 /// Default bound on delivery rounds per operation phase.
 const DEFAULT_MAX_ATTEMPTS: u32 = 3;
@@ -249,9 +250,96 @@ impl ClusterBuilder {
             checker: Checker::new(),
             stats: OpStats::default(),
             history: Vec::new(),
-            bus: Bus::new(),
+            transport: BusTransport::new(),
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             op_ticket: 0,
+        }
+    }
+
+    /// Builds one *node's share* of a networked deployment: a cluster
+    /// that hosts only the participant at `local` and reaches every
+    /// other participant through `transport` — the configuration a
+    /// `dynvote-stored` daemon runs.
+    ///
+    /// Two deliberate differences from the all-in-process build:
+    ///
+    /// * the up-set stays "everyone up" forever — on a real network the
+    ///   coordinator cannot observe remote liveness, only silence, so
+    ///   unreachable peers surface as `Timeout` refusals instead of the
+    ///   fail-stop model's omniscient down-set;
+    /// * operation tickets are namespaced by the local site index (high
+    ///   16 bits), so the outstanding votes of concurrent coordinators
+    ///   on different daemons can never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the placement is invalid (see
+    /// [`ClusterBuilder::build_with_value`]) or when `local` is not a
+    /// declared participant.
+    #[must_use]
+    pub fn build_remote<T: Clone, X: Transport<T>>(
+        self,
+        local: usize,
+        transport: X,
+        initial: T,
+    ) -> Cluster<T, X> {
+        assert!(!self.copies.is_empty(), "a replicated file needs copies");
+        let copies: SiteSet = SiteSet::from_indices(self.copies.iter().copied());
+        let witnesses: SiteSet = SiteSet::from_indices(self.witnesses.iter().copied());
+        assert!(
+            copies.is_disjoint(witnesses),
+            "a site cannot be both a copy and a witness"
+        );
+        assert!(
+            witnesses.is_empty() || self.protocol != Protocol::Mcv,
+            "witnesses require a dynamic-voting protocol"
+        );
+        let participants = copies | witnesses;
+        let local_id = SiteId::new(local);
+        assert!(
+            participants.contains(local_id),
+            "the local site must be a declared participant"
+        );
+        let network = self.network.unwrap_or_else(|| {
+            let max = participants.max().expect("non-empty").index();
+            Network::single_segment(max + 1)
+        });
+        assert!(
+            participants.is_subset_of(network.sites()),
+            "every copy and witness must live on a network site"
+        );
+        let nodes = if copies.contains(local_id) {
+            vec![Node::new(local_id, participants, initial)]
+        } else {
+            Vec::new()
+        };
+        let witness_nodes = if witnesses.contains(local_id) {
+            vec![WitnessNode::new(local_id, participants)]
+        } else {
+            Vec::new()
+        };
+        Cluster {
+            rule: self.protocol.rule(self.lexicon),
+            protocol: self.protocol,
+            up: network.sites(),
+            reach_cache: std::sync::Arc::new(std::sync::Mutex::new(ReachabilityCache::new(
+                &network,
+            ))),
+            #[cfg(any(test, feature = "stale-read-fault"))]
+            stale_read_fault: false,
+            network,
+            copies,
+            witnesses,
+            nodes,
+            witness_nodes,
+            forced_groups: None,
+            trace: Trace::default(),
+            checker: Checker::new(),
+            stats: OpStats::default(),
+            history: Vec::new(),
+            transport,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            op_ticket: (local as u64) << 48,
         }
     }
 
@@ -302,14 +390,21 @@ impl ClusterBuilder {
 /// unreachable sites are silently lost, exactly as the paper's fail-stop
 /// model prescribes.
 ///
-/// `Cluster` is `Clone`: a clone is an independent replicated file that
-/// evolves separately from the original — the branch operation an
-/// exhaustive explorer (`dynvote-check`) performs at every state. Only
-/// the reachability memo is shared between clones (it is a pure cache
-/// keyed by up-set, so sharing changes no observable behavior and keeps
-/// branching cheap).
+/// `Cluster` is `Clone` (when its transport is): a clone is an
+/// independent replicated file that evolves separately from the
+/// original — the branch operation an exhaustive explorer
+/// (`dynvote-check`) performs at every state. Only the reachability
+/// memo is shared between clones (it is a pure cache keyed by up-set,
+/// so sharing changes no observable behavior and keeps branching
+/// cheap).
+///
+/// The transport parameter `X` selects the network under the protocol:
+/// the default [`BusTransport`] hosts every participant in-process
+/// behind the nemesis fault bus, while `dynvote-store`'s `TcpTransport`
+/// runs the *same* operation code against remote peers over real
+/// sockets (built via [`ClusterBuilder::build_remote`]).
 #[derive(Clone)]
-pub struct Cluster<T> {
+pub struct Cluster<T, X = BusTransport> {
     network: Network,
     protocol: Protocol,
     rule: Option<Rule>,
@@ -340,28 +435,14 @@ pub struct Cluster<T> {
     checker: Checker,
     stats: OpStats,
     history: Vec<CommittedOp>,
-    /// The fault surface every protocol message crosses.
-    bus: Bus,
+    /// The delivery surface every protocol message crosses.
+    transport: X,
     /// Bound on delivery rounds per operation phase (poll retries,
     /// per-participant commit retries, copy-transfer retries).
     max_attempts: u32,
     /// Cluster-wide monotonic operation ticket; outstanding votes are
     /// keyed by it.
     op_ticket: u64,
-}
-
-/// What the bus did with one dispatched message, as the coordinator's
-/// state machine sees it.
-enum Delivery {
-    /// The message reached its recipient in time.
-    Arrived,
-    /// The message will arrive, but after every on-time message of the
-    /// current phase — meaningful for `COMMIT` (reordering); for
-    /// anything awaited synchronously it is indistinguishable from
-    /// loss.
-    Late,
-    /// The message never arrived.
-    Lost,
 }
 
 /// The result of the START/STATE polling rounds.
@@ -395,7 +476,98 @@ enum CopyFailure {
     RequesterDown,
 }
 
-impl<T: Clone> Cluster<T> {
+/// Serves one protocol request at a locally-hosted participant — the
+/// node side of every exchange, shared verbatim by the in-memory
+/// transport (invoked through the `serve` callback) and a network
+/// daemon answering a framed request for its own site.
+///
+/// Returns `None` when the addressed site abstains (outstanding vote
+/// for a different ticket), is asked for data it does not hold (a
+/// witness), or is not hosted here at all.
+fn serve_participant<T: Clone>(
+    nodes: &mut [Node<T>],
+    witness_nodes: &mut [WitnessNode],
+    to: SiteId,
+    kind: &MessageKind,
+    payload: Option<&T>,
+    ticket: u64,
+    mark_pending: bool,
+) -> Option<Reply<T>> {
+    if let Some(node) = nodes.iter_mut().find(|n| n.id() == to) {
+        match kind {
+            MessageKind::StartRequest => {
+                match node.pending() {
+                    // Outstanding vote for a different operation: the
+                    // site abstains. Re-polls of the *same* ticket are
+                    // answered (the coordinator lost the first reply).
+                    Some(t) if t != ticket => return None,
+                    _ => {}
+                }
+                if mark_pending {
+                    node.set_pending(ticket);
+                }
+                let state = node.state();
+                Some(Reply::State {
+                    op: state.op,
+                    version: state.version,
+                    partition: state.partition,
+                })
+            }
+            MessageKind::Commit {
+                op,
+                version,
+                partition,
+            } => {
+                node.apply_commit(*op, *version, *partition);
+                if let Some(value) = payload {
+                    node.store(value.clone());
+                }
+                node.clear_pending();
+                Some(Reply::Ack)
+            }
+            MessageKind::CopyRequest => Some(Reply::Copy {
+                version: node.state().version,
+                value: node.fetch(),
+            }),
+            MessageKind::StateReply { .. } | MessageKind::CopyReply => None,
+        }
+    } else if let Some(witness) = witness_nodes.iter_mut().find(|w| w.id() == to) {
+        match kind {
+            MessageKind::StartRequest => {
+                match witness.pending() {
+                    Some(t) if t != ticket => return None,
+                    _ => {}
+                }
+                if mark_pending {
+                    witness.set_pending(ticket);
+                }
+                let state = witness.state();
+                Some(Reply::State {
+                    op: state.op,
+                    version: state.version,
+                    partition: state.partition,
+                })
+            }
+            MessageKind::Commit {
+                op,
+                version,
+                partition,
+            } => {
+                witness.apply_commit(*op, *version, *partition);
+                witness.clear_pending();
+                Some(Reply::Ack)
+            }
+            // A witness holds no data to copy.
+            MessageKind::CopyRequest | MessageKind::StateReply { .. } | MessageKind::CopyReply => {
+                None
+            }
+        }
+    } else {
+        None
+    }
+}
+
+impl<T: Clone, X: Transport<T>> Cluster<T, X> {
     fn node(&self, site: SiteId) -> &Node<T> {
         self.nodes
             .iter()
@@ -585,13 +757,15 @@ impl<T: Clone> Cluster<T> {
 
     // ---- fault surface -----------------------------------------------------
 
-    /// Fails a site (copy, witness, or gateway). Idempotent.
+    /// Fails a site (copy, witness, or gateway). Idempotent. Sites
+    /// hosted elsewhere (a [`ClusterBuilder::build_remote`] deployment)
+    /// only leave the up-set — their node state is their own daemon's.
     pub fn fail_site(&mut self, site: SiteId) {
         self.up.remove(site);
-        if self.copies.contains(site) {
-            self.node_mut(site).fail();
-        } else if self.witnesses.contains(site) {
-            self.witness_node_mut(site).fail();
+        if let Some(node) = self.nodes.iter_mut().find(|n| n.id() == site) {
+            node.fail();
+        } else if let Some(witness) = self.witness_nodes.iter_mut().find(|w| w.id() == site) {
+            witness.fail();
         }
     }
 
@@ -599,10 +773,10 @@ impl<T: Clone> Cluster<T> {
     /// the majority partition with [`Cluster::recover`].
     pub fn repair_site(&mut self, site: SiteId) {
         self.up.insert(site);
-        if self.copies.contains(site) {
-            self.node_mut(site).repair();
-        } else if self.witnesses.contains(site) {
-            self.witness_node_mut(site).repair();
+        if let Some(node) = self.nodes.iter_mut().find(|n| n.id() == site) {
+            node.repair();
+        } else if let Some(witness) = self.witness_nodes.iter_mut().find(|w| w.id() == site) {
+            witness.repair();
         }
     }
 
@@ -648,30 +822,19 @@ impl<T: Clone> Cluster<T> {
         }
     }
 
-    // ---- message-fault surface ---------------------------------------------
+    // ---- transport surface -------------------------------------------------
 
-    /// The message-fault bus: injected rules and delivery statistics.
+    /// The transport carrying this cluster's protocol messages.
     #[must_use]
-    pub fn bus(&self) -> &Bus {
-        &self.bus
+    pub fn transport(&self) -> &X {
+        &self.transport
     }
 
-    /// Mutable access to the bus (inject/clear rules directly).
-    pub fn bus_mut(&mut self) -> &mut Bus {
-        &mut self.bus
-    }
-
-    /// Injects a message-fault rule (see [`FaultRule`]).
-    pub fn inject_fault(&mut self, rule: FaultRule) {
-        self.bus.inject(rule);
-    }
-
-    /// Removes every message-fault rule; delivery is perfect again.
-    /// Sites already wedged by an outstanding vote stay wedged until
-    /// the interrupted operation resolves (commit retry by a later
-    /// operation, or [`Cluster::recover`] at the site).
-    pub fn clear_message_faults(&mut self) {
-        self.bus.clear();
+    /// Mutable access to the transport (admin surface: fault rules for
+    /// the in-memory bus, link rules and peer stats for a networked
+    /// transport).
+    pub fn transport_mut(&mut self) -> &mut X {
+        &mut self.transport
     }
 
     /// Arms (or disarms) the deliberate stale-read fault: a granted
@@ -725,22 +888,13 @@ impl<T: Clone> Cluster<T> {
         }
     }
 
-    fn set_participant_pending(&mut self, site: SiteId, ticket: u64) {
-        if self.copies.contains(site) {
-            self.node_mut(site).set_pending(ticket);
-        } else {
-            self.witness_node_mut(site).set_pending(ticket);
-        }
-    }
-
-    /// Releases every outstanding vote for `ticket` except at the
-    /// sites in `keep` — the abort oracle: a replier whose vote is
-    /// *provably* non-binding (the operation was refused or aborted,
-    /// or its reply was never counted and it did not become a
-    /// participant) times out and frees itself. Participants whose
-    /// `COMMIT` may still be outstanding are in `keep` and stay
-    /// wedged.
-    fn release_pending(&mut self, ticket: u64, keep: SiteSet) {
+    /// Applies the abort oracle to the participants hosted in *this*
+    /// process: releases every outstanding vote for `ticket` except at
+    /// the sites in `keep`. A network daemon calls this when a release
+    /// frame arrives for its local site; coordinators use
+    /// [`Cluster::release_pending`], which also forwards the release
+    /// through the transport.
+    pub fn local_release(&mut self, ticket: u64, keep: SiteSet) {
         for node in &mut self.nodes {
             if node.pending() == Some(ticket) && !keep.contains(node.id()) {
                 node.clear_pending();
@@ -753,6 +907,19 @@ impl<T: Clone> Cluster<T> {
         }
     }
 
+    /// Releases every outstanding vote for `ticket` except at the
+    /// sites in `keep` — the abort oracle: a replier whose vote is
+    /// *provably* non-binding (the operation was refused or aborted,
+    /// or its reply was never counted and it did not become a
+    /// participant) times out and frees itself. Participants whose
+    /// `COMMIT` may still be outstanding are in `keep` and stay
+    /// wedged. Locally-hosted participants release synchronously; the
+    /// transport forwards the release to remote peers best-effort.
+    fn release_pending(&mut self, ticket: u64, keep: SiteSet) {
+        self.local_release(ticket, keep);
+        self.transport.release(ticket, keep);
+    }
+
     fn next_ticket(&mut self) -> u64 {
         self.op_ticket += 1;
         self.op_ticket
@@ -760,37 +927,96 @@ impl<T: Clone> Cluster<T> {
 
     // ---- the protocol rounds -----------------------------------------------
 
-    /// Sends one message through the bus: records the wire copy (and a
-    /// duplicate's second copy) on the trace, applies crash
-    /// side-effects, and reports what the recipient saw. Only called
-    /// for recipients that are up and reachable — losses from the
-    /// failure model itself never involve the bus.
-    fn dispatch(&mut self, message: Message) -> Delivery {
-        let (from, to) = (message.from, message.to);
+    /// Serves one incoming protocol request at a participant hosted in
+    /// this process — the entry point a network daemon routes framed
+    /// peer requests through, so remote delivery runs exactly the code
+    /// the in-memory transport's callback runs. Records nothing on the
+    /// trace (the trace belongs to the *coordinator's* side of an
+    /// exchange).
+    pub fn serve_at(
+        &mut self,
+        to: SiteId,
+        kind: &MessageKind,
+        payload: Option<&T>,
+        ticket: u64,
+        mark_pending: bool,
+    ) -> Option<Reply<T>> {
+        serve_participant(
+            &mut self.nodes,
+            &mut self.witness_nodes,
+            to,
+            kind,
+            payload,
+            ticket,
+            mark_pending,
+        )
+    }
+
+    /// Runs one request/reply exchange through the transport: records
+    /// the request (and a duplicate's second wire copy) on the trace,
+    /// lets the transport deliver it — serving locally-hosted
+    /// recipients via [`serve_participant`] — then records the reply's
+    /// wire copy and applies every crash side effect the fault surface
+    /// reported. Only called for recipients that are up and reachable —
+    /// losses from the failure model itself never reach the transport.
+    fn exchange(
+        &mut self,
+        message: Message,
+        payload: Option<&T>,
+        ticket: u64,
+        mark_pending: bool,
+    ) -> Carried<T> {
         self.trace.record(message.clone());
-        match self.bus.decide(&message) {
-            Verdict::Deliver => Delivery::Arrived,
-            Verdict::Duplicate => {
-                // Two wire copies, processed once: handlers are keyed
-                // by the operation ticket, so the second is ignored.
-                self.trace.record(message);
-                Delivery::Arrived
-            }
-            Verdict::Delay => Delivery::Late,
-            Verdict::Drop => Delivery::Lost,
-            Verdict::CrashRecipient => {
-                // The recipient dies *before* processing: the message
-                // was sent (it is on the trace) but never takes
-                // effect.
-                self.fail_site(to);
-                Delivery::Lost
-            }
-            Verdict::CrashSender => {
-                // Delivered normally — then the sender dies.
-                self.fail_site(from);
-                Delivery::Arrived
+        let Cluster {
+            transport,
+            nodes,
+            witness_nodes,
+            ..
+        } = self;
+        let mut serve = |msg: &Message, payload: Option<&T>| {
+            serve_participant(
+                nodes,
+                witness_nodes,
+                msg.to,
+                &msg.kind,
+                payload,
+                ticket,
+                mark_pending,
+            )
+        };
+        let carried = transport.carry(
+            WireRequest {
+                message: &message,
+                payload,
+                ticket,
+                mark_pending,
+            },
+            &mut serve,
+        );
+        match carried.request {
+            // Two wire copies, processed once: handlers are keyed by
+            // the operation ticket, so the second is ignored.
+            Verdict::Duplicate => self.trace.record(message.clone()),
+            // The recipient dies *before* processing: the message was
+            // sent (it is on the trace) but never took effect.
+            Verdict::CrashRecipient => self.fail_site(message.to),
+            // Delivered (for a commit) or moot (for a poll) — either
+            // way the sender is now dead.
+            Verdict::CrashSender => self.fail_site(message.from),
+            Verdict::Deliver | Verdict::Drop | Verdict::Delay => {}
+        }
+        if let Some(response) = &carried.response {
+            if let Some(wire) = &response.wire {
+                self.trace.record(wire.clone());
+                match response.verdict {
+                    Verdict::Duplicate => self.trace.record(wire.clone()),
+                    Verdict::CrashRecipient => self.fail_site(wire.to),
+                    Verdict::CrashSender => self.fail_site(wire.from),
+                    Verdict::Deliver | Verdict::Drop | Verdict::Delay => {}
+                }
             }
         }
+        carried
     }
 
     /// START/STATE polling with bounded retry: broadcast, collect the
@@ -849,39 +1075,39 @@ impl<T: Clone> Cluster<T> {
                 };
                 if !targets.contains(site) {
                     // Down or unreachable: lost by the failure model,
-                    // not the bus — but it was sent, so it is traced.
+                    // not the transport — but it was sent, so it is
+                    // traced.
                     self.trace.record(start);
                     continue;
                 }
-                if !matches!(self.dispatch(start), Delivery::Arrived) {
-                    continue;
-                }
+                let carried = self.exchange(start, None, ticket, mark_pending);
                 if !self.up.contains(origin) {
-                    break; // a sender-crash fault killed the origin
+                    break; // a crash fault killed the origin mid-poll
                 }
-                match self.participant_pending(site) {
-                    // Outstanding vote for a different operation: the
-                    // site abstains. Re-polls of the *same* ticket are
-                    // answered (the coordinator lost the first reply).
-                    Some(t) if t != ticket => continue,
-                    _ => {}
-                }
-                if mark_pending {
-                    self.set_participant_pending(site, ticket);
-                }
-                let state = self.participant_state(site);
-                let reply = Message {
-                    from: site,
-                    to: origin,
-                    kind: MessageKind::StateReply {
-                        op: state.op,
-                        version: state.version,
-                        partition: state.partition,
-                    },
+                // Silence covers a lost request, a lost reply's
+                // sibling (none), an abstaining wedged site, and (on a
+                // real network) an unreachable peer — all one case to
+                // the coordinator.
+                let Some(response) = carried.response else {
+                    continue;
                 };
-                if matches!(self.dispatch(reply), Delivery::Arrived) && self.up.contains(origin) {
-                    heard.insert(site);
-                    table.set(site, state);
+                if response.arrived() {
+                    if let Reply::State {
+                        op,
+                        version,
+                        partition,
+                    } = response.body
+                    {
+                        heard.insert(site);
+                        table.set(
+                            site,
+                            ReplicaState {
+                                op,
+                                version,
+                                partition,
+                            },
+                        );
+                    }
                 }
             }
             if !self.up.contains(origin) {
@@ -953,7 +1179,11 @@ impl<T: Clone> Cluster<T> {
                 missing.insert(site);
                 continue;
             }
-            let mut delivery = None;
+            // `installed`: the commit was acknowledged (the transport
+            // served it at the recipient). `delayed`: the fault
+            // surface will deliver it after every on-time commit.
+            let mut installed = false;
+            let mut delayed = false;
             for _ in 0..self.max_attempts {
                 let commit = Message {
                     from: origin,
@@ -966,35 +1196,33 @@ impl<T: Clone> Cluster<T> {
                 };
                 if !self.up.contains(site) {
                     // The participant died after voting: the commit
-                    // goes into the void (traced, not bus-faulted).
+                    // goes into the void (traced, not transport-
+                    // faulted).
                     self.trace.record(commit);
                     break;
                 }
-                match self.dispatch(commit) {
-                    Delivery::Arrived => {
-                        delivery = Some(Delivery::Arrived);
-                        break;
-                    }
-                    Delivery::Late => {
-                        delivery = Some(Delivery::Late);
-                        break;
-                    }
-                    Delivery::Lost => {} // retry
+                let carried = self.exchange(commit, value, 0, false);
+                if carried.response.is_some() {
+                    installed = true;
+                    break;
                 }
+                if matches!(carried.request, Verdict::Delay) {
+                    delayed = true;
+                    break;
+                }
+                // Lost: retry.
             }
-            match delivery {
-                Some(Delivery::Late) => late.push(site),
-                Some(_) => {
-                    self.apply_commit_at(site, op, version, participants, value);
-                    applied.insert(site);
-                }
-                None => {
-                    missing.insert(site);
-                }
+            if installed {
+                applied.insert(site);
+            } else if delayed {
+                late.push(site);
+            } else {
+                missing.insert(site);
             }
         }
         // Delayed commits land after the on-time ones — reordered but
-        // still within the operation's horizon.
+        // still within the operation's horizon. Delay is an in-memory
+        // bus verdict, so the recipient is always hosted locally.
         for site in late {
             self.apply_commit_at(site, op, version, participants, value);
             applied.insert(site);
@@ -1002,11 +1230,19 @@ impl<T: Clone> Cluster<T> {
         CommitOutcome { applied, missing }
     }
 
-    /// Moves the file from `source` to `requester` through the bus:
-    /// one request/reply pair per attempt.
-    fn transfer_copy(&mut self, requester: SiteId, source: SiteId) -> Result<T, CopyFailure> {
+    /// Moves the file from `source` to `requester` through the
+    /// transport: one request/reply pair per attempt. Returns the
+    /// value together with the version number it carries at the source
+    /// — what a real copy reply ships, and what the invariant checker
+    /// grades a read against.
+    fn transfer_copy(
+        &mut self,
+        requester: SiteId,
+        source: SiteId,
+    ) -> Result<(T, u64), CopyFailure> {
         if requester == source {
-            return Ok(self.node(source).fetch());
+            let node = self.node(source);
+            return Ok((node.fetch(), node.state().version));
         }
         for _ in 0..self.max_attempts {
             if !self.up.contains(requester) {
@@ -1020,23 +1256,16 @@ impl<T: Clone> Cluster<T> {
                 to: source,
                 kind: MessageKind::CopyRequest,
             };
-            if !matches!(self.dispatch(request), Delivery::Arrived) {
-                continue;
-            }
-            if !self.up.contains(requester) {
-                return Err(CopyFailure::RequesterDown);
-            }
-            let value = self.node(source).fetch();
-            let reply = Message {
-                from: source,
-                to: requester,
-                kind: MessageKind::CopyReply,
-            };
-            if matches!(self.dispatch(reply), Delivery::Arrived) {
-                if !self.up.contains(requester) {
-                    return Err(CopyFailure::RequesterDown);
+            let carried = self.exchange(request, None, 0, false);
+            if let Some(response) = carried.response {
+                if response.arrived() {
+                    if !self.up.contains(requester) {
+                        return Err(CopyFailure::RequesterDown);
+                    }
+                    if let Reply::Copy { version, value } = response.body {
+                        return Ok((value, version));
+                    }
                 }
-                return Ok(value);
             }
             if !self.up.contains(requester) {
                 return Err(CopyFailure::RequesterDown);
@@ -1219,9 +1448,10 @@ impl<T: Clone> Cluster<T> {
         // equals the planned `p.new_version` (the source is a current
         // copy), but the checker must grade what was *served*, not what
         // was planned, or a bug in source selection would grade itself.
-        let served_version = self.node(data_source).state().version;
-        let value = match self.transfer_copy(origin, data_source) {
-            Ok(value) => value,
+        // It rides the copy reply: on a real network the coordinator
+        // has no other way to know what the source shipped.
+        let (value, served_version) = match self.transfer_copy(origin, data_source) {
+            Ok(pair) => pair,
             Err(failure) => {
                 self.release_pending(ticket, SiteSet::EMPTY);
                 return Err(match failure {
@@ -1425,7 +1655,7 @@ impl<T: Clone> Cluster<T> {
         };
         if p.copy_needed {
             match self.transfer_copy(site, p.data_source) {
-                Ok(value) => self.node_mut(site).store(value),
+                Ok((value, _version)) => self.node_mut(site).store(value),
                 Err(failure) => {
                     self.release_pending(ticket, SiteSet::EMPTY);
                     return Err(match failure {
@@ -1517,12 +1747,14 @@ impl<T: Clone> Cluster<T> {
                 &poll,
             ));
         }
+        // Source selection from the *poll's* view, not local node
+        // state: on a real network the replies are all there is.
         let source = reachable
             .iter()
-            .find(|&s| self.node(s).state().version == version)
+            .find(|&s| poll.table.get(s).version == version)
             .expect("a max-version copy exists");
         match self.transfer_copy(origin, source) {
-            Ok(value) => {
+            Ok((value, _served)) => {
                 self.checker.note_read(version);
                 Ok(value)
             }
@@ -1572,7 +1804,10 @@ impl<T: Clone> Cluster<T> {
                 missing.insert(site);
                 continue;
             }
-            let op = self.node(site).state().op;
+            // Each site keeps its own operation number under Gifford's
+            // scheme — read from the poll's view, as a real
+            // coordinator must.
+            let op = poll.table.get(site).op;
             let mut delivered = false;
             for _ in 0..self.max_attempts {
                 let commit = Message {
@@ -1588,20 +1823,21 @@ impl<T: Clone> Cluster<T> {
                     self.trace.record(commit);
                     break;
                 }
-                match self.dispatch(commit) {
+                let carried = self.exchange(commit, Some(&value), 0, false);
+                if carried.response.is_some() {
+                    delivered = true;
+                    break;
+                }
+                if matches!(carried.request, Verdict::Delay) {
                     // A delayed commit still lands within the
-                    // operation — identical final state.
-                    Delivery::Arrived | Delivery::Late => {
-                        delivered = true;
-                        break;
-                    }
-                    Delivery::Lost => {}
+                    // operation — identical final state. Delay is an
+                    // in-memory bus verdict; the recipient is local.
+                    self.apply_commit_at(site, op, new_version, copies, Some(&value));
+                    delivered = true;
+                    break;
                 }
             }
             if delivered {
-                let node = self.node_mut(site);
-                node.store(value.clone());
-                node.apply_commit(op, new_version, copies);
                 applied.insert(site);
             } else {
                 missing.insert(site);
@@ -1630,7 +1866,36 @@ impl<T: Clone> Cluster<T> {
     }
 }
 
-impl<T: Clone + std::hash::Hash> Cluster<T> {
+impl<T: Clone> Cluster<T> {
+    /// The message-fault bus: injected rules and delivery statistics.
+    /// Only the in-memory [`BusTransport`] has one; a networked
+    /// cluster's fault surface is its transport's link rules
+    /// ([`Cluster::transport_mut`]).
+    #[must_use]
+    pub fn bus(&self) -> &Bus {
+        self.transport.bus()
+    }
+
+    /// Mutable access to the bus (inject/clear rules directly).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        self.transport.bus_mut()
+    }
+
+    /// Injects a message-fault rule (see [`FaultRule`]).
+    pub fn inject_fault(&mut self, rule: FaultRule) {
+        self.transport.bus_mut().inject(rule);
+    }
+
+    /// Removes every message-fault rule; delivery is perfect again.
+    /// Sites already wedged by an outstanding vote stay wedged until
+    /// the interrupted operation resolves (commit retry by a later
+    /// operation, or [`Cluster::recover`] at the site).
+    pub fn clear_message_faults(&mut self) {
+        self.transport.bus_mut().clear();
+    }
+}
+
+impl<T: Clone + std::hash::Hash, X: Transport<T>> Cluster<T, X> {
     /// A deterministic 64-bit fingerprint of the cluster's
     /// protocol-visible state, for frontier deduplication in exhaustive
     /// exploration.

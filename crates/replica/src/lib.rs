@@ -55,6 +55,7 @@ pub mod node;
 pub mod scenario;
 pub mod snapshot;
 pub mod step;
+pub mod transport;
 
 pub use bus::{Bus, BusStats, FaultAction, FaultRule, MessageClass, Verdict};
 pub use checker::{Checker, Violation};
@@ -67,3 +68,4 @@ pub use node::{Node, WitnessNode};
 pub use scenario::{Command, ScenarioError};
 pub use snapshot::Snapshot;
 pub use step::StepEvent;
+pub use transport::{BusTransport, Carried, LocalServe, Reply, Response, Transport, WireRequest};

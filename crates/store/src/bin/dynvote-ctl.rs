@@ -1,0 +1,153 @@
+//! The control client for a live `dynvote-stored` cluster.
+//!
+//! ```text
+//! dynvote-ctl --node 127.0.0.1:7100 put "new contents"
+//! dynvote-ctl --node 127.0.0.1:7100 get
+//! dynvote-ctl --node 127.0.0.1:7100 recover
+//! dynvote-ctl --node 127.0.0.1:7100 status
+//! dynvote-ctl --node 127.0.0.1:7100 deny 2 | allow 2 | heal-links
+//! dynvote-ctl --nodes 0=127.0.0.1:7100,1=127.0.0.1:7101 replay fork.trace
+//! ```
+//!
+//! Exit codes: 0 granted, 1 refused (the paper's ABORT), 2 usage or
+//! connection error.
+
+use std::time::Duration;
+
+use dynvote_check::TraceFile;
+use dynvote_store::client::{request, Outcome};
+use dynvote_store::replay;
+use dynvote_store::wire::Frame;
+use dynvote_types::SiteId;
+
+fn fail(message: &str) -> ! {
+    eprintln!("dynvote-ctl: {message}");
+    eprintln!(
+        "usage: dynvote-ctl --node ADDR (put VALUE | get | recover | status | \
+         deny SITE | allow SITE | heal-links)\n       \
+         dynvote-ctl --nodes 0=ADDR,1=ADDR,… replay FILE.trace [--timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_site(value: &str) -> SiteId {
+    value
+        .parse::<usize>()
+        .ok()
+        .and_then(SiteId::try_new)
+        .unwrap_or_else(|| fail(&format!("bad site index {value:?}")))
+}
+
+fn report(outcome: &Outcome) -> ! {
+    match outcome {
+        Outcome::Done(detail) => {
+            println!("ok: {detail}");
+            std::process::exit(0);
+        }
+        Outcome::Value { version, value } => {
+            println!("{}", String::from_utf8_lossy(value));
+            eprintln!("version={version}");
+            std::process::exit(0);
+        }
+        Outcome::Report(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Outcome::Refused(message) => {
+            eprintln!("refused: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut node = None;
+    let mut nodes: Vec<(usize, String)> = Vec::new();
+    let mut timeout = Duration::from_secs(5);
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--node" => {
+                node = Some(
+                    iter.next()
+                        .unwrap_or_else(|| fail("--node requires a value")),
+                );
+            }
+            "--nodes" => {
+                let list = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--nodes requires a value"));
+                for entry in list.split(',') {
+                    let Some((site, addr)) = entry.split_once('=') else {
+                        fail(&format!("--nodes: expected site=addr, got {entry:?}"));
+                    };
+                    nodes.push((parse_site(site.trim()).index(), addr.trim().to_string()));
+                }
+            }
+            "--timeout-ms" => {
+                let ms = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--timeout-ms requires a value"));
+                timeout = Duration::from_millis(
+                    ms.parse()
+                        .unwrap_or_else(|_| fail("bad --timeout-ms value")),
+                );
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let mut rest = rest.into_iter();
+    let command = rest.next().unwrap_or_else(|| fail("missing command"));
+    if command == "replay" {
+        let path = rest
+            .next()
+            .unwrap_or_else(|| fail("replay needs a trace file"));
+        if nodes.is_empty() {
+            fail("replay needs --nodes 0=addr,1=addr,…");
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let trace =
+            TraceFile::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        println!(
+            "# replaying {path}: {} sites, {} events",
+            trace.scenario.sites,
+            trace.events.len()
+        );
+        let steps = replay::run(&trace, &nodes, timeout)
+            .unwrap_or_else(|e| fail(&format!("replay failed: {e}")));
+        for (index, step) in steps.iter().enumerate() {
+            println!("{:>3}. {:<14} -> {}", index + 1, step.event, step.outcome);
+        }
+        std::process::exit(0);
+    }
+    let node = node.unwrap_or_else(|| fail("--node is required"));
+    let frame = match command.as_str() {
+        "put" => Frame::Put {
+            value: rest
+                .next()
+                .unwrap_or_else(|| fail("put needs a value"))
+                .into_bytes(),
+        },
+        "get" => Frame::Get,
+        "recover" => Frame::Recover,
+        "status" => Frame::Status,
+        "deny" => Frame::Deny {
+            site: parse_site(&rest.next().unwrap_or_else(|| fail("deny needs a site"))),
+        },
+        "allow" => Frame::Allow {
+            site: parse_site(&rest.next().unwrap_or_else(|| fail("allow needs a site"))),
+        },
+        "heal-links" => Frame::HealLinks,
+        other => fail(&format!("unknown command {other:?}")),
+    };
+    match request(&node, &frame, timeout) {
+        Ok(outcome) => report(&outcome),
+        Err(error) => {
+            eprintln!("dynvote-ctl: {node}: {error}");
+            std::process::exit(2);
+        }
+    }
+}

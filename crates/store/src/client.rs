@@ -1,0 +1,62 @@
+//! The client side: one-shot framed requests, as `dynvote-ctl` (and
+//! the loopback integration tests) issue them.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{read_frame, write_frame, Frame};
+
+/// The outcome of one client command, decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The command succeeded.
+    Done(String),
+    /// A read's value, with the serving site's version.
+    Value {
+        /// The version number at the serving site.
+        version: u64,
+        /// The file contents.
+        value: Vec<u8>,
+    },
+    /// The access was refused (the paper's ABORT), with the clause.
+    Refused(String),
+    /// A status report (key=value lines).
+    Report(String),
+}
+
+impl Outcome {
+    /// Whether the cluster granted the command.
+    #[must_use]
+    pub fn granted(&self) -> bool {
+        !matches!(self, Outcome::Refused(_))
+    }
+}
+
+fn other(text: String) -> io::Error {
+    io::Error::new(io::ErrorKind::Other, text)
+}
+
+/// Connects, sends one request frame, reads one response frame.
+///
+/// # Errors
+///
+/// Connection or framing failures; a daemon refusal is *not* an error
+/// (it decodes to [`Outcome::Refused`]).
+pub fn request(addr: &str, frame: &Frame, timeout: Duration) -> io::Result<Outcome> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| other(format!("{addr}: no address")))?;
+    let mut stream = TcpStream::connect_timeout(&target, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, frame)?;
+    match read_frame(&mut stream)? {
+        Frame::Done { detail } => Ok(Outcome::Done(detail)),
+        Frame::Value { version, value } => Ok(Outcome::Value { version, value }),
+        Frame::Refused { message } => Ok(Outcome::Refused(message)),
+        Frame::Report { text } => Ok(Outcome::Report(text)),
+        unexpected => Err(other(format!("unexpected response frame {unexpected:?}"))),
+    }
+}

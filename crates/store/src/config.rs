@@ -1,0 +1,289 @@
+//! Daemon configuration: the cluster layout one `dynvote-stored`
+//! instance needs to join a live cluster.
+//!
+//! Everything arrives as plain CLI flags (the container ships no
+//! config-file parser and needs none):
+//!
+//! ```text
+//! dynvote-stored --site 0 --policy odv \
+//!     --peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 \
+//!     [--witnesses 2] \
+//!     [--segments main=0,1,2,3,4;second=5;third=6,7] \
+//!     [--bridges 3=second;4=third] \
+//!     [--value hello] [--log /path/to/node.log] \
+//!     [--connect-timeout-ms 500] [--read-timeout-ms 2000] \
+//!     [--backoff-ms 100] [--backoff-cap-ms 2000]
+//! ```
+//!
+//! Without `--segments` the sites form one broadcast segment. With
+//! them, the topology mirrors [`dynvote_topology::NetworkBuilder`]:
+//! named segments plus `gateway=segment` bridges — the Figure 8
+//! eight-site, three-segment network is exactly the example above.
+
+use std::time::Duration;
+
+use dynvote_check::parse_policy;
+use dynvote_replica::Protocol;
+use dynvote_topology::{Network, NetworkBuilder};
+use dynvote_types::SiteId;
+
+use crate::tcp::TcpTimeouts;
+
+/// A parsed daemon configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// The site this daemon hosts.
+    pub local: SiteId,
+    /// The consistency protocol.
+    pub policy: Protocol,
+    /// Every site's daemon address, local site included (its entry is
+    /// the listen address).
+    pub peers: Vec<(SiteId, String)>,
+    /// Sites hosting witnesses instead of full copies.
+    pub witnesses: Vec<usize>,
+    /// Named segments (empty = one broadcast segment).
+    pub segments: Vec<(String, Vec<usize>)>,
+    /// Gateway bridges: `(gateway site, segment name)`.
+    pub bridges: Vec<(usize, String)>,
+    /// The initial file contents.
+    pub initial: Vec<u8>,
+    /// Optional log file (always also logs to stderr).
+    pub log: Option<String>,
+    /// Socket and backoff timing.
+    pub timeouts: TcpTimeouts,
+}
+
+fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("{flag}: expected a number, got {value:?}"))
+}
+
+fn parse_ms(flag: &str, value: &str) -> Result<Duration, String> {
+    Ok(Duration::from_millis(value.parse::<u64>().map_err(
+        |_| format!("{flag}: expected milliseconds, got {value:?}"),
+    )?))
+}
+
+fn parse_index_list(flag: &str, value: &str) -> Result<Vec<usize>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| parse_usize(flag, s.trim()))
+        .collect()
+}
+
+impl Config {
+    /// Parses the flag list (everything after the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the first offending flag.
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, String> {
+        let mut site = None;
+        let mut policy = None;
+        let mut peers: Vec<(SiteId, String)> = Vec::new();
+        let mut witnesses = Vec::new();
+        let mut segments = Vec::new();
+        let mut bridges = Vec::new();
+        let mut initial = Vec::new();
+        let mut log = None;
+        let mut timeouts = TcpTimeouts::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--site" => site = Some(parse_usize("--site", &value("--site")?)?),
+                "--policy" => {
+                    let name = value("--policy")?;
+                    policy = Some(parse_policy(&name).ok_or_else(|| {
+                        format!("--policy: unknown policy {name:?} (mcv|dv|ldv|odv|tdv|otdv)")
+                    })?);
+                }
+                "--peers" => {
+                    for entry in value("--peers")?.split(',') {
+                        let (index, addr) = entry
+                            .split_once('=')
+                            .ok_or_else(|| format!("--peers: expected site=addr, got {entry:?}"))?;
+                        let index = parse_usize("--peers", index.trim())?;
+                        let id = SiteId::try_new(index)
+                            .ok_or_else(|| format!("--peers: site {index} out of range"))?;
+                        peers.push((id, addr.trim().to_string()));
+                    }
+                }
+                "--witnesses" => {
+                    witnesses = parse_index_list("--witnesses", &value("--witnesses")?)?
+                }
+                "--segments" => {
+                    for entry in value("--segments")?.split(';') {
+                        let (name, sites) = entry.split_once('=').ok_or_else(|| {
+                            format!("--segments: expected name=i,j,…, got {entry:?}")
+                        })?;
+                        segments.push((
+                            name.trim().to_string(),
+                            parse_index_list("--segments", sites)?,
+                        ));
+                    }
+                }
+                "--bridges" => {
+                    for entry in value("--bridges")?.split(';') {
+                        let (gateway, segment) = entry.split_once('=').ok_or_else(|| {
+                            format!("--bridges: expected gateway=segment, got {entry:?}")
+                        })?;
+                        bridges.push((
+                            parse_usize("--bridges", gateway.trim())?,
+                            segment.trim().to_string(),
+                        ));
+                    }
+                }
+                "--value" => initial = value("--value")?.into_bytes(),
+                "--log" => log = Some(value("--log")?),
+                "--connect-timeout-ms" => {
+                    timeouts.connect =
+                        parse_ms("--connect-timeout-ms", &value("--connect-timeout-ms")?)?;
+                }
+                "--read-timeout-ms" => {
+                    timeouts.read = parse_ms("--read-timeout-ms", &value("--read-timeout-ms")?)?;
+                }
+                "--backoff-ms" => {
+                    timeouts.backoff_floor = parse_ms("--backoff-ms", &value("--backoff-ms")?)?;
+                }
+                "--backoff-cap-ms" => {
+                    timeouts.backoff_cap =
+                        parse_ms("--backoff-cap-ms", &value("--backoff-cap-ms")?)?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        let site = site.ok_or("--site is required")?;
+        let local = SiteId::try_new(site).ok_or_else(|| format!("--site: {site} out of range"))?;
+        let policy = policy.ok_or("--policy is required (mcv|dv|ldv|odv|tdv|otdv)")?;
+        if peers.is_empty() {
+            return Err("--peers is required".to_string());
+        }
+        if !peers.iter().any(|(id, _)| *id == local) {
+            return Err(format!(
+                "--peers must include the local site {site} (its listen address)"
+            ));
+        }
+        Ok(Config {
+            local,
+            policy,
+            peers,
+            witnesses,
+            segments,
+            bridges,
+            initial,
+            log,
+            timeouts,
+        })
+    }
+
+    /// The address this daemon listens on (its own `--peers` entry).
+    #[must_use]
+    pub fn listen_addr(&self) -> &str {
+        self.peers
+            .iter()
+            .find(|(id, _)| *id == self.local)
+            .map(|(_, addr)| addr.as_str())
+            .expect("validated at parse time")
+    }
+
+    /// Sites hosting full copies: every peer not declared a witness.
+    #[must_use]
+    pub fn copies(&self) -> Vec<usize> {
+        self.peers
+            .iter()
+            .map(|(id, _)| id.index())
+            .filter(|index| !self.witnesses.contains(index))
+            .collect()
+    }
+
+    /// Builds the communication topology.
+    ///
+    /// # Errors
+    ///
+    /// Reports an invalid segment/bridge description.
+    pub fn network(&self) -> Result<Network, String> {
+        if self.segments.is_empty() {
+            let max = self
+                .peers
+                .iter()
+                .map(|(id, _)| id.index())
+                .max()
+                .unwrap_or(0);
+            return Ok(Network::single_segment(max + 1));
+        }
+        let mut builder = NetworkBuilder::new();
+        for (name, sites) in &self.segments {
+            builder = builder.segment(name, sites.iter().copied());
+        }
+        for (gateway, segment) in &self.bridges {
+            builder = builder.bridge(*gateway, segment);
+        }
+        builder.build().map_err(|e| format!("bad topology: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> impl Iterator<Item = String> + '_ {
+        line.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn figure_8_line_parses() {
+        let config = Config::parse_args(args(
+            "--site 3 --policy otdv \
+             --peers 0=a:1,1=a:2,2=a:3,3=a:4,4=a:5,5=a:6,6=a:7,7=a:8 \
+             --segments main=0,1,2,3,4;second=5;third=6,7 \
+             --bridges 3=second;4=third",
+        ))
+        .unwrap();
+        assert_eq!(config.local, SiteId::new(3));
+        assert_eq!(config.policy, Protocol::Otdv);
+        assert_eq!(config.listen_addr(), "a:4");
+        assert_eq!(config.copies().len(), 8);
+        let network = config.network().unwrap();
+        assert_eq!(network.segment_count(), 3);
+    }
+
+    #[test]
+    fn missing_required_flags_are_reported() {
+        assert!(Config::parse_args(args("--policy odv --peers 0=a:1"))
+            .unwrap_err()
+            .contains("--site"));
+        assert!(Config::parse_args(args("--site 0 --peers 0=a:1"))
+            .unwrap_err()
+            .contains("--policy"));
+        assert!(
+            Config::parse_args(args("--site 1 --policy odv --peers 0=a:1"))
+                .unwrap_err()
+                .contains("local site")
+        );
+        assert!(
+            Config::parse_args(args("--site 0 --policy zzz --peers 0=a:1"))
+                .unwrap_err()
+                .contains("unknown policy")
+        );
+    }
+
+    #[test]
+    fn timeouts_parse_as_milliseconds() {
+        let config = Config::parse_args(args(
+            "--site 0 --policy odv --peers 0=a:1 \
+             --connect-timeout-ms 100 --read-timeout-ms 300 \
+             --backoff-ms 10 --backoff-cap-ms 50",
+        ))
+        .unwrap();
+        assert_eq!(config.timeouts.connect, Duration::from_millis(100));
+        assert_eq!(config.timeouts.read, Duration::from_millis(300));
+        assert_eq!(config.timeouts.backoff_floor, Duration::from_millis(10));
+        assert_eq!(config.timeouts.backoff_cap, Duration::from_millis(50));
+    }
+}

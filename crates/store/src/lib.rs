@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! A real networked replicated-file service speaking the voting
+//! protocols of *"Efficient Dynamic Voting Algorithms"* over TCP.
+//!
+//! Where `dynvote-replica` runs whole clusters in one process behind
+//! the in-memory nemesis bus, this crate deploys the *same* protocol
+//! implementation — the identical [`Cluster`](dynvote_replica::Cluster)
+//! poll/plan/copy/commit code path, reached through the
+//! [`Transport`](dynvote_replica::Transport) seam — across real
+//! processes and real sockets:
+//!
+//! * [`wire`] — the length-prefixed binary frame protocol (total
+//!   decoding over untrusted bytes);
+//! * [`tcp`] — [`tcp::TcpTransport`]: per-peer I/O threads, capped
+//!   exponential reconnect backoff, and the runtime [`tcp::LinkRules`]
+//!   that cut *real* partitions into a live cluster;
+//! * [`config`] / [`server`] — the `dynvote-stored` daemon: one site
+//!   per process, one listener for peer, client, and admin frames;
+//! * [`client`] — one-shot framed requests, as `dynvote-ctl` sends;
+//! * [`replay`] — drive a live cluster through minimized model-checker
+//!   counterexample traces.
+//!
+//! # Quick example (in-process loopback cluster)
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use dynvote_store::config::Config;
+//! use dynvote_store::client::request;
+//! use dynvote_store::wire::Frame;
+//!
+//! let args = "--site 0 --policy odv --peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102";
+//! let config = Config::parse_args(args.split_whitespace().map(str::to_string)).unwrap();
+//! let daemon = dynvote_store::server::start(config).unwrap();
+//! let outcome = request(
+//!     &daemon.addr().to_string(),
+//!     &Frame::Put { value: b"hello".to_vec() },
+//!     Duration::from_secs(2),
+//! ).unwrap();
+//! assert!(outcome.granted());
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod replay;
+pub mod server;
+pub mod tcp;
+pub mod wire;
+
+pub use client::{request, Outcome};
+pub use config::Config;
+pub use replay::{run as run_replay, ReplayStep};
+pub use server::{refusal_clause, start, start_on, ServiceHandle};
+pub use tcp::{LinkRules, PeerStats, TcpTimeouts, TcpTransport};
+pub use wire::{read_frame, write_frame, Frame, FrameError, MAX_FRAME};

@@ -1,0 +1,201 @@
+//! `dynvote-ctl replay`: drive a *live* cluster through a minimized
+//! checker counterexample.
+//!
+//! The model checker (`dynvote-check`) emits its shrunk traces in the
+//! text format of [`TraceFile`] — the corpus lives in `tests/traces/`.
+//! This module maps each [`CheckEvent`] onto the real cluster's only
+//! fault surface, the link rules:
+//!
+//! * `crash s` — isolate `s`: every other daemon denies `s`, and `s`
+//!   denies everyone. The daemon stays up (a live process cannot be
+//!   "crashed" politely) but is unreachable — the network-level
+//!   shadow of the checker's fail-stop, and its state survives to the
+//!   repair exactly as the checker's does.
+//! * `partition i` — install the `i`-th canonical segment partition of
+//!   the scenario's network (the same enumeration order the checker
+//!   uses), by denying every cross-group pair.
+//! * `repair s` / `heal` — recomputed connectivity, below.
+//! * `recover s` — `RECOVER` at `s` (Figure 3/7).
+//! * `read s` / `write s` — `GET`/`PUT` at `s`; writes carry a
+//!   monotone token so divergent histories are visible in the values.
+//!
+//! After every topology event the driver *reconciles*: it derives the
+//! full desired connectivity (crashed set × active partition) and
+//! issues `heal-links` + `deny` to every daemon, so events compose
+//! idempotently instead of accumulating.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use dynvote_check::{CheckEvent, TraceFile};
+use dynvote_types::{SiteId, SiteSet};
+
+use crate::client::{request, Outcome};
+use crate::wire::Frame;
+
+/// One replayed step: the event and what the live cluster said.
+#[derive(Clone, Debug)]
+pub struct ReplayStep {
+    /// The event, rendered as in the trace file.
+    pub event: String,
+    /// The live outcome ("granted …", "refused …", or a topology note).
+    pub outcome: String,
+}
+
+struct Driver<'a> {
+    nodes: &'a [(usize, String)],
+    timeout: Duration,
+    crashed: BTreeSet<usize>,
+    /// The active canonical partition (groups of sites), if any.
+    groups: Option<Vec<SiteSet>>,
+}
+
+impl Driver<'_> {
+    fn addr_of(&self, site: usize) -> Result<&str, String> {
+        self.nodes
+            .iter()
+            .find(|(index, _)| *index == site)
+            .map(|(_, addr)| addr.as_str())
+            .ok_or_else(|| format!("no --nodes entry for site {site}"))
+    }
+
+    fn send(&self, site: usize, frame: &Frame) -> Result<Outcome, String> {
+        let addr = self.addr_of(site)?;
+        request(addr, frame, self.timeout).map_err(|e| format!("S{site} ({addr}): {e}"))
+    }
+
+    fn group_index(&self, site: usize) -> usize {
+        match &self.groups {
+            Some(groups) => groups
+                .iter()
+                .position(|g| g.contains(SiteId::new(site)))
+                .unwrap_or(usize::MAX),
+            None => 0,
+        }
+    }
+
+    /// Whether `a` and `b` should currently be able to talk.
+    fn connected(&self, a: usize, b: usize) -> bool {
+        !self.crashed.contains(&a)
+            && !self.crashed.contains(&b)
+            && self.group_index(a) == self.group_index(b)
+    }
+
+    /// Pushes the full desired connectivity to every daemon.
+    fn reconcile(&self) -> Result<(), String> {
+        for (site, _) in self.nodes {
+            self.send(*site, &Frame::HealLinks)?;
+            for (peer, _) in self.nodes {
+                if peer == site || self.connected(*site, *peer) {
+                    continue;
+                }
+                self.send(
+                    *site,
+                    &Frame::Deny {
+                        site: SiteId::new(*peer),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn describe(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Done(detail) => format!("granted: {detail}"),
+        Outcome::Value { version, value } => format!(
+            "granted: v={version} value={:?}",
+            String::from_utf8_lossy(value)
+        ),
+        Outcome::Refused(message) => format!("refused: {message}"),
+        Outcome::Report(_) => "report".to_string(),
+    }
+}
+
+/// Replays a parsed trace against live daemons.
+///
+/// `nodes` maps each scenario site index to a daemon address and must
+/// cover `0..scenario.sites`. The daemons are expected to already run
+/// the trace's policy on the scenario's canonical topology (the
+/// `dynvote-ctl replay` command prints the matching `--segments`
+/// description before driving).
+///
+/// # Errors
+///
+/// A missing node mapping, an unreachable daemon, or a partition index
+/// outside the scenario's canonical enumeration.
+pub fn run(
+    trace: &TraceFile,
+    nodes: &[(usize, String)],
+    timeout: Duration,
+) -> Result<Vec<ReplayStep>, String> {
+    for site in 0..trace.scenario.sites {
+        if !nodes.iter().any(|(index, _)| *index == site) {
+            return Err(format!(
+                "trace needs sites 0..{} but --nodes has no entry for {site}",
+                trace.scenario.sites
+            ));
+        }
+    }
+    let partitions = trace.scenario.network().segment_partitions();
+    let mut driver = Driver {
+        nodes,
+        timeout,
+        crashed: BTreeSet::new(),
+        groups: None,
+    };
+    // Start from a known-clean fabric.
+    driver.reconcile()?;
+    let mut steps = Vec::new();
+    let mut write_token = 0u64;
+    for event in &trace.events {
+        let outcome = match event {
+            CheckEvent::Crash(site) => {
+                driver.crashed.insert(site.index());
+                driver.reconcile()?;
+                "isolated (live shadow of fail-stop)".to_string()
+            }
+            CheckEvent::Repair(site) => {
+                driver.crashed.remove(&site.index());
+                driver.reconcile()?;
+                "reconnected".to_string()
+            }
+            CheckEvent::Partition(index) => {
+                let groups = partitions.get(*index).ok_or_else(|| {
+                    format!(
+                        "partition {index} out of range ({} canonical partitions)",
+                        partitions.len()
+                    )
+                })?;
+                driver.groups = Some(groups.clone());
+                driver.reconcile()?;
+                let rendered: Vec<String> = groups
+                    .iter()
+                    .map(|g| {
+                        let sites: Vec<String> = g.iter().map(|s| s.index().to_string()).collect();
+                        format!("{{{}}}", sites.join(","))
+                    })
+                    .collect();
+                format!("cut into {}", rendered.join(" | "))
+            }
+            CheckEvent::Heal => {
+                driver.groups = None;
+                driver.reconcile()?;
+                "healed".to_string()
+            }
+            CheckEvent::Recover(site) => describe(&driver.send(site.index(), &Frame::Recover)?),
+            CheckEvent::Read(site) => describe(&driver.send(site.index(), &Frame::Get)?),
+            CheckEvent::Write(site) => {
+                write_token += 1;
+                let value = format!("w{write_token}").into_bytes();
+                describe(&driver.send(site.index(), &Frame::Put { value })?)
+            }
+        };
+        steps.push(ReplayStep {
+            event: event.to_string(),
+            outcome,
+        });
+    }
+    Ok(steps)
+}

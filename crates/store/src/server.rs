@@ -1,0 +1,556 @@
+//! The `dynvote-stored` daemon: one site of a live voting cluster.
+//!
+//! A daemon owns exactly one participant — built with
+//! [`ClusterBuilder::build_remote`], so the [`Cluster`] holds only the
+//! local node and reaches every other site through a
+//! [`TcpTransport`] — and serves one TCP listener for all three frame
+//! families:
+//!
+//! * **peer frames** run the recipient side of Figures 1–3/5–7 via
+//!   [`Cluster::serve_at`] — the *same* handler the in-memory
+//!   transport's callback invokes, which is the whole point of the
+//!   transport seam;
+//! * **client data frames** (`put`/`get`/`recover`) run the
+//!   coordinator side via [`Cluster::write`]/`read`/`recover`;
+//! * **admin frames** mutate the shared [`LinkRules`] to cut or heal
+//!   links at runtime, and report status.
+//!
+//! Concurrency model: one `Mutex<Cluster>` guards all protocol state.
+//! A coordinated operation holds the lock across its network
+//! exchanges; inbound peer frames wait on the same lock. Two daemons
+//! coordinating at each other simultaneously therefore serve each
+//! other only between operations — the socket read timeouts bound the
+//! wait, the poll's bounded retry absorbs it, and the worst case is an
+//! honest `Timeout` refusal, never a deadlock (see DESIGN.md §9).
+//!
+//! Every grant and refusal is logged with the paper clause that fired,
+//! so a partition experiment reads as a protocol trace.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use dynvote_replica::{Cluster, ClusterBuilder, MessageKind, Reply};
+use dynvote_types::{AccessError, SiteId, SiteSet};
+
+use crate::config::Config;
+use crate::tcp::{LinkRules, TcpTransport};
+use crate::wire::{read_frame, write_frame, Frame};
+
+/// The paper clause behind a refusal — every ABORT in Figures 1–3/5–7
+/// traces back to one of these.
+#[must_use]
+pub fn refusal_clause(err: &AccessError) -> &'static str {
+    match err {
+        AccessError::NoQuorum { .. } => {
+            "Algorithm 1, step 3: the reachable votes are not a strict majority of the partition set P_m"
+        }
+        AccessError::TieLost { .. } => {
+            "Algorithm 1, tie-break: exactly half of P_m reachable, without its highest-ranked site"
+        }
+        AccessError::NoCurrentCopy { .. } => {
+            "Figures 1/5: no current full copy among the reachable sites"
+        }
+        AccessError::OriginUnavailable { .. } => {
+            "the requesting site belongs to no reachable group"
+        }
+        AccessError::Timeout { .. } => {
+            "bounded retry exhausted: reachable sites stayed silent, so the coordinator cannot rule on the partition"
+        }
+        AccessError::Indeterminate { .. } => {
+            "Figure 2, commit fan-out: the COMMIT did not close at every participant (partial commit)"
+        }
+    }
+}
+
+/// Comma-separated site indices — status/log-friendly [`SiteSet`].
+fn fmt_sites(set: SiteSet) -> String {
+    let mut out = String::new();
+    for site in set.iter() {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&site.index().to_string());
+    }
+    if out.is_empty() {
+        out.push('-');
+    }
+    out
+}
+
+struct Logger {
+    site: usize,
+    file: Option<Mutex<File>>,
+}
+
+impl Logger {
+    fn log(&self, line: &str) {
+        let stamp = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let full = format!("[{stamp}] S{} {line}", self.site);
+        eprintln!("{full}");
+        if let Some(file) = &self.file {
+            if let Ok(mut file) = file.lock() {
+                let _ = writeln!(file, "{full}");
+            }
+        }
+    }
+}
+
+struct Daemon {
+    cluster: Mutex<Cluster<Vec<u8>, TcpTransport>>,
+    links: Arc<LinkRules>,
+    local: SiteId,
+    policy_name: &'static str,
+    log: Logger,
+}
+
+/// A running daemon: its bound address and a stop handle.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The address the daemon is accepting on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Connection handler
+    /// threads notice the flag at their next idle poll and exit.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Starts a daemon on the address named in the config.
+///
+/// # Errors
+///
+/// Bad topology descriptions surface as `InvalidInput`; bind failures
+/// pass through.
+pub fn start(config: Config) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(config.listen_addr())?;
+    start_on(config, listener)
+}
+
+/// Starts a daemon on an already-bound listener — tests bind port 0
+/// everywhere first, learn the real addresses, then hand each daemon
+/// its listener.
+///
+/// # Errors
+///
+/// Bad topology descriptions surface as `InvalidInput`.
+pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<ServiceHandle> {
+    let network = config
+        .network()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let addr = listener.local_addr()?;
+    let links = Arc::new(LinkRules::new());
+    let transport = TcpTransport::new(
+        config.local,
+        &config.peers,
+        Arc::clone(&links),
+        config.timeouts,
+    );
+    let cluster = ClusterBuilder::new()
+        .network(network)
+        .copies(config.copies())
+        .witnesses(config.witnesses.iter().copied())
+        .protocol(config.policy)
+        .build_remote(config.local.index(), transport, config.initial.clone());
+    let log = Logger {
+        site: config.local.index(),
+        file: match &config.log {
+            Some(path) => Some(Mutex::new(File::create(path)?)),
+            None => None,
+        },
+    };
+    let policy_name = cluster.protocol().name();
+    let daemon = Arc::new(Daemon {
+        cluster: Mutex::new(cluster),
+        links,
+        local: config.local,
+        policy_name,
+        log,
+    });
+    daemon.log.log(&format!(
+        "dynvote-stored up: policy={policy_name} listen={addr} peers={}",
+        config.peers.len()
+    ));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_shutdown = Arc::clone(&shutdown);
+    let idle = config.timeouts.read;
+    let accept_thread = std::thread::Builder::new()
+        .name(format!("dynvote-accept-{}", config.local.index()))
+        .spawn(move || accept_loop(&listener, &daemon, &accept_shutdown, idle))?;
+    Ok(ServiceHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    daemon: &Arc<Daemon>,
+    shutdown: &Arc<AtomicBool>,
+    idle: Duration,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let daemon = Arc::clone(daemon);
+        let shutdown = Arc::clone(shutdown);
+        let _ = std::thread::Builder::new()
+            .name("dynvote-conn".to_string())
+            .spawn(move || handle_connection(&daemon, stream, &shutdown, idle));
+    }
+}
+
+/// Waits until the stream has a readable byte, EOF, or shutdown.
+/// Peeking (instead of reading with a timeout) keeps the frame decoder
+/// from ever starting a frame it cannot finish on an idle tick.
+fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> bool {
+    let mut probe = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return false, // clean close
+            Ok(_) => return true,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+fn handle_connection(
+    daemon: &Arc<Daemon>,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    idle: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(idle));
+    let _ = stream.set_write_timeout(Some(idle));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if !wait_readable(&stream, shutdown) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    daemon
+                        .log
+                        .log(&format!("conn: malformed frame ({e}), closing"));
+                }
+                return;
+            }
+        };
+        match dispatch(daemon, frame) {
+            Dispatch::Reply(reply) => {
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Dispatch::Silent => {}
+            Dispatch::Close => return,
+        }
+    }
+}
+
+enum Dispatch {
+    Reply(Frame),
+    Silent,
+    Close,
+}
+
+fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
+    match frame {
+        // ---- peer frames: the recipient side of the protocol --------
+        Frame::StartReq {
+            ticket,
+            from,
+            to,
+            mark_pending,
+        } => {
+            if daemon.links.is_blocked(from) {
+                return Dispatch::Silent; // partitioned: the frame "never arrived"
+            }
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            match cluster.serve_at(to, &MessageKind::StartRequest, None, ticket, mark_pending) {
+                Some(Reply::State {
+                    op,
+                    version,
+                    partition,
+                }) => Dispatch::Reply(Frame::StateRep {
+                    ticket,
+                    from: to,
+                    to: from,
+                    state: dynvote_core::state::ReplicaState {
+                        op,
+                        version,
+                        partition,
+                    },
+                }),
+                _ => {
+                    daemon.log.log(&format!(
+                        "abstain: START from S{} ticket={ticket} — outstanding vote wedges this site",
+                        from.index()
+                    ));
+                    Dispatch::Reply(Frame::Abstain {
+                        ticket,
+                        from: to,
+                        to: from,
+                    })
+                }
+            }
+        }
+        Frame::Commit {
+            ticket,
+            from,
+            to,
+            state,
+            value,
+        } => {
+            if daemon.links.is_blocked(from) {
+                return Dispatch::Silent;
+            }
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            let kind = MessageKind::Commit {
+                op: state.op,
+                version: state.version,
+                partition: state.partition,
+            };
+            match cluster.serve_at(to, &kind, value.as_ref(), ticket, false) {
+                Some(Reply::Ack) => {
+                    daemon.log.log(&format!(
+                        "commit installed from S{}: o={} v={} P={{{}}}",
+                        from.index(),
+                        state.op,
+                        state.version,
+                        fmt_sites(state.partition)
+                    ));
+                    Dispatch::Reply(Frame::CommitAck {
+                        ticket,
+                        from: to,
+                        to: from,
+                    })
+                }
+                _ => Dispatch::Silent,
+            }
+        }
+        Frame::CopyReq { ticket, from, to } => {
+            if daemon.links.is_blocked(from) {
+                return Dispatch::Silent;
+            }
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            match cluster.serve_at(to, &MessageKind::CopyRequest, None, ticket, false) {
+                Some(Reply::Copy { version, value }) => Dispatch::Reply(Frame::CopyRep {
+                    ticket,
+                    from: to,
+                    to: from,
+                    version,
+                    value,
+                }),
+                _ => Dispatch::Reply(Frame::Abstain {
+                    ticket,
+                    from: to,
+                    to: from,
+                }),
+            }
+        }
+        Frame::Release { ticket, from, keep } => {
+            if !daemon.links.is_blocked(from) {
+                let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+                cluster.local_release(ticket, keep);
+            }
+            Dispatch::Silent
+        }
+
+        // ---- client data frames: the coordinator side ---------------
+        Frame::Put { value } => {
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            match cluster.write(daemon.local, value) {
+                Ok(()) => {
+                    let committed = cluster.history().last().cloned();
+                    let detail = match committed {
+                        Some(op) => format!(
+                            "committed o={} v={} P={{{}}}",
+                            op.op,
+                            op.version,
+                            fmt_sites(op.participants)
+                        ),
+                        None => "committed".to_string(),
+                    };
+                    daemon.log.log(&format!(
+                        "GRANT write: {detail} — Algorithm 1: the group holds a strict majority of P_m"
+                    ));
+                    Dispatch::Reply(Frame::Done { detail })
+                }
+                Err(err) => refuse(daemon, "write", &err),
+            }
+        }
+        Frame::Get => {
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            match cluster.read(daemon.local) {
+                Ok(value) => {
+                    // The version of the value *served*, from the read's
+                    // committed history entry — the local copy may still
+                    // be stale when a repaired site reads before running
+                    // RECOVER (the copy comes from the current partition).
+                    let version = cluster
+                        .history()
+                        .last()
+                        .map_or_else(|| cluster.state_at(daemon.local).version, |op| op.version);
+                    daemon.log.log(&format!(
+                        "GRANT read: v={version} — Algorithm 1: the group holds a strict majority of P_m"
+                    ));
+                    Dispatch::Reply(Frame::Value { version, value })
+                }
+                Err(err) => refuse(daemon, "read", &err),
+            }
+        }
+        Frame::Recover => {
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            match cluster.recover(daemon.local) {
+                Ok(()) => {
+                    let state = cluster.state_at(daemon.local);
+                    let detail = format!(
+                        "recovered: o={} v={} P={{{}}}",
+                        state.op,
+                        state.version,
+                        fmt_sites(state.partition)
+                    );
+                    daemon.log.log(&format!(
+                        "GRANT recover: {detail} — Figure 3/7: majority of P_m reachable, copy refreshed"
+                    ));
+                    Dispatch::Reply(Frame::Done { detail })
+                }
+                Err(err) => refuse(daemon, "recover", &err),
+            }
+        }
+
+        // ---- admin frames -------------------------------------------
+        Frame::Deny { site } => {
+            daemon.links.block(site);
+            daemon
+                .log
+                .log(&format!("link cut: S{} denied", site.index()));
+            Dispatch::Reply(Frame::Done {
+                detail: format!("link to site {} cut", site.index()),
+            })
+        }
+        Frame::Allow { site } => {
+            daemon.links.unblock(site);
+            daemon
+                .log
+                .log(&format!("link restored: S{} allowed", site.index()));
+            Dispatch::Reply(Frame::Done {
+                detail: format!("link to site {} restored", site.index()),
+            })
+        }
+        Frame::HealLinks => {
+            daemon.links.clear();
+            daemon.log.log("links healed: all rules dropped");
+            Dispatch::Reply(Frame::Done {
+                detail: "all links restored".to_string(),
+            })
+        }
+        Frame::Status => {
+            let cluster = daemon.cluster.lock().expect("cluster poisoned");
+            Dispatch::Reply(Frame::Report {
+                text: status_text(daemon, &cluster),
+            })
+        }
+
+        // A response frame arriving as a request is protocol confusion.
+        Frame::StateRep { .. }
+        | Frame::CommitAck { .. }
+        | Frame::CopyRep { .. }
+        | Frame::Abstain { .. }
+        | Frame::Done { .. }
+        | Frame::Value { .. }
+        | Frame::Refused { .. }
+        | Frame::Report { .. } => Dispatch::Close,
+    }
+}
+
+fn refuse(daemon: &Arc<Daemon>, op: &str, err: &AccessError) -> Dispatch {
+    let clause = refusal_clause(err);
+    daemon.log.log(&format!("REFUSE {op}: {err} — {clause}"));
+    Dispatch::Reply(Frame::Refused {
+        message: format!("{err} [{clause}]"),
+    })
+}
+
+/// The `dynvote-ctl status` body: the paper's per-copy state
+/// `⟨o_i, v_i, P_i⟩`, the operation counters, and per-link transport
+/// health, one `key=value` per line.
+fn status_text(daemon: &Arc<Daemon>, cluster: &Cluster<Vec<u8>, TcpTransport>) -> String {
+    let state = cluster.state_at(daemon.local);
+    let stats = cluster.stats();
+    let pending = cluster.pending_sites().contains(daemon.local);
+    let mut out = String::new();
+    let mut line = |k: &str, v: String| {
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    line("site", daemon.local.index().to_string());
+    line("policy", daemon.policy_name.to_string());
+    line("op", state.op.to_string());
+    line("version", state.version.to_string());
+    line("partition", fmt_sites(state.partition));
+    line("pending", pending.to_string());
+    if cluster.copies().contains(daemon.local) {
+        line(
+            "value_len",
+            cluster.value_at(daemon.local).len().to_string(),
+        );
+    } else {
+        line("role", "witness".to_string());
+    }
+    line("reads_ok", stats.reads_ok.to_string());
+    line("reads_refused", stats.reads_refused.to_string());
+    line("writes_ok", stats.writes_ok.to_string());
+    line("writes_refused", stats.writes_refused.to_string());
+    line("recovers_ok", stats.recovers_ok.to_string());
+    line("recovers_refused", stats.recovers_refused.to_string());
+    line("links_blocked", fmt_sites(daemon.links.blocked()));
+    for (site, peer) in cluster.transport().peer_stats() {
+        let prefix = format!("peer.{}", site.index());
+        line(&format!("{prefix}.connected"), peer.connected.to_string());
+        line(
+            &format!("{prefix}.blocked"),
+            daemon.links.is_blocked(site).to_string(),
+        );
+        line(&format!("{prefix}.sends"), peer.sends.to_string());
+        line(&format!("{prefix}.failures"), peer.failures.to_string());
+        line(&format!("{prefix}.reconnects"), peer.reconnects.to_string());
+        line(&format!("{prefix}.backoff_ms"), peer.backoff_ms.to_string());
+    }
+    out
+}

@@ -1,0 +1,641 @@
+//! `TcpTransport`: the [`Transport`] implementation that carries the
+//! protocol over real sockets.
+//!
+//! One I/O thread per peer owns that peer's connection. The
+//! coordinator hands it an encoded frame over an in-process channel
+//! and blocks (bounded) for the outcome; the thread connects on
+//! demand, writes the frame, and reads the single reply frame the
+//! remote daemon sends back on the same connection. Every failure —
+//! refused connection, reset, read timeout, malformed reply — is
+//! *silence* to the protocol: [`Carried::silent`] with a
+//! [`Verdict::Drop`], exactly how the in-memory bus reports a lost
+//! message, so the cluster's bounded-retry and quorum logic need no
+//! network-specific cases.
+//!
+//! Reconnection uses capped exponential backoff: after a failure the
+//! thread refuses further attempts until the backoff window elapses
+//! (failing sends fast instead of hammering a dead peer), doubling the
+//! window on each consecutive failure up to a cap and resetting it on
+//! success.
+//!
+//! [`LinkRules`] is the partition surface: a shared set of peers this
+//! host refuses to talk to. Outbound frames to a denied peer are
+//! dropped before they reach a socket; the daemon consults the same
+//! rules to ignore inbound frames, so denying a site severs the link
+//! in both directions — a *real* partition for a live cluster, driven
+//! at runtime by `dynvote-ctl deny/allow/heal-links`.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dynvote_core::state::ReplicaState;
+use dynvote_replica::Message;
+use dynvote_replica::{
+    Carried, LocalServe, MessageKind, Reply, Response, Transport, Verdict, WireRequest,
+};
+use dynvote_types::{SiteId, SiteSet};
+
+use crate::wire::{read_frame, Frame};
+
+/// The runtime-mutable partition surface shared by the transport (which
+/// drops outbound frames) and the daemon (which ignores inbound ones).
+#[derive(Debug, Default)]
+pub struct LinkRules {
+    blocked: Mutex<SiteSet>,
+}
+
+impl LinkRules {
+    /// No links cut.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkRules::default()
+    }
+
+    /// Cuts the link to `site` (both directions, once the daemon
+    /// consults the same rules). Returns `false` if it was already cut.
+    pub fn block(&self, site: SiteId) -> bool {
+        self.blocked
+            .lock()
+            .expect("link rules poisoned")
+            .insert(site)
+    }
+
+    /// Restores the link to `site`.
+    pub fn unblock(&self, site: SiteId) -> bool {
+        self.blocked
+            .lock()
+            .expect("link rules poisoned")
+            .remove(site)
+    }
+
+    /// Restores every link.
+    pub fn clear(&self) {
+        *self.blocked.lock().expect("link rules poisoned") = SiteSet::EMPTY;
+    }
+
+    /// Whether traffic to/from `site` is currently denied.
+    #[must_use]
+    pub fn is_blocked(&self, site: SiteId) -> bool {
+        self.blocked
+            .lock()
+            .expect("link rules poisoned")
+            .contains(site)
+    }
+
+    /// The full denied set.
+    #[must_use]
+    pub fn blocked(&self) -> SiteSet {
+        *self.blocked.lock().expect("link rules poisoned")
+    }
+}
+
+/// Socket and retry timing for [`TcpTransport`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTimeouts {
+    /// Budget for one `connect` attempt.
+    pub connect: Duration,
+    /// Budget for reading one reply frame.
+    pub read: Duration,
+    /// First backoff window after a failure.
+    pub backoff_floor: Duration,
+    /// Backoff window cap (the exponential doubling stops here).
+    pub backoff_cap: Duration,
+}
+
+impl Default for TcpTimeouts {
+    fn default() -> Self {
+        TcpTimeouts {
+            connect: Duration::from_millis(500),
+            read: Duration::from_millis(2000),
+            backoff_floor: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(2000),
+        }
+    }
+}
+
+impl TcpTimeouts {
+    /// Fast timings for loopback tests: failures settle in
+    /// milliseconds instead of seconds.
+    #[must_use]
+    pub fn fast() -> Self {
+        TcpTimeouts {
+            connect: Duration::from_millis(250),
+            read: Duration::from_millis(1000),
+            backoff_floor: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Health counters for one peer link, for `dynvote-ctl status`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeerStats {
+    /// Whether the link currently holds an open connection.
+    pub connected: bool,
+    /// Frames handed to the link for sending.
+    pub sends: u64,
+    /// Exchanges that failed (connect refused, write/read error,
+    /// backoff fast-fail, malformed reply).
+    pub failures: u64,
+    /// Successful (re)connections.
+    pub reconnects: u64,
+    /// The backoff window currently in force, zero when healthy.
+    pub backoff_ms: u64,
+}
+
+/// One request for a peer's I/O thread.
+struct PeerJob {
+    bytes: Vec<u8>,
+    /// `Some` when the caller waits for the single reply frame;
+    /// `None` for fire-and-forget frames (release broadcasts).
+    reply: Option<mpsc::SyncSender<Option<Frame>>>,
+}
+
+struct Peer {
+    jobs: mpsc::Sender<PeerJob>,
+    stats: Arc<Mutex<PeerStats>>,
+}
+
+/// Per-thread connection state machine (see the module docs).
+struct PeerLink {
+    addr: String,
+    timeouts: TcpTimeouts,
+    conn: Option<TcpStream>,
+    backoff: Duration,
+    retry_at: Instant,
+    stats: Arc<Mutex<PeerStats>>,
+}
+
+impl PeerLink {
+    fn stat<F: FnOnce(&mut PeerStats)>(&self, apply: F) {
+        apply(&mut self.stats.lock().expect("peer stats poisoned"));
+    }
+
+    fn note_failure(&mut self) {
+        self.conn = None;
+        self.retry_at = Instant::now() + self.backoff;
+        let backoff_ms = self.backoff.as_millis() as u64;
+        self.backoff = (self.backoff * 2).min(self.timeouts.backoff_cap);
+        self.stat(|s| {
+            s.connected = false;
+            s.failures += 1;
+            s.backoff_ms = backoff_ms;
+        });
+    }
+
+    fn ensure_connected(&mut self) -> bool {
+        if self.conn.is_some() {
+            return true;
+        }
+        if Instant::now() < self.retry_at {
+            // Inside the backoff window: fail fast, no socket work.
+            self.stat(|s| s.failures += 1);
+            return false;
+        }
+        let addrs: Vec<std::net::SocketAddr> =
+            match std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str()) {
+                Ok(addrs) => addrs.collect(),
+                Err(_) => Vec::new(),
+            };
+        let stream = addrs
+            .first()
+            .and_then(|addr| TcpStream::connect_timeout(addr, self.timeouts.connect).ok());
+        match stream {
+            Some(stream) => {
+                let _ = stream.set_read_timeout(Some(self.timeouts.read));
+                let _ = stream.set_write_timeout(Some(self.timeouts.read));
+                let _ = stream.set_nodelay(true);
+                self.conn = Some(stream);
+                self.backoff = self.timeouts.backoff_floor;
+                self.stat(|s| {
+                    s.connected = true;
+                    s.reconnects += 1;
+                    s.backoff_ms = 0;
+                });
+                true
+            }
+            None => {
+                self.note_failure();
+                false
+            }
+        }
+    }
+
+    /// One exchange: write the frame, read the reply (unless
+    /// fire-and-forget). `None` is silence — the protocol's lost
+    /// message.
+    fn exchange(&mut self, job: &PeerJob) -> Option<Frame> {
+        self.stat(|s| s.sends += 1);
+        if !self.ensure_connected() {
+            return None;
+        }
+        let stream = self.conn.as_mut().expect("just connected");
+        if stream
+            .write_all(&job.bytes)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            self.note_failure();
+            return None;
+        }
+        if job.reply.is_none() {
+            return None;
+        }
+        match read_frame(stream) {
+            Ok(frame) => Some(frame),
+            Err(_) => {
+                // Timeout, reset, or garbage: the connection's framing
+                // can no longer be trusted — drop it and back off.
+                self.note_failure();
+                None
+            }
+        }
+    }
+}
+
+fn peer_loop(mut link: PeerLink, jobs: mpsc::Receiver<PeerJob>) {
+    while let Ok(job) = jobs.recv() {
+        let outcome = link.exchange(&job);
+        if let Some(reply) = job.reply {
+            // The coordinator may have given up waiting; that is fine.
+            let _ = reply.send(outcome);
+        }
+    }
+}
+
+/// The socket-backed [`Transport`]: peers are remote daemons, the
+/// local participant is served directly by the cluster (never through
+/// `carry` — the coordinator reads its own node without a message).
+pub struct TcpTransport {
+    local: SiteId,
+    peers: BTreeMap<SiteId, Peer>,
+    links: Arc<LinkRules>,
+    /// How long `carry` waits on the I/O thread before declaring the
+    /// exchange lost. The thread's socket timeouts bound its work, so
+    /// this only needs to cover connect + write + read once.
+    reply_wait: Duration,
+}
+
+impl TcpTransport {
+    /// A transport for `local`, with one I/O thread per remote peer.
+    ///
+    /// `peers` maps every *other* site to its daemon address (a
+    /// `host:port` string); an entry for `local` itself is ignored.
+    #[must_use]
+    pub fn new(
+        local: SiteId,
+        peers: &[(SiteId, String)],
+        links: Arc<LinkRules>,
+        timeouts: TcpTimeouts,
+    ) -> Self {
+        let mut map = BTreeMap::new();
+        for (site, addr) in peers {
+            if *site == local {
+                continue;
+            }
+            let stats = Arc::new(Mutex::new(PeerStats::default()));
+            let (tx, rx) = mpsc::channel();
+            let link = PeerLink {
+                addr: addr.clone(),
+                timeouts,
+                conn: None,
+                backoff: timeouts.backoff_floor,
+                retry_at: Instant::now(),
+                stats: Arc::clone(&stats),
+            };
+            std::thread::Builder::new()
+                .name(format!("dynvote-peer-{}", site.index()))
+                .spawn(move || peer_loop(link, rx))
+                .expect("spawn peer I/O thread");
+            map.insert(*site, Peer { jobs: tx, stats });
+        }
+        TcpTransport {
+            local,
+            peers: map,
+            links,
+            reply_wait: timeouts.connect + timeouts.read + Duration::from_millis(500),
+        }
+    }
+
+    /// The link rules this transport consults (shared with the daemon).
+    #[must_use]
+    pub fn links(&self) -> &Arc<LinkRules> {
+        &self.links
+    }
+
+    /// Health counters per peer, for status reports.
+    #[must_use]
+    pub fn peer_stats(&self) -> Vec<(SiteId, PeerStats)> {
+        self.peers
+            .iter()
+            .map(|(site, peer)| (*site, *peer.stats.lock().expect("peer stats poisoned")))
+            .collect()
+    }
+
+    /// Sends a frame and waits (bounded) for the single reply frame.
+    fn roundtrip(&self, to: SiteId, frame: &Frame) -> Option<Frame> {
+        let peer = self.peers.get(&to)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        peer.jobs
+            .send(PeerJob {
+                bytes: frame.encode(),
+                reply: Some(tx),
+            })
+            .ok()?;
+        rx.recv_timeout(self.reply_wait).ok().flatten()
+    }
+
+    /// Sends a frame without waiting for any reply.
+    fn fire_and_forget(&self, to: SiteId, frame: &Frame) {
+        if let Some(peer) = self.peers.get(&to) {
+            let _ = peer.jobs.send(PeerJob {
+                bytes: frame.encode(),
+                reply: None,
+            });
+        }
+    }
+}
+
+impl Transport<Vec<u8>> for TcpTransport {
+    fn carry(
+        &mut self,
+        request: WireRequest<'_, Vec<u8>>,
+        serve: LocalServe<'_, Vec<u8>>,
+    ) -> Carried<Vec<u8>> {
+        let message = request.message;
+        if message.to == self.local {
+            // Defensive: the cluster never routes a coordinator's
+            // message to itself through the transport, but if it did,
+            // the local handler is the truth.
+            return match serve(message, request.payload) {
+                Some(body) => local_response(message, body),
+                None => Carried::silent(Verdict::Deliver),
+            };
+        }
+        if self.links.is_blocked(message.to) {
+            // The partition surface: the frame never leaves this host.
+            return Carried::silent(Verdict::Drop);
+        }
+        let frame = match &message.kind {
+            MessageKind::StartRequest => Frame::StartReq {
+                ticket: request.ticket,
+                from: message.from,
+                to: message.to,
+                mark_pending: request.mark_pending,
+            },
+            MessageKind::Commit {
+                op,
+                version,
+                partition,
+            } => Frame::Commit {
+                ticket: request.ticket,
+                from: message.from,
+                to: message.to,
+                state: ReplicaState {
+                    op: *op,
+                    version: *version,
+                    partition: *partition,
+                },
+                value: request.payload.cloned(),
+            },
+            MessageKind::CopyRequest => Frame::CopyReq {
+                ticket: request.ticket,
+                from: message.from,
+                to: message.to,
+            },
+            // Replies travel as answers on the requester's connection,
+            // never as outbound requests.
+            MessageKind::StateReply { .. } | MessageKind::CopyReply => {
+                return Carried::silent(Verdict::Drop);
+            }
+        };
+        let Some(reply) = self.roundtrip(message.to, &frame) else {
+            return Carried::silent(Verdict::Drop);
+        };
+        if self.links.is_blocked(message.to) {
+            // The link was cut while the exchange was in flight: the
+            // reply is discarded at the (new) partition boundary.
+            return Carried::silent(Verdict::Drop);
+        }
+        match reply {
+            Frame::Abstain { .. } => Carried {
+                request: Verdict::Deliver,
+                response: None,
+            },
+            Frame::StateRep { state, .. } => Carried {
+                request: Verdict::Deliver,
+                response: Some(Response {
+                    wire: Some(Message {
+                        from: message.to,
+                        to: message.from,
+                        kind: MessageKind::StateReply {
+                            op: state.op,
+                            version: state.version,
+                            partition: state.partition,
+                        },
+                    }),
+                    verdict: Verdict::Deliver,
+                    body: Reply::State {
+                        op: state.op,
+                        version: state.version,
+                        partition: state.partition,
+                    },
+                }),
+            },
+            Frame::CommitAck { .. } => Carried {
+                request: Verdict::Deliver,
+                response: Some(Response {
+                    wire: None,
+                    verdict: Verdict::Deliver,
+                    body: Reply::Ack,
+                }),
+            },
+            Frame::CopyRep { version, value, .. } => Carried {
+                request: Verdict::Deliver,
+                response: Some(Response {
+                    wire: Some(Message {
+                        from: message.to,
+                        to: message.from,
+                        kind: MessageKind::CopyReply,
+                    }),
+                    verdict: Verdict::Deliver,
+                    body: Reply::Copy { version, value },
+                }),
+            },
+            // A reply that answers no question we asked: protocol
+            // confusion, treated as a lost exchange.
+            _ => Carried::silent(Verdict::Drop),
+        }
+    }
+
+    fn release(&mut self, ticket: u64, keep: SiteSet) {
+        let frame = Frame::Release {
+            ticket,
+            from: self.local,
+            keep,
+        };
+        let targets: Vec<SiteId> = self.peers.keys().copied().collect();
+        for site in targets {
+            if self.links.is_blocked(site) {
+                continue;
+            }
+            self.fire_and_forget(site, &frame);
+        }
+    }
+}
+
+/// Builds the [`Carried`] for a locally-served request (the defensive
+/// self-delivery path), mirroring the in-memory transport's wiring.
+fn local_response(message: &Message, body: Reply<Vec<u8>>) -> Carried<Vec<u8>> {
+    let wire = match &body {
+        Reply::State {
+            op,
+            version,
+            partition,
+        } => Some(Message {
+            from: message.to,
+            to: message.from,
+            kind: MessageKind::StateReply {
+                op: *op,
+                version: *version,
+                partition: *partition,
+            },
+        }),
+        Reply::Copy { .. } => Some(Message {
+            from: message.to,
+            to: message.from,
+            kind: MessageKind::CopyReply,
+        }),
+        Reply::Ack => None,
+    };
+    Carried {
+        request: Verdict::Deliver,
+        response: Some(Response {
+            wire,
+            verdict: Verdict::Deliver,
+            body,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    fn start_message(from: usize, to: usize) -> Message {
+        Message {
+            from: SiteId::new(from),
+            to: SiteId::new(to),
+            kind: MessageKind::StartRequest,
+        }
+    }
+
+    fn carry(transport: &mut TcpTransport, message: &Message) -> Carried<Vec<u8>> {
+        let mut serve = |_: &Message, _: Option<&Vec<u8>>| -> Option<Reply<Vec<u8>>> { None };
+        transport.carry(
+            WireRequest {
+                message,
+                payload: None,
+                ticket: 1,
+                mark_pending: true,
+            },
+            &mut serve,
+        )
+    }
+
+    #[test]
+    fn unreachable_peer_is_silence() {
+        // Grab a port with no listener behind it.
+        let port = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let mut transport = TcpTransport::new(
+            SiteId::new(0),
+            &[(SiteId::new(1), format!("127.0.0.1:{port}"))],
+            Arc::new(LinkRules::new()),
+            TcpTimeouts::fast(),
+        );
+        let carried = carry(&mut transport, &start_message(0, 1));
+        assert_eq!(carried.request, Verdict::Drop);
+        assert!(carried.response.is_none());
+        let stats = transport.peer_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].1.failures >= 1);
+        assert!(!stats[0].1.connected);
+    }
+
+    #[test]
+    fn blocked_link_drops_without_touching_the_socket() {
+        let links = Arc::new(LinkRules::new());
+        links.block(SiteId::new(1));
+        let mut transport = TcpTransport::new(
+            SiteId::new(0),
+            &[(SiteId::new(1), "127.0.0.1:1".to_string())],
+            Arc::clone(&links),
+            TcpTimeouts::fast(),
+        );
+        let carried = carry(&mut transport, &start_message(0, 1));
+        assert_eq!(carried.request, Verdict::Drop);
+        assert_eq!(transport.peer_stats()[0].1.sends, 0, "no socket work");
+        links.clear();
+        assert!(!links.is_blocked(SiteId::new(1)));
+    }
+
+    #[test]
+    fn state_reply_frame_becomes_a_poll_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let frame = read_frame(&mut stream).unwrap();
+            let Frame::StartReq {
+                ticket, from, to, ..
+            } = frame
+            else {
+                panic!("expected StartReq, got {frame:?}");
+            };
+            let reply = Frame::StateRep {
+                ticket,
+                from: to,
+                to: from,
+                state: ReplicaState {
+                    op: 6,
+                    version: 5,
+                    partition: SiteSet::from_indices([0, 1]),
+                },
+            };
+            stream.write_all(&reply.encode()).unwrap();
+        });
+        let mut transport = TcpTransport::new(
+            SiteId::new(0),
+            &[(SiteId::new(1), addr.to_string())],
+            Arc::new(LinkRules::new()),
+            TcpTimeouts::fast(),
+        );
+        let carried = carry(&mut transport, &start_message(0, 1));
+        served.join().unwrap();
+        assert_eq!(carried.request, Verdict::Deliver);
+        let response = carried.response.expect("reply arrived");
+        assert!(response.arrived());
+        assert_eq!(
+            response.body,
+            Reply::State {
+                op: 6,
+                version: 5,
+                partition: SiteSet::from_indices([0, 1]),
+            }
+        );
+        let wire = response.wire.expect("state replies are wire messages");
+        assert!(matches!(wire.kind, MessageKind::StateReply { .. }));
+        let stats = transport.peer_stats();
+        assert!(stats[0].1.connected);
+        assert_eq!(stats[0].1.reconnects, 1);
+    }
+}

@@ -1,0 +1,657 @@
+//! The store's framed wire protocol.
+//!
+//! Every unit on a connection is one *frame*: a 4-byte big-endian body
+//! length, then the body — one type byte followed by that frame's
+//! fields, encoded with the [`dynvote_core::wire`] primitives. Three
+//! frame families share the format (and the listener):
+//!
+//! * **peer frames** (`0x01..=0x08`) — the protocol exchanges of
+//!   Figures 1–3/5–7: `START` → state reply or abstention, `COMMIT` →
+//!   acknowledgement, copy request → copy reply, plus the abort
+//!   oracle's release broadcast;
+//! * **client requests** (`0x10..=0x16`) — `dynvote-ctl` commands:
+//!   the data operations and the link-rule administration used to cut
+//!   real partitions into a live cluster;
+//! * **client responses** (`0x20..=0x23`) — outcome, value, refusal,
+//!   or a status report.
+//!
+//! Decoding is *total* over untrusted bytes: every malformed input
+//! returns a [`FrameError`] — never a panic — and no allocation is
+//! sized from a length field before [`MAX_FRAME`] bounds it and the
+//! bytes are actually present in the body.
+
+use std::io::{self, Read, Write};
+
+use dynvote_core::state::ReplicaState;
+use dynvote_core::wire::{put_state, put_u16, put_u32, put_u64, put_u8, Reader};
+use dynvote_types::{SiteId, SiteSet};
+
+/// Hard ceiling on a frame body, enforced *before* the body is read:
+/// a hostile length prefix can never make the decoder allocate more.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Why a frame body failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The body ended before a field did.
+    Truncated,
+    /// The body continued past the last field of its frame type.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// The type byte names no known frame.
+    UnknownType(u8),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed body length.
+        len: u32,
+    },
+    /// A site index outside `0..64` (the [`SiteSet`] word).
+    BadSite(u16),
+    /// A boolean field held a byte other than 0 or 1.
+    BadBool(u8),
+    /// A text field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame body"),
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the last field")
+            }
+            FrameError::UnknownType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::BadSite(index) => write!(f, "site index {index} out of range"),
+            FrameError::BadBool(b) => write!(f, "boolean field holds 0x{b:02x}"),
+            FrameError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One wire frame — see the module docs for the three families.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// `START` (Figures 1–3/5–7): poll the recipient's state.
+    StartReq {
+        /// The coordinator's operation ticket.
+        ticket: u64,
+        /// The coordinating site.
+        from: SiteId,
+        /// The polled site.
+        to: SiteId,
+        /// Whether answering records an outstanding vote.
+        mark_pending: bool,
+    },
+    /// The state reply: the recipient's `⟨o_i, v_i, P_i⟩`.
+    StateRep {
+        /// The ticket of the `START` being answered.
+        ticket: u64,
+        /// The replying site.
+        from: SiteId,
+        /// The coordinating site.
+        to: SiteId,
+        /// The replier's consistency-control state.
+        state: ReplicaState,
+    },
+    /// `COMMIT`: install the new state (and value, on a write).
+    Commit {
+        /// The coordinator's operation ticket.
+        ticket: u64,
+        /// The coordinating site.
+        from: SiteId,
+        /// The participant being committed.
+        to: SiteId,
+        /// The new `⟨o, v, P⟩` to install.
+        state: ReplicaState,
+        /// The write value riding the commit, when there is one.
+        value: Option<Vec<u8>>,
+    },
+    /// The commit acknowledgement.
+    CommitAck {
+        /// The ticket of the `COMMIT` being acknowledged.
+        ticket: u64,
+        /// The acknowledging site.
+        from: SiteId,
+        /// The coordinating site.
+        to: SiteId,
+    },
+    /// Ask the recipient for its full copy of the file.
+    CopyReq {
+        /// The coordinator's operation ticket.
+        ticket: u64,
+        /// The requesting site.
+        from: SiteId,
+        /// The site holding the wanted copy.
+        to: SiteId,
+    },
+    /// The copy reply: the file, with the version it carries.
+    CopyRep {
+        /// The ticket of the request being answered.
+        ticket: u64,
+        /// The serving site.
+        from: SiteId,
+        /// The requesting site.
+        to: SiteId,
+        /// The version number of the served copy.
+        version: u64,
+        /// The file contents.
+        value: Vec<u8>,
+    },
+    /// The abort oracle: outstanding votes for `ticket` may be
+    /// released, except at the sites in `keep`.
+    Release {
+        /// The aborted (or resolved) operation's ticket.
+        ticket: u64,
+        /// The coordinating site broadcasting the release.
+        from: SiteId,
+        /// Sites whose `COMMIT` may still be outstanding — they stay
+        /// wedged.
+        keep: SiteSet,
+    },
+    /// Explicit abstention: the recipient processed the `START` but is
+    /// wedged on an outstanding vote for another operation.
+    Abstain {
+        /// The ticket of the `START` being declined.
+        ticket: u64,
+        /// The abstaining site.
+        from: SiteId,
+        /// The coordinating site.
+        to: SiteId,
+    },
+
+    /// Client: WRITE this value at the daemon's site.
+    Put {
+        /// The new file contents.
+        value: Vec<u8>,
+    },
+    /// Client: READ the file at the daemon's site.
+    Get,
+    /// Client: run RECOVER (Figure 3/7) at the daemon's site.
+    Recover,
+    /// Client: report the daemon's policy state and transport health.
+    Status,
+    /// Admin: stop exchanging traffic with `site` (cut the link).
+    Deny {
+        /// The peer to partition away.
+        site: SiteId,
+    },
+    /// Admin: resume exchanging traffic with `site`.
+    Allow {
+        /// The peer to reconnect.
+        site: SiteId,
+    },
+    /// Admin: drop every link rule (heal all partitions).
+    HealLinks,
+
+    /// Response: the command succeeded.
+    Done {
+        /// Human-readable outcome detail.
+        detail: String,
+    },
+    /// Response: the read value.
+    Value {
+        /// The version number the serving site holds.
+        version: u64,
+        /// The file contents.
+        value: Vec<u8>,
+    },
+    /// Response: the access was refused (the paper's ABORT).
+    Refused {
+        /// The refusal, with the clause that fired.
+        message: String,
+    },
+    /// Response: a status report (key=value lines).
+    Report {
+        /// The report text.
+        text: String,
+    },
+}
+
+const T_START_REQ: u8 = 0x01;
+const T_STATE_REP: u8 = 0x02;
+const T_COMMIT: u8 = 0x03;
+const T_COMMIT_ACK: u8 = 0x04;
+const T_COPY_REQ: u8 = 0x05;
+const T_COPY_REP: u8 = 0x06;
+const T_RELEASE: u8 = 0x07;
+const T_ABSTAIN: u8 = 0x08;
+const T_PUT: u8 = 0x10;
+const T_GET: u8 = 0x11;
+const T_RECOVER: u8 = 0x12;
+const T_STATUS: u8 = 0x13;
+const T_DENY: u8 = 0x14;
+const T_ALLOW: u8 = 0x15;
+const T_HEAL_LINKS: u8 = 0x16;
+const T_DONE: u8 = 0x20;
+const T_VALUE: u8 = 0x21;
+const T_REFUSED: u8 = 0x22;
+const T_REPORT: u8 = 0x23;
+
+fn put_site(out: &mut Vec<u8>, site: SiteId) {
+    // SiteId indices are bounded by MAX_SITES (64), far under u16.
+    put_u16(out, site.index() as u16);
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_text(out: &mut Vec<u8>, text: &str) {
+    put_bytes(out, text.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, flag: bool) {
+    put_u8(out, u8::from(flag));
+}
+
+fn read_site(r: &mut Reader<'_>) -> Result<SiteId, FrameError> {
+    let raw = r.u16()?;
+    SiteId::try_new(raw as usize).ok_or(FrameError::BadSite(raw))
+}
+
+fn read_bool(r: &mut Reader<'_>) -> Result<bool, FrameError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(FrameError::BadBool(other)),
+    }
+}
+
+/// Reads a length-prefixed byte field. [`Reader::bytes`] verifies the
+/// claimed length against what the body actually holds *before* any
+/// copy, so a hostile inner length cannot trigger an allocation.
+fn read_blob(r: &mut Reader<'_>) -> Result<Vec<u8>, FrameError> {
+    let len = r.u32()? as usize;
+    Ok(r.bytes(len)?.to_vec())
+}
+
+fn read_text(r: &mut Reader<'_>) -> Result<String, FrameError> {
+    String::from_utf8(read_blob(r)?).map_err(|_| FrameError::BadUtf8)
+}
+
+impl From<dynvote_core::wire::WireError> for FrameError {
+    fn from(_: dynvote_core::wire::WireError) -> Self {
+        FrameError::Truncated
+    }
+}
+
+impl Frame {
+    /// Encodes the frame, length prefix included.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_body(&mut body);
+        debug_assert!(body.len() <= MAX_FRAME as usize);
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::StartReq {
+                ticket,
+                from,
+                to,
+                mark_pending,
+            } => {
+                put_u8(out, T_START_REQ);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+                put_bool(out, *mark_pending);
+            }
+            Frame::StateRep {
+                ticket,
+                from,
+                to,
+                state,
+            } => {
+                put_u8(out, T_STATE_REP);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+                put_state(out, state);
+            }
+            Frame::Commit {
+                ticket,
+                from,
+                to,
+                state,
+                value,
+            } => {
+                put_u8(out, T_COMMIT);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+                put_state(out, state);
+                put_bool(out, value.is_some());
+                if let Some(value) = value {
+                    put_bytes(out, value);
+                }
+            }
+            Frame::CommitAck { ticket, from, to } => {
+                put_u8(out, T_COMMIT_ACK);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+            }
+            Frame::CopyReq { ticket, from, to } => {
+                put_u8(out, T_COPY_REQ);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+            }
+            Frame::CopyRep {
+                ticket,
+                from,
+                to,
+                version,
+                value,
+            } => {
+                put_u8(out, T_COPY_REP);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+                put_u64(out, *version);
+                put_bytes(out, value);
+            }
+            Frame::Release { ticket, from, keep } => {
+                put_u8(out, T_RELEASE);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_u64(out, keep.bits());
+            }
+            Frame::Abstain { ticket, from, to } => {
+                put_u8(out, T_ABSTAIN);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+            }
+            Frame::Put { value } => {
+                put_u8(out, T_PUT);
+                put_bytes(out, value);
+            }
+            Frame::Get => put_u8(out, T_GET),
+            Frame::Recover => put_u8(out, T_RECOVER),
+            Frame::Status => put_u8(out, T_STATUS),
+            Frame::Deny { site } => {
+                put_u8(out, T_DENY);
+                put_site(out, *site);
+            }
+            Frame::Allow { site } => {
+                put_u8(out, T_ALLOW);
+                put_site(out, *site);
+            }
+            Frame::HealLinks => put_u8(out, T_HEAL_LINKS),
+            Frame::Done { detail } => {
+                put_u8(out, T_DONE);
+                put_text(out, detail);
+            }
+            Frame::Value { version, value } => {
+                put_u8(out, T_VALUE);
+                put_u64(out, *version);
+                put_bytes(out, value);
+            }
+            Frame::Refused { message } => {
+                put_u8(out, T_REFUSED);
+                put_text(out, message);
+            }
+            Frame::Report { text } => {
+                put_u8(out, T_REPORT);
+                put_text(out, text);
+            }
+        }
+    }
+
+    /// Decodes one frame body (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on any malformed input; never panics.
+    pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = Reader::new(body);
+        let frame = match r.u8()? {
+            T_START_REQ => Frame::StartReq {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+                mark_pending: read_bool(&mut r)?,
+            },
+            T_STATE_REP => Frame::StateRep {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+                state: r.state()?,
+            },
+            T_COMMIT => {
+                let ticket = r.u64()?;
+                let from = read_site(&mut r)?;
+                let to = read_site(&mut r)?;
+                let state = r.state()?;
+                let value = if read_bool(&mut r)? {
+                    Some(read_blob(&mut r)?)
+                } else {
+                    None
+                };
+                Frame::Commit {
+                    ticket,
+                    from,
+                    to,
+                    state,
+                    value,
+                }
+            }
+            T_COMMIT_ACK => Frame::CommitAck {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+            },
+            T_COPY_REQ => Frame::CopyReq {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+            },
+            T_COPY_REP => Frame::CopyRep {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+                version: r.u64()?,
+                value: read_blob(&mut r)?,
+            },
+            T_RELEASE => Frame::Release {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                keep: SiteSet::from_bits(r.u64()?),
+            },
+            T_ABSTAIN => Frame::Abstain {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+            },
+            T_PUT => Frame::Put {
+                value: read_blob(&mut r)?,
+            },
+            T_GET => Frame::Get,
+            T_RECOVER => Frame::Recover,
+            T_STATUS => Frame::Status,
+            T_DENY => Frame::Deny {
+                site: read_site(&mut r)?,
+            },
+            T_ALLOW => Frame::Allow {
+                site: read_site(&mut r)?,
+            },
+            T_HEAL_LINKS => Frame::HealLinks,
+            T_DONE => Frame::Done {
+                detail: read_text(&mut r)?,
+            },
+            T_VALUE => Frame::Value {
+                version: r.u64()?,
+                value: read_blob(&mut r)?,
+            },
+            T_REFUSED => Frame::Refused {
+                message: read_text(&mut r)?,
+            },
+            T_REPORT => Frame::Report {
+                text: read_text(&mut r)?,
+            },
+            other => return Err(FrameError::UnknownType(other)),
+        };
+        if !r.is_exhausted() {
+            return Err(FrameError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+fn invalid_data(err: FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err)
+}
+
+/// Reads one frame off a stream: length prefix, cap check, body,
+/// decode. A length over [`MAX_FRAME`] fails *before* any body
+/// allocation.
+///
+/// # Errors
+///
+/// I/O errors pass through (`UnexpectedEof` marks a clean close at a
+/// frame boundary as well as a mid-frame truncation); malformed frames
+/// surface as [`io::ErrorKind::InvalidData`] wrapping the
+/// [`FrameError`].
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Frame> {
+    let mut prefix = [0u8; 4];
+    reader.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(invalid_data(FrameError::Oversized { len }));
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    Frame::decode(&body).map_err(invalid_data)
+}
+
+/// Writes one frame (length prefix included) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> io::Result<()> {
+    writer.write_all(&frame.encode())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ReplicaState {
+        ReplicaState {
+            op: 9,
+            version: 4,
+            partition: SiteSet::from_indices([0, 1, 5]),
+        }
+    }
+
+    #[test]
+    fn peer_frames_round_trip() {
+        let frames = [
+            Frame::StartReq {
+                ticket: 77,
+                from: SiteId::new(0),
+                to: SiteId::new(3),
+                mark_pending: true,
+            },
+            Frame::StateRep {
+                ticket: 77,
+                from: SiteId::new(3),
+                to: SiteId::new(0),
+                state: state(),
+            },
+            Frame::Commit {
+                ticket: 77,
+                from: SiteId::new(0),
+                to: SiteId::new(3),
+                state: state(),
+                value: Some(b"payload".to_vec()),
+            },
+            Frame::Commit {
+                ticket: 77,
+                from: SiteId::new(0),
+                to: SiteId::new(3),
+                state: state(),
+                value: None,
+            },
+            Frame::Release {
+                ticket: 77,
+                from: SiteId::new(0),
+                keep: SiteSet::from_indices([2]),
+            },
+            Frame::Abstain {
+                ticket: 77,
+                from: SiteId::new(3),
+                to: SiteId::new(0),
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            let mut cursor = &bytes[..];
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+            assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, MAX_FRAME + 1);
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn inner_length_cannot_exceed_the_body() {
+        // A Put whose inner blob claims 4 GiB inside a 5-byte body.
+        let mut body = Vec::new();
+        put_u8(&mut body, T_PUT);
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(Frame::decode(&body), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = Vec::new();
+        put_u8(&mut body, T_GET);
+        put_u8(&mut body, 0xFF);
+        assert_eq!(
+            Frame::decode(&body),
+            Err(FrameError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_site_and_bool_are_rejected() {
+        let mut body = Vec::new();
+        put_u8(&mut body, T_DENY);
+        put_u16(&mut body, 64);
+        assert_eq!(Frame::decode(&body), Err(FrameError::BadSite(64)));
+
+        let mut body = Vec::new();
+        put_u8(&mut body, T_START_REQ);
+        put_u64(&mut body, 1);
+        put_u16(&mut body, 0);
+        put_u16(&mut body, 1);
+        put_u8(&mut body, 2);
+        assert_eq!(Frame::decode(&body), Err(FrameError::BadBool(2)));
+    }
+}

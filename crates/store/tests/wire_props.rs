@@ -1,0 +1,182 @@
+//! Property tests for the framed wire protocol.
+//!
+//! Two directions:
+//!
+//! * **round-trip** — every frame type, with generated field values,
+//!   survives `encode → read_frame` bit-exactly;
+//! * **totality over hostile bytes** — truncations, oversized length
+//!   prefixes, and arbitrary garbage must *error*, never panic, and
+//!   never allocate from a length field the body cannot back.
+//!
+//! The codec is also *canonical*: any body that decodes at all
+//! re-encodes to the identical bytes, which the garbage test checks
+//! for free whenever random bytes happen to form a valid frame.
+
+use dynvote_core::state::ReplicaState;
+use dynvote_store::wire::{read_frame, Frame, FrameError, MAX_FRAME};
+use dynvote_types::{SiteId, SiteSet};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Every frame type, fields filled from the drawn values — the
+/// exhaustive per-variant list the round-trip property walks.
+#[allow(clippy::too_many_arguments)]
+fn all_frames(
+    ticket: u64,
+    from: usize,
+    to: usize,
+    version: u64,
+    mask: u64,
+    flag: bool,
+    blob: Vec<u8>,
+    text: String,
+) -> Vec<Frame> {
+    let from = SiteId::new(from);
+    let to = SiteId::new(to);
+    let state = ReplicaState {
+        op: ticket ^ 0x5a5a,
+        version,
+        partition: SiteSet::from_bits(mask),
+    };
+    vec![
+        Frame::StartReq {
+            ticket,
+            from,
+            to,
+            mark_pending: flag,
+        },
+        Frame::StateRep {
+            ticket,
+            from,
+            to,
+            state,
+        },
+        Frame::Commit {
+            ticket,
+            from,
+            to,
+            state,
+            value: if flag { Some(blob.clone()) } else { None },
+        },
+        Frame::CommitAck { ticket, from, to },
+        Frame::CopyReq { ticket, from, to },
+        Frame::CopyRep {
+            ticket,
+            from,
+            to,
+            version,
+            value: blob.clone(),
+        },
+        Frame::Release {
+            ticket,
+            from,
+            keep: SiteSet::from_bits(mask),
+        },
+        Frame::Abstain { ticket, from, to },
+        Frame::Put { value: blob },
+        Frame::Get,
+        Frame::Recover,
+        Frame::Status,
+        Frame::Deny { site: from },
+        Frame::Allow { site: to },
+        Frame::HealLinks,
+        Frame::Done {
+            detail: text.clone(),
+        },
+        Frame::Value {
+            version,
+            value: text.clone().into_bytes(),
+        },
+        Frame::Refused {
+            message: text.clone(),
+        },
+        Frame::Report { text },
+    ]
+}
+
+proptest! {
+    /// encode → read_frame is the identity for every frame type.
+    #[test]
+    fn every_frame_type_round_trips(
+        ticket in any::<u64>(),
+        from in 0usize..64,
+        to in 0usize..64,
+        version in any::<u64>(),
+        mask in any::<u64>(),
+        flag in any::<bool>(),
+        blob in vec(any::<u8>(), 0..128),
+        text in vec(any::<u8>(), 0..64),
+    ) {
+        let text = String::from_utf8_lossy(&text).into_owned();
+        for frame in all_frames(ticket, from, to, version, mask, flag, blob, text) {
+            let bytes = frame.encode();
+            let mut cursor = &bytes[..];
+            let decoded = read_frame(&mut cursor);
+            prop_assert_eq!(decoded.ok().as_ref(), Some(&frame), "frame: {:?}", frame);
+            prop_assert!(cursor.is_empty(), "decoder consumed the exact frame");
+        }
+    }
+
+    /// Every strict prefix of a valid encoding errors out cleanly —
+    /// the decoder neither panics nor accepts a truncated frame.
+    #[test]
+    fn truncations_error_without_panicking(
+        ticket in any::<u64>(),
+        from in 0usize..64,
+        to in 0usize..64,
+        version in any::<u64>(),
+        mask in any::<u64>(),
+        flag in any::<bool>(),
+        blob in vec(any::<u8>(), 0..32),
+    ) {
+        let frames = all_frames(ticket, from, to, version, mask, flag, blob, "x".into());
+        for frame in frames {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                let mut cursor = &bytes[..cut];
+                prop_assert!(
+                    read_frame(&mut cursor).is_err(),
+                    "prefix of {} bytes of {:?} decoded",
+                    cut,
+                    frame
+                );
+            }
+        }
+    }
+
+    /// A hostile length prefix above the cap is rejected before any
+    /// body allocation — even when the claimed length is gigabytes.
+    #[test]
+    fn oversized_lengths_are_rejected(excess in 1u32..1025) {
+        let len = MAX_FRAME + excess;
+        let mut bytes = len.to_be_bytes().to_vec();
+        // A few body bytes; the decoder must refuse before wanting them.
+        bytes.extend_from_slice(&[0u8; 8]);
+        let err = read_frame(&mut &bytes[..]).expect_err("oversized accepted");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Arbitrary garbage bodies never panic the decoder, and anything
+    /// that *does* decode re-encodes to the identical body (the
+    /// encoding is canonical).
+    #[test]
+    fn garbage_bodies_decode_totally(body in vec(any::<u8>(), 0..256)) {
+        match Frame::decode(&body) {
+            Ok(frame) => {
+                let reencoded = frame.encode();
+                prop_assert_eq!(&reencoded[4..], &body[..], "non-canonical decode of {:?}", frame);
+            }
+            Err(
+                FrameError::Truncated
+                | FrameError::TrailingBytes { .. }
+                | FrameError::UnknownType(_)
+                | FrameError::BadSite(_)
+                | FrameError::BadBool(_)
+                | FrameError::BadUtf8,
+            ) => {}
+            Err(FrameError::Oversized { .. }) => {
+                prop_assert!(false, "Oversized is a prefix-layer error");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the networked store: boots a real 3-node
+# loopback cluster from the release binaries, drives it through
+# put / partition / put / heal / get with dynvote-ctl, and asserts the
+# voting guarantees hold over actual sockets:
+#
+#   * the majority side keeps accepting writes during the partition;
+#   * the isolated minority refuses both reads and writes;
+#   * after healing + recovery, every node serves the surviving value.
+#
+# Finishes with a small loopback throughput measurement and writes
+# BENCH_store.json at the repo root (override with BENCH_OUT=...).
+# Node logs land in store-smoke-logs/ so CI can upload them on failure.
+#
+#   scripts/store_smoke.sh            # full run (commit the JSON)
+#   BENCH_OUT=/tmp/b.json scripts/store_smoke.sh   # leave the tree alone
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${STORE_SMOKE_PORT_BASE:-7141}"
+BENCH_OUT="${BENCH_OUT:-BENCH_store.json}"
+LOG_DIR="store-smoke-logs"
+BENCH_OPS="${STORE_SMOKE_OPS:-100}"
+
+STORED=target/release/dynvote-stored
+CTL=target/release/dynvote-ctl
+
+cargo build --release -p dynvote-store
+
+rm -rf "$LOG_DIR"
+mkdir -p "$LOG_DIR"
+
+A="127.0.0.1:$PORT_BASE"
+B="127.0.0.1:$((PORT_BASE + 1))"
+C="127.0.0.1:$((PORT_BASE + 2))"
+PEERS="0=$A,1=$B,2=$C"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+for site in 0 1 2; do
+    "$STORED" --site "$site" --policy odv --peers "$PEERS" --value v0 \
+        --connect-timeout-ms 250 --read-timeout-ms 2000 \
+        --backoff-ms 20 --backoff-cap-ms 200 \
+        --log "$LOG_DIR/node$site.log" &
+    PIDS+=($!)
+done
+
+# Wait until all three daemons answer `status`.
+for site_addr in "0 $A" "1 $B" "2 $C"; do
+    read -r site addr <<<"$site_addr"
+    for _ in $(seq 1 50); do
+        if "$CTL" --node "$addr" status >/dev/null 2>&1; then
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: node $site ($addr) never came up" >&2
+    exit 1
+done
+echo "== 3-node ODV cluster up on $PEERS"
+
+expect_granted() {
+    local what="$1"; shift
+    if ! "$@" >/dev/null; then
+        echo "FAIL: $what should have been granted" >&2
+        exit 1
+    fi
+    echo "ok: $what granted"
+}
+
+expect_refused() {
+    local what="$1"; shift
+    local status=0
+    "$@" >/dev/null 2>&1 || status=$?
+    if [[ "$status" -ne 1 ]]; then
+        echo "FAIL: $what should have been refused (exit 1), got exit $status" >&2
+        exit 1
+    fi
+    echo "ok: $what refused"
+}
+
+expect_value() {
+    local what="$1" addr="$2" want="$3"
+    local got
+    got="$("$CTL" --node "$addr" get 2>/dev/null)"
+    if [[ "$got" != "$want" ]]; then
+        echo "FAIL: $what: wanted $want, got $got" >&2
+        exit 1
+    fi
+    echo "ok: $what serves $want"
+}
+
+# Healthy cluster: a write lands and replicates.
+expect_granted "initial put" "$CTL" --node "$A" put hello
+expect_value "replicated read at node 2" "$C" hello
+
+# Cut node 2 off (both directions, like a dead link).
+echo "== partitioning node 2 away"
+"$CTL" --node "$A" deny 2 >/dev/null
+"$CTL" --node "$B" deny 2 >/dev/null
+"$CTL" --node "$C" deny 0 >/dev/null
+"$CTL" --node "$C" deny 1 >/dev/null
+
+# Majority keeps working; the minority must refuse everything.
+expect_granted "majority put during partition" "$CTL" --node "$A" put world
+expect_refused "minority put" "$CTL" --node "$C" put poison
+expect_refused "minority get" "$CTL" --node "$C" get
+
+# Heal, reintegrate, converge.
+echo "== healing"
+for addr in "$A" "$B" "$C"; do
+    "$CTL" --node "$addr" heal-links >/dev/null
+done
+expect_granted "recover at node 2" "$CTL" --node "$C" recover
+for addr in "$A" "$B" "$C"; do
+    expect_value "healed read at $addr" "$addr" world
+done
+"$CTL" --node "$A" status | sed 's/^/    /'
+
+# Loopback throughput: timed sequential round-trips through the client
+# (one process + one TCP connection per request — the honest CLI cost,
+# not a saturation benchmark).
+echo "== measuring $BENCH_OPS puts + $BENCH_OPS gets"
+start_ns=$(date +%s%N)
+for i in $(seq 1 "$BENCH_OPS"); do
+    "$CTL" --node "$A" put "bench-$i" >/dev/null
+done
+put_ns=$(( $(date +%s%N) - start_ns ))
+start_ns=$(date +%s%N)
+for _ in $(seq 1 "$BENCH_OPS"); do
+    "$CTL" --node "$B" get >/dev/null 2>&1
+done
+get_ns=$(( $(date +%s%N) - start_ns ))
+
+awk -v ops="$BENCH_OPS" -v put_ns="$put_ns" -v get_ns="$get_ns" 'BEGIN {
+    put_secs = put_ns / 1e9; get_secs = get_ns / 1e9
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/store_smoke.sh (3-node ODV loopback cluster, dynvote-ctl round-trips)\",\n"
+    printf "  \"cluster\": { \"nodes\": 3, \"policy\": \"odv\", \"transport\": \"tcp loopback\" },\n"
+    printf "  \"put\": { \"ops\": %d, \"secs\": %.3f, \"requests_per_sec\": %.0f },\n", ops, put_secs, ops / put_secs
+    printf "  \"get\": { \"ops\": %d, \"secs\": %.3f, \"requests_per_sec\": %.0f },\n", ops, get_secs, ops / get_secs
+    printf "  \"note\": \"each request pays process spawn + TCP connect + a full quorum round; this is CLI latency, not transport saturation\"\n"
+    printf "}\n"
+}' > "$BENCH_OUT"
+
+echo "== wrote $BENCH_OUT"
+cat "$BENCH_OUT"
+echo "PASS: store smoke"
