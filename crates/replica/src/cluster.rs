@@ -888,6 +888,70 @@ impl<T: Clone, X: Transport<T>> Cluster<T, X> {
         }
     }
 
+    /// The outstanding-vote ticket held at one participant, if any —
+    /// the durable layer persists this alongside ⟨o, v, P⟩, because a
+    /// site that forgot its vote across a crash could vote again in a
+    /// conflicting operation.
+    #[must_use]
+    pub fn pending_at(&self, site: SiteId) -> Option<u64> {
+        self.participant_pending(site)
+    }
+
+    /// Installs a restored durable image at a participant hosted in
+    /// this process — the boot path of a persistent daemon: the node
+    /// comes up holding exactly the ⟨o, v, P⟩, data, and outstanding
+    /// vote it had fsync'd before the crash. `value` is ignored for
+    /// witnesses (they hold no data); `None` at a copy keeps the
+    /// builder's seed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is not hosted in this process.
+    pub fn install_durable_state(
+        &mut self,
+        site: SiteId,
+        state: dynvote_core::state::ReplicaState,
+        value: Option<T>,
+        pending: Option<u64>,
+    ) {
+        if self.copies.contains(site) {
+            let node = self.node_mut(site);
+            node.apply_commit(state.op, state.version, state.partition);
+            if let Some(value) = value {
+                node.store(value);
+            }
+            match pending {
+                Some(ticket) => node.set_pending(ticket),
+                None => node.clear_pending(),
+            }
+        } else {
+            let witness = self.witness_node_mut(site);
+            witness.apply_commit(state.op, state.version, state.partition);
+            match pending {
+                Some(ticket) => witness.set_pending(ticket),
+                None => witness.clear_pending(),
+            }
+        }
+    }
+
+    /// The last vote ticket this cluster's coordinator side issued
+    /// (`0` before the first operation). Together with
+    /// [`Cluster::advance_ticket_past`], this lets a restart path keep
+    /// ticket issuance monotone across process incarnations.
+    #[must_use]
+    pub fn last_ticket(&self) -> u64 {
+        self.op_ticket
+    }
+
+    /// Raises the ticket counter so every future ticket exceeds
+    /// `floor`. A restarted daemon calls this with its boot-epoch salt:
+    /// reissuing a pre-crash ticket number would look *current* to a
+    /// site the previous incarnation left wedged under that ticket,
+    /// silently lifting the wedge that prevents lineage forks.
+    pub fn advance_ticket_past(&mut self, floor: u64) {
+        self.op_ticket = self.op_ticket.max(floor);
+    }
+
     /// Applies the abort oracle to the participants hosted in *this*
     /// process: releases every outstanding vote for `ticket` except at
     /// the sites in `keep`. A network daemon calls this when a release

@@ -56,6 +56,7 @@ pub mod scenario;
 pub mod snapshot;
 pub mod step;
 pub mod transport;
+pub mod wal;
 
 pub use bus::{Bus, BusStats, FaultAction, FaultRule, MessageClass, Verdict};
 pub use checker::{Checker, Violation};
@@ -66,6 +67,7 @@ pub use message::{Message, MessageKind, Trace};
 pub use nemesis::{run_nemesis, NemesisProfile, NemesisReport};
 pub use node::{Node, WitnessNode};
 pub use scenario::{Command, ScenarioError};
-pub use snapshot::Snapshot;
+pub use snapshot::{DurableSiteState, Snapshot, SnapshotLoad};
 pub use step::StepEvent;
 pub use transport::{BusTransport, Carried, LocalServe, Reply, Response, Transport, WireRequest};
+pub use wal::{FsyncOutcome, Restored, SiteStore, Wal, WalEntry, WalRecord, WalReplay, WalTail};

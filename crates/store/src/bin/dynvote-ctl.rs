@@ -25,7 +25,11 @@ fn fail(message: &str) -> ! {
     eprintln!(
         "usage: dynvote-ctl --node ADDR (put VALUE | get | recover | status | \
          deny SITE | allow SITE | heal-links)\n       \
-         dynvote-ctl --nodes 0=ADDR,1=ADDR,… replay FILE.trace [--timeout-ms N]"
+         dynvote-ctl --nodes 0=ADDR,1=ADDR,… replay FILE.trace [--timeout-ms N] \
+         [--crash-cmd CMD]\n       \
+         (--crash-cmd maps crash/repair events to `sh -c \"CMD crash S\"` / \
+         `sh -c \"CMD restart S\"` — real kill -9 + restart-from-disk \
+         instead of link isolation)"
     );
     std::process::exit(2);
 }
@@ -65,6 +69,7 @@ fn main() {
     let mut node = None;
     let mut nodes: Vec<(usize, String)> = Vec::new();
     let mut timeout = Duration::from_secs(5);
+    let mut crash_cmd: Option<String> = None;
     let mut rest = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -95,6 +100,12 @@ fn main() {
                         .unwrap_or_else(|_| fail("bad --timeout-ms value")),
                 );
             }
+            "--crash-cmd" => {
+                crash_cmd = Some(
+                    iter.next()
+                        .unwrap_or_else(|| fail("--crash-cmd requires a value")),
+                );
+            }
             _ => rest.push(arg),
         }
     }
@@ -116,7 +127,8 @@ fn main() {
             trace.scenario.sites,
             trace.events.len()
         );
-        let steps = replay::run(&trace, &nodes, timeout)
+        let options = replay::ReplayOptions { crash_cmd };
+        let steps = replay::run_with(&trace, &nodes, timeout, &options)
             .unwrap_or_else(|e| fail(&format!("replay failed: {e}")));
         for (index, step) in steps.iter().enumerate() {
             println!("{:>3}. {:<14} -> {}", index + 1, step.event, step.outcome);

@@ -19,7 +19,8 @@ fn main() {
             eprintln!(
                 "usage: dynvote-stored --site N --policy P --peers 0=addr,1=addr,… \
                  [--witnesses i,j] [--segments name=i,j;…] [--bridges gw=name;…] \
-                 [--value bytes] [--log file] [--connect-timeout-ms N] \
+                 [--value bytes] [--log file] [--data-dir dir] [--snapshot-every N] \
+                 [--boot-recover-ms N] [--bind-retry-ms N] [--connect-timeout-ms N] \
                  [--read-timeout-ms N] [--backoff-ms N] [--backoff-cap-ms N]"
             );
             std::process::exit(2);

@@ -11,9 +11,19 @@
 //!     [--segments main=0,1,2,3,4;second=5;third=6,7] \
 //!     [--bridges 3=second;4=third] \
 //!     [--value hello] [--log /path/to/node.log] \
+//!     [--data-dir /var/lib/dynvote/node0] [--snapshot-every 64] \
+//!     [--boot-recover-ms 5000] [--bind-retry-ms 0] \
 //!     [--connect-timeout-ms 500] [--read-timeout-ms 2000] \
 //!     [--backoff-ms 100] [--backoff-cap-ms 2000]
 //! ```
+//!
+//! With `--data-dir` the daemon is durable: every commit and
+//! outstanding vote is fsync'd to a write-ahead log before it is
+//! acknowledged, snapshots land every `--snapshot-every` records, and
+//! a restart restores snapshot + WAL, then retries the protocol-level
+//! RECOVER for up to `--boot-recover-ms` to catch up from the majority
+//! partition. `--bind-retry-ms` keeps retrying a busy listen address —
+//! the lingering-socket window a `kill -9` leaves behind.
 //!
 //! Without `--segments` the sites form one broadcast segment. With
 //! them, the topology mirrors [`dynvote_topology::NetworkBuilder`]:
@@ -51,6 +61,20 @@ pub struct Config {
     pub log: Option<String>,
     /// Socket and backoff timing.
     pub timeouts: TcpTimeouts,
+    /// Durable storage directory (`None` = in-memory only).
+    pub data_dir: Option<String>,
+    /// Automatic snapshot threshold in WAL records (0 = never).
+    pub snapshot_every: u64,
+    /// How long a restarted-from-disk daemon retries the protocol-level
+    /// RECOVER at boot before serving anyway (zero disables it).
+    pub boot_recover: Duration,
+    /// How long to retry binding a busy listen address before giving
+    /// up (zero = a single attempt).
+    pub bind_retry: Duration,
+    /// Crash-test hook: abort the process after a client write's WAL
+    /// append + fsync but *before* the acknowledgement leaves — proves
+    /// the fsync-before-ack ordering from the outside.
+    pub crash_after_wal_append: bool,
 }
 
 fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
@@ -89,6 +113,11 @@ impl Config {
         let mut initial = Vec::new();
         let mut log = None;
         let mut timeouts = TcpTimeouts::default();
+        let mut data_dir = None;
+        let mut snapshot_every = 64u64;
+        let mut boot_recover = Duration::from_millis(5000);
+        let mut bind_retry = Duration::ZERO;
+        let mut crash_after_wal_append = false;
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value = |flag: &str| {
@@ -141,6 +170,19 @@ impl Config {
                 }
                 "--value" => initial = value("--value")?.into_bytes(),
                 "--log" => log = Some(value("--log")?),
+                "--data-dir" => data_dir = Some(value("--data-dir")?),
+                "--snapshot-every" => {
+                    snapshot_every = value("--snapshot-every")?
+                        .parse::<u64>()
+                        .map_err(|_| "--snapshot-every: expected a record count".to_string())?;
+                }
+                "--boot-recover-ms" => {
+                    boot_recover = parse_ms("--boot-recover-ms", &value("--boot-recover-ms")?)?;
+                }
+                "--bind-retry-ms" => {
+                    bind_retry = parse_ms("--bind-retry-ms", &value("--bind-retry-ms")?)?;
+                }
+                "--crash-after-wal-append" => crash_after_wal_append = true,
                 "--connect-timeout-ms" => {
                     timeouts.connect =
                         parse_ms("--connect-timeout-ms", &value("--connect-timeout-ms")?)?;
@@ -179,6 +221,11 @@ impl Config {
             initial,
             log,
             timeouts,
+            data_dir,
+            snapshot_every,
+            boot_recover,
+            bind_retry,
+            crash_after_wal_append,
         })
     }
 
@@ -271,6 +318,28 @@ mod tests {
                 .unwrap_err()
                 .contains("unknown policy")
         );
+    }
+
+    #[test]
+    fn durability_flags_parse_with_sane_defaults() {
+        let config = Config::parse_args(args("--site 0 --policy odv --peers 0=a:1")).unwrap();
+        assert_eq!(config.data_dir, None);
+        assert_eq!(config.snapshot_every, 64);
+        assert_eq!(config.boot_recover, Duration::from_millis(5000));
+        assert_eq!(config.bind_retry, Duration::ZERO);
+        assert!(!config.crash_after_wal_append);
+
+        let config = Config::parse_args(args(
+            "--site 0 --policy odv --peers 0=a:1 \
+             --data-dir /tmp/d0 --snapshot-every 8 --boot-recover-ms 0 \
+             --bind-retry-ms 1500 --crash-after-wal-append",
+        ))
+        .unwrap();
+        assert_eq!(config.data_dir.as_deref(), Some("/tmp/d0"));
+        assert_eq!(config.snapshot_every, 8);
+        assert_eq!(config.boot_recover, Duration::ZERO);
+        assert_eq!(config.bind_retry, Duration::from_millis(1500));
+        assert!(config.crash_after_wal_append);
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! This module maps each [`CheckEvent`] onto the real cluster's only
 //! fault surface, the link rules:
 //!
-//! * `crash s` — isolate `s`: every other daemon denies `s`, and `s`
-//!   denies everyone. The daemon stays up (a live process cannot be
-//!   "crashed" politely) but is unreachable — the network-level
-//!   shadow of the checker's fail-stop, and its state survives to the
-//!   repair exactly as the checker's does.
+//! * `crash s` — by default, isolate `s`: every other daemon denies
+//!   `s`, and `s` denies everyone. The daemon stays up (a live process
+//!   cannot be "crashed" politely) but is unreachable — the
+//!   network-level shadow of the checker's fail-stop, and its state
+//!   survives to the repair exactly as the checker's does. With
+//!   [`ReplayOptions::crash_cmd`] set, the event instead runs a real
+//!   process fault: `sh -c "CMD crash s"` (expected to `kill -9` the
+//!   site's daemon) and, on `repair s`, `sh -c "CMD restart s"` —
+//!   which only round-trips when the daemons persist with `--data-dir`,
+//!   making the checker's stable-storage assumption a live assertion.
 //! * `partition i` — install the `i`-th canonical segment partition of
 //!   the scenario's network (the same enumeration order the checker
 //!   uses), by denying every cross-group pair.
@@ -42,12 +47,25 @@ pub struct ReplayStep {
     pub outcome: String,
 }
 
+/// How `crash`/`repair` events map onto the live cluster.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayOptions {
+    /// Shell hook for real process faults: invoked as
+    /// `sh -c "CMD crash S"` when site `S` crashes and
+    /// `sh -c "CMD restart S"` when it is repaired. `None` falls back
+    /// to link-level isolation (the daemons stay up).
+    pub crash_cmd: Option<String>,
+}
+
 struct Driver<'a> {
     nodes: &'a [(usize, String)],
     timeout: Duration,
     crashed: BTreeSet<usize>,
     /// The active canonical partition (groups of sites), if any.
     groups: Option<Vec<SiteSet>>,
+    /// When crashes are real `kill -9`s, dead daemons cannot be sent
+    /// link rules — reconcile skips them.
+    kill_mode: bool,
 }
 
 impl Driver<'_> {
@@ -81,9 +99,30 @@ impl Driver<'_> {
             && self.group_index(a) == self.group_index(b)
     }
 
+    /// Polls a restarted daemon until it answers `status` again (it may
+    /// still be retrying its listen bind or replaying its WAL).
+    fn wait_up(&self, site: usize) -> Result<(), String> {
+        let addr = self.addr_of(site)?;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if request(addr, &Frame::Status, self.timeout).is_ok() {
+                return Ok(());
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!(
+                    "S{site} ({addr}) never answered status after restart"
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    }
+
     /// Pushes the full desired connectivity to every daemon.
     fn reconcile(&self) -> Result<(), String> {
         for (site, _) in self.nodes {
+            if self.kill_mode && self.crashed.contains(site) {
+                continue; // the process is dead — nothing to configure
+            }
             self.send(*site, &Frame::HealLinks)?;
             for (peer, _) in self.nodes {
                 if peer == site || self.connected(*site, *peer) {
@@ -130,6 +169,36 @@ pub fn run(
     nodes: &[(usize, String)],
     timeout: Duration,
 ) -> Result<Vec<ReplayStep>, String> {
+    run_with(trace, nodes, timeout, &ReplayOptions::default())
+}
+
+/// Runs the fault-mapping shell hook for one site.
+fn run_fault_cmd(cmd: &str, action: &str, site: usize) -> Result<(), String> {
+    let full = format!("{cmd} {action} {site}");
+    let status = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(&full)
+        .status()
+        .map_err(|e| format!("--crash-cmd: cannot spawn sh for {full:?}: {e}"))?;
+    if !status.success() {
+        return Err(format!("--crash-cmd: {full:?} exited with {status}"));
+    }
+    Ok(())
+}
+
+/// [`run`], with [`ReplayOptions`] selecting how crash events land on
+/// the cluster (link isolation vs. real `kill -9` + restart-from-disk).
+///
+/// # Errors
+///
+/// Everything [`run`] reports, plus a failing `crash_cmd` invocation or
+/// a restarted daemon that never answers `status` again.
+pub fn run_with(
+    trace: &TraceFile,
+    nodes: &[(usize, String)],
+    timeout: Duration,
+    options: &ReplayOptions,
+) -> Result<Vec<ReplayStep>, String> {
     for site in 0..trace.scenario.sites {
         if !nodes.iter().any(|(index, _)| *index == site) {
             return Err(format!(
@@ -138,12 +207,14 @@ pub fn run(
             ));
         }
     }
+    let crash_cmd = options.crash_cmd.as_deref();
     let partitions = trace.scenario.network().segment_partitions();
     let mut driver = Driver {
         nodes,
         timeout,
         crashed: BTreeSet::new(),
         groups: None,
+        kill_mode: crash_cmd.is_some(),
     };
     // Start from a known-clean fabric.
     driver.reconcile()?;
@@ -153,13 +224,26 @@ pub fn run(
         let outcome = match event {
             CheckEvent::Crash(site) => {
                 driver.crashed.insert(site.index());
-                driver.reconcile()?;
-                "isolated (live shadow of fail-stop)".to_string()
+                if let Some(cmd) = crash_cmd {
+                    run_fault_cmd(cmd, "crash", site.index())?;
+                    driver.reconcile()?;
+                    "killed (real process fault via --crash-cmd)".to_string()
+                } else {
+                    driver.reconcile()?;
+                    "isolated (live shadow of fail-stop)".to_string()
+                }
             }
             CheckEvent::Repair(site) => {
                 driver.crashed.remove(&site.index());
-                driver.reconcile()?;
-                "reconnected".to_string()
+                if let Some(cmd) = crash_cmd {
+                    run_fault_cmd(cmd, "restart", site.index())?;
+                    driver.wait_up(site.index())?;
+                    driver.reconcile()?;
+                    "restarted from disk".to_string()
+                } else {
+                    driver.reconcile()?;
+                    "reconnected".to_string()
+                }
             }
             CheckEvent::Partition(index) => {
                 let groups = partitions.get(*index).ok_or_else(|| {

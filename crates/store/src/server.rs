@@ -25,15 +25,26 @@
 //!
 //! Every grant and refusal is logged with the paper clause that fired,
 //! so a partition experiment reads as a protocol trace.
+//!
+//! With `--data-dir` the daemon is *durable* (DESIGN.md §10): every
+//! protocol event that changes the local ⟨o, v, P⟩, data, or
+//! outstanding vote is appended to a fsync'd write-ahead log **before**
+//! the matching acknowledgement (state reply, commit ack, or client
+//! `Done`) leaves the site — [`sync_durable`] is the single seam every
+//! dispatch arm passes through. A restart restores snapshot + WAL and
+//! then retries the protocol-level RECOVER (Figures 3/7) in the
+//! background to catch up from the majority partition.
 
 use std::fs::File;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use dynvote_replica::wal::{SiteStore, WalRecord};
 use dynvote_replica::{Cluster, ClusterBuilder, MessageKind, Reply};
 use dynvote_types::{AccessError, SiteId, SiteSet};
 
@@ -109,6 +120,55 @@ struct Daemon {
     local: SiteId,
     policy_name: &'static str,
     log: Logger,
+    /// Durable storage — `None` runs the pre-durability in-memory mode.
+    store: Option<Mutex<SiteStore>>,
+    /// Crash-test hook: abort after a client write's WAL fsync, before
+    /// the ack (see `Config::crash_after_wal_append`).
+    crash_after_wal_append: bool,
+}
+
+/// Folds the local participant's current protocol state into the
+/// durable store: diffs ⟨o, v, P⟩ + data + outstanding vote against the
+/// store's image and appends the WAL records that close the gap,
+/// fsync'ing each. Call this *before* letting any acknowledgement leave
+/// the site; on `Ok` the acknowledged state survives a crash.
+///
+/// Always called with the cluster lock held, so the image diff and the
+/// append are atomic with respect to other operations.
+fn sync_durable(
+    daemon: &Daemon,
+    cluster: &Cluster<Vec<u8>, TcpTransport>,
+) -> std::io::Result<bool> {
+    let Some(store) = &daemon.store else {
+        return Ok(false);
+    };
+    let mut store = store.lock().expect("site store poisoned");
+    let state = cluster.state_at(daemon.local);
+    let pending = cluster.pending_at(daemon.local);
+    let value = cluster
+        .copies()
+        .contains(daemon.local)
+        .then(|| cluster.value_at(daemon.local));
+    let mut wrote = false;
+    if store.image().state != state || store.image().value != value {
+        let value_changed = store.image().value != value;
+        store.log(WalRecord::Commit {
+            state,
+            value: if value_changed { value } else { None },
+        })?;
+        wrote = true;
+    }
+    if store.image().pending != pending {
+        let record = match pending {
+            Some(ticket) => WalRecord::Vote { ticket },
+            None => WalRecord::Release {
+                ticket: store.image().pending.unwrap_or(0),
+            },
+        };
+        store.log(record)?;
+        wrote = true;
+    }
+    Ok(wrote)
 }
 
 /// A running daemon: its bound address and a stop handle.
@@ -137,14 +197,28 @@ impl ServiceHandle {
     }
 }
 
-/// Starts a daemon on the address named in the config.
+/// Starts a daemon on the address named in the config, retrying a busy
+/// address for up to `config.bind_retry` — a daemon restarted right
+/// after a `kill -9` can race the kernel's cleanup of the dead
+/// process's sockets on the same port.
 ///
 /// # Errors
 ///
 /// Bad topology descriptions surface as `InvalidInput`; bind failures
-/// pass through.
+/// pass through (after the retry window, for `AddrInUse`).
 pub fn start(config: Config) -> std::io::Result<ServiceHandle> {
-    let listener = TcpListener::bind(config.listen_addr())?;
+    let deadline = Instant::now() + config.bind_retry;
+    let listener = loop {
+        match TcpListener::bind(config.listen_addr()) {
+            Ok(listener) => break listener,
+            Err(error)
+                if error.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline =>
+            {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(error) => return Err(error),
+        }
+    };
     start_on(config, listener)
 }
 
@@ -167,7 +241,7 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         Arc::clone(&links),
         config.timeouts,
     );
-    let cluster = ClusterBuilder::new()
+    let mut cluster = ClusterBuilder::new()
         .network(network)
         .copies(config.copies())
         .witnesses(config.witnesses.iter().copied())
@@ -180,6 +254,68 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
             None => None,
         },
     };
+
+    // Durable boot: restore snapshot + WAL replay into the local node,
+    // or seed a fresh data directory with the boot state.
+    let mut restored_from_disk = false;
+    let store = match &config.data_dir {
+        Some(dir) => {
+            let (mut store, restored) = SiteStore::open(Path::new(dir), config.snapshot_every)?;
+            if restored.snapshot_was_corrupt {
+                log.log(
+                    "durable restore: snapshot failed validation, moved aside; replaying WAL alone",
+                );
+            }
+            match restored.wal_tail {
+                dynvote_replica::WalTail::Clean => {}
+                tail => log.log(&format!("durable restore: WAL tail repaired ({tail})")),
+            }
+            match restored.image {
+                Some(image) => {
+                    log.log(&format!(
+                        "durable restore: o={} v={} P={{{}}} pending={} seq={} wal_replayed={}",
+                        image.state.op,
+                        image.state.version,
+                        fmt_sites(image.state.partition),
+                        image
+                            .pending
+                            .map_or_else(|| "-".to_string(), |t| t.to_string()),
+                        image.seq,
+                        restored.replayed,
+                    ));
+                    cluster.install_durable_state(
+                        config.local,
+                        image.state,
+                        image.value.clone(),
+                        image.pending,
+                    );
+                    restored_from_disk = true;
+                }
+                None => {
+                    let state = cluster.state_at(config.local);
+                    let value = cluster
+                        .copies()
+                        .contains(config.local)
+                        .then(|| cluster.value_at(config.local));
+                    store.seed(state, cluster.pending_at(config.local), value)?;
+                    log.log(&format!("durable boot: fresh data dir seeded at {dir}"));
+                }
+            }
+            // Salt the vote-ticket namespace with the boot epoch: a
+            // restarted coordinator must never reissue a pre-crash
+            // ticket number, or a site the old incarnation left wedged
+            // under it would mistake the new operation for the old one
+            // and vote again. 16 bits of epoch inside the site's
+            // 48-bit-shifted namespace bounds this to 65 535 restarts
+            // before wraparound.
+            cluster.advance_ticket_past(
+                ((config.local.index() as u64) << 48) | ((store.epoch() & 0xFFFF) << 32),
+            );
+            Some(Mutex::new(store))
+        }
+        None => None,
+    };
+
     let policy_name = cluster.protocol().name();
     let daemon = Arc::new(Daemon {
         cluster: Mutex::new(cluster),
@@ -187,12 +323,26 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         local: config.local,
         policy_name,
         log,
+        store,
+        crash_after_wal_append: config.crash_after_wal_append,
     });
     daemon.log.log(&format!(
-        "dynvote-stored up: policy={policy_name} listen={addr} peers={}",
-        config.peers.len()
+        "dynvote-stored up: policy={policy_name} listen={addr} peers={} durable={}",
+        config.peers.len(),
+        daemon.store.is_some(),
     ));
     let shutdown = Arc::new(AtomicBool::new(false));
+    // A site restarted from disk holds pre-crash state that may be
+    // stale; catch up from the majority partition in the background
+    // (serving is already safe — quorum logic refuses what it must).
+    if restored_from_disk && !config.boot_recover.is_zero() {
+        let recover_daemon = Arc::clone(&daemon);
+        let recover_shutdown = Arc::clone(&shutdown);
+        let window = config.boot_recover;
+        let _ = std::thread::Builder::new()
+            .name(format!("dynvote-boot-recover-{}", config.local.index()))
+            .spawn(move || boot_recover(&recover_daemon, &recover_shutdown, window));
+    }
     let accept_shutdown = Arc::clone(&shutdown);
     let idle = config.timeouts.read;
     let accept_thread = std::thread::Builder::new()
@@ -203,6 +353,54 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         shutdown,
         accept_thread: Some(accept_thread),
     })
+}
+
+/// Retries the protocol-level RECOVER (Figures 3/7) until it is granted
+/// or the boot window elapses — run in the background after a
+/// restore-from-disk so a restarted site rejoins the majority partition
+/// without an operator in the loop.
+fn boot_recover(daemon: &Arc<Daemon>, shutdown: &AtomicBool, window: Duration) {
+    let deadline = Instant::now() + window;
+    let mut logged_refusal = false;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+            match cluster.recover(daemon.local) {
+                Ok(()) => {
+                    let state = cluster.state_at(daemon.local);
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        daemon
+                            .log
+                            .log(&format!("boot RECOVER: durability failure: {error}"));
+                    }
+                    daemon.log.log(&format!(
+                        "boot RECOVER: caught up — o={} v={} P={{{}}}",
+                        state.op,
+                        state.version,
+                        fmt_sites(state.partition)
+                    ));
+                    return;
+                }
+                Err(err) if !logged_refusal => {
+                    logged_refusal = true;
+                    daemon
+                        .log
+                        .log(&format!("boot RECOVER: not yet — {err}; retrying"));
+                }
+                Err(_) => {}
+            }
+        }
+        if Instant::now() >= deadline {
+            daemon.log.log(
+                "boot RECOVER: window elapsed; serving restored state (run `dynvote-ctl recover` once peers are reachable)",
+            );
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
 }
 
 fn accept_loop(
@@ -304,16 +502,34 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
                     op,
                     version,
                     partition,
-                }) => Dispatch::Reply(Frame::StateRep {
-                    ticket,
-                    from: to,
-                    to: from,
-                    state: dynvote_core::state::ReplicaState {
-                        op,
-                        version,
-                        partition,
-                    },
-                }),
+                }) => {
+                    // The vote this reply casts may wedge the site; it
+                    // must survive a crash, or the site could vote
+                    // again in a conflicting operation. Fsync before
+                    // the state reply leaves — abstain if the disk
+                    // cannot hold the vote.
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        daemon.log.log(&format!(
+                            "abstain: START from S{} ticket={ticket} — durability failure: {error}",
+                            from.index()
+                        ));
+                        return Dispatch::Reply(Frame::Abstain {
+                            ticket,
+                            from: to,
+                            to: from,
+                        });
+                    }
+                    Dispatch::Reply(Frame::StateRep {
+                        ticket,
+                        from: to,
+                        to: from,
+                        state: dynvote_core::state::ReplicaState {
+                            op,
+                            version,
+                            partition,
+                        },
+                    })
+                }
                 _ => {
                     daemon.log.log(&format!(
                         "abstain: START from S{} ticket={ticket} — outstanding vote wedges this site",
@@ -345,6 +561,18 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
             };
             match cluster.serve_at(to, &kind, value.as_ref(), ticket, false) {
                 Some(Reply::Ack) => {
+                    // Fsync the installed commit before acknowledging
+                    // it — an acked commit must survive a crash. A
+                    // durability failure stays silent: the coordinator
+                    // treats it as a missing ack (partial commit),
+                    // which is the honest outcome.
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        daemon.log.log(&format!(
+                            "commit from S{} NOT acked — durability failure: {error}",
+                            from.index()
+                        ));
+                        return Dispatch::Silent;
+                    }
                     daemon.log.log(&format!(
                         "commit installed from S{}: o={} v={} P={{{}}}",
                         from.index(),
@@ -385,6 +613,14 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
             if !daemon.links.is_blocked(from) {
                 let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
                 cluster.local_release(ticket, keep);
+                // Best-effort: a release that fails to persist only
+                // leaves the site wedged after a crash — the safe
+                // direction (it abstains until a commit clears it).
+                if let Err(error) = sync_durable(daemon, &cluster) {
+                    daemon.log.log(&format!(
+                        "release ticket={ticket}: durability failure: {error}"
+                    ));
+                }
             }
             Dispatch::Silent
         }
@@ -392,8 +628,24 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
         // ---- client data frames: the coordinator side ---------------
         Frame::Put { value } => {
             let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
-            match cluster.write(daemon.local, value) {
+            let result = cluster.write(daemon.local, value);
+            // Persist regardless of the outcome: even a refused write
+            // may have changed local state (a partial commit landed).
+            let synced = sync_durable(daemon, &cluster);
+            if daemon.crash_after_wal_append && matches!(synced, Ok(true)) {
+                // Crash-test hook: the WAL holds the commit, the client
+                // never hears about it. The restart must serve it
+                // anyway — fsync-before-ack, proven from outside.
+                daemon
+                    .log
+                    .log("crash-after-wal-append: aborting before the ack");
+                std::process::abort();
+            }
+            match result {
                 Ok(()) => {
+                    if let Err(error) = synced {
+                        return durability_refuse(daemon, "write", &error);
+                    }
                     let committed = cluster.history().last().cloned();
                     let detail = match committed {
                         Some(op) => format!(
@@ -416,6 +668,11 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
             let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
             match cluster.read(daemon.local) {
                 Ok(value) => {
+                    // A granted read can absorb a commit (version/P
+                    // movement); persist it before answering.
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        return durability_refuse(daemon, "read", &error);
+                    }
                     // The version of the value *served*, from the read's
                     // committed history entry — the local copy may still
                     // be stale when a repaired site reads before running
@@ -429,13 +686,23 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
                     ));
                     Dispatch::Reply(Frame::Value { version, value })
                 }
-                Err(err) => refuse(daemon, "read", &err),
+                Err(err) => {
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        daemon
+                            .log
+                            .log(&format!("read refusal: durability failure: {error}"));
+                    }
+                    refuse(daemon, "read", &err)
+                }
             }
         }
         Frame::Recover => {
             let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
             match cluster.recover(daemon.local) {
                 Ok(()) => {
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        return durability_refuse(daemon, "recover", &error);
+                    }
                     let state = cluster.state_at(daemon.local);
                     let detail = format!(
                         "recovered: o={} v={} P={{{}}}",
@@ -448,7 +715,14 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
                     ));
                     Dispatch::Reply(Frame::Done { detail })
                 }
-                Err(err) => refuse(daemon, "recover", &err),
+                Err(err) => {
+                    if let Err(error) = sync_durable(daemon, &cluster) {
+                        daemon
+                            .log
+                            .log(&format!("recover refusal: durability failure: {error}"));
+                    }
+                    refuse(daemon, "recover", &err)
+                }
             }
         }
 
@@ -505,6 +779,19 @@ fn refuse(daemon: &Arc<Daemon>, op: &str, err: &AccessError) -> Dispatch {
     })
 }
 
+/// A granted operation whose durable record could not be fsync'd is
+/// refused to the client — the site never acknowledges state its disk
+/// does not hold. (The cluster-wide commit may still have landed at the
+/// other participants; the refusal message says so.)
+fn durability_refuse(daemon: &Arc<Daemon>, op: &str, error: &std::io::Error) -> Dispatch {
+    daemon
+        .log
+        .log(&format!("REFUSE {op}: local WAL fsync failed: {error}"));
+    Dispatch::Reply(Frame::Refused {
+        message: format!("{op} not acknowledged: local WAL fsync failed ({error}); the operation may have committed at other sites"),
+    })
+}
+
 /// The `dynvote-ctl status` body: the paper's per-copy state
 /// `⟨o_i, v_i, P_i⟩`, the operation counters, and per-link transport
 /// health, one `key=value` per line.
@@ -540,6 +827,17 @@ fn status_text(daemon: &Arc<Daemon>, cluster: &Cluster<Vec<u8>, TcpTransport>) -
     line("recovers_ok", stats.recovers_ok.to_string());
     line("recovers_refused", stats.recovers_refused.to_string());
     line("links_blocked", fmt_sites(daemon.links.blocked()));
+    match &daemon.store {
+        Some(store) => {
+            let store = store.lock().expect("site store poisoned");
+            line("durability.enabled", "true".to_string());
+            line("durability.snapshot_seq", store.snapshot_seq().to_string());
+            line("durability.wal_records", store.wal_records().to_string());
+            line("durability.wal_bytes", store.wal_bytes().to_string());
+            line("durability.last_fsync", store.last_fsync().to_string());
+        }
+        None => line("durability.enabled", "false".to_string()),
+    }
     for (site, peer) in cluster.transport().peer_stats() {
         let prefix = format!("peer.{}", site.index());
         line(&format!("{prefix}.connected"), peer.connected.to_string());

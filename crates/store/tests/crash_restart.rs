@@ -1,0 +1,247 @@
+//! Crash-restart integration: real `dynvote-stored` subprocesses on
+//! loopback, killed with SIGKILL and restarted from their `--data-dir`.
+//!
+//! Two live assertions of the durability contract:
+//!
+//! * a node killed `-9` mid-workload restarts from snapshot + WAL,
+//!   runs the paper's RECOVER in the background, and converges on the
+//!   value the surviving majority committed while it was dead;
+//! * fsync happens *before* the acknowledgement: with
+//!   `--crash-after-wal-append` the daemon aborts between the WAL
+//!   fsync and the client ack, the client sees a failure — and the
+//!   restarted daemon still serves the write, proving the ack point
+//!   sits strictly after stable storage.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dynvote_store::client::{request, Outcome};
+use dynvote_store::wire::Frame;
+
+const STORED: &str = env!("CARGO_BIN_EXE_dynvote-stored");
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dynvote-crash-restart-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Reserves `n` distinct loopback ports by binding them all at once,
+/// then releasing them for the daemons (who retry with
+/// `--bind-retry-ms` if the kernel is slow to hand a port back).
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("bound").port())
+        .collect()
+}
+
+/// The subprocess fleet; SIGKILLs every still-running child on drop so
+/// a failing assertion never leaks daemons.
+struct Fleet {
+    children: Vec<Option<Child>>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_daemon(site: usize, ports: &[u16], data_dir: &Path, extra: &[&str]) -> Child {
+    let peers: Vec<String> = ports
+        .iter()
+        .enumerate()
+        .map(|(index, port)| format!("{index}=127.0.0.1:{port}"))
+        .collect();
+    Command::new(STORED)
+        .args([
+            "--site",
+            &site.to_string(),
+            "--policy",
+            "odv",
+            "--peers",
+            &peers.join(","),
+            "--value",
+            "v0",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--snapshot-every",
+            "4",
+            "--bind-retry-ms",
+            "15000",
+            "--boot-recover-ms",
+            "20000",
+            "--connect-timeout-ms",
+            "500",
+            "--read-timeout-ms",
+            "2000",
+            "--log",
+            data_dir.join("daemon.log").to_str().unwrap(),
+        ])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dynvote-stored")
+}
+
+fn addr(ports: &[u16], site: usize) -> String {
+    format!("127.0.0.1:{}", ports[site])
+}
+
+fn wait_status(target: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if request(target, &Frame::Status, TIMEOUT).is_ok() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{target} never answered status");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Retries a put until the cluster grants it (a freshly shrunk or
+/// freshly restarted cluster may refuse one round while views settle).
+fn put_granted(target: &str, value: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match request(
+            target,
+            &Frame::Put {
+                value: value.as_bytes().to_vec(),
+            },
+            TIMEOUT,
+        ) {
+            Ok(Outcome::Done(_)) => return,
+            Ok(_) | Err(_) => {}
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{target}: put {value:?} never granted"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Polls a get until it is granted with `expected` (a restarted node
+/// needs its background RECOVER to land first).
+fn wait_for_value(target: &str, expected: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(Outcome::Value { value, .. }) = request(target, &Frame::Get, TIMEOUT) {
+            if value == expected.as_bytes() {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{target} never served {expected:?} after restart"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+#[test]
+fn kill_nine_mid_workload_restarts_from_disk_and_recovers() {
+    let ports = free_ports(3);
+    let dirs: Vec<PathBuf> = (0..3).map(|s| scratch_dir(&format!("k9-s{s}"))).collect();
+    let mut fleet = Fleet {
+        children: (0..3)
+            .map(|site| Some(spawn_daemon(site, &ports, &dirs[site], &[])))
+            .collect(),
+    };
+    for site in 0..3 {
+        wait_status(&addr(&ports, site));
+    }
+
+    put_granted(&addr(&ports, 0), "alpha");
+
+    // SIGKILL site 2 — no shutdown path runs; disk is all it keeps.
+    let mut victim = fleet.children[2].take().expect("site 2 running");
+    victim.kill().expect("SIGKILL site 2");
+    victim.wait().expect("reap site 2");
+
+    // The surviving majority keeps committing while site 2 is down.
+    put_granted(&addr(&ports, 0), "beta");
+    put_granted(&addr(&ports, 1), "gamma");
+
+    // Restart from the same data directory: local replay, then the
+    // background RECOVER rejoins the majority and catches up.
+    fleet.children[2] = Some(spawn_daemon(2, &ports, &dirs[2], &[]));
+    wait_status(&addr(&ports, 2));
+    wait_for_value(&addr(&ports, 2), "gamma");
+
+    // The restarted node reports its durability counters.
+    let Ok(Outcome::Report(report)) = request(&addr(&ports, 2), &Frame::Status, TIMEOUT) else {
+        panic!("site 2 status unavailable after restart");
+    };
+    assert!(
+        report.contains("durability.enabled=true"),
+        "status must report durability on: {report}"
+    );
+    assert!(
+        report.contains("durability.last_fsync=ok"),
+        "restarted node must have fsync'd since boot: {report}"
+    );
+
+    drop(fleet);
+    for dir in dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn crash_between_wal_append_and_ack_still_durably_commits() {
+    let ports = free_ports(1);
+    let dir = scratch_dir("fsync-before-ack");
+    let mut fleet = Fleet {
+        children: vec![Some(spawn_daemon(
+            0,
+            &ports,
+            &dir,
+            &["--crash-after-wal-append"],
+        ))],
+    };
+    wait_status(&addr(&ports, 0));
+
+    // The daemon fsyncs the commit, then aborts before acknowledging:
+    // the client must NOT see a grant.
+    let outcome = request(
+        &addr(&ports, 0),
+        &Frame::Put {
+            value: b"precious".to_vec(),
+        },
+        TIMEOUT,
+    );
+    assert!(
+        !matches!(outcome, Ok(Outcome::Done(_))),
+        "crash hook fired before the ack, yet the put was acked: {outcome:?}"
+    );
+    let mut victim = fleet.children[0].take().expect("daemon running");
+    victim.wait().expect("reap aborted daemon");
+
+    // Restart without the hook: the unacknowledged write was already
+    // on stable storage, so the restarted daemon serves it.
+    fleet.children[0] = Some(spawn_daemon(0, &ports, &dir, &[]));
+    wait_status(&addr(&ports, 0));
+    wait_for_value(&addr(&ports, 0), "precious");
+
+    drop(fleet);
+    std::fs::remove_dir_all(dir).ok();
+}

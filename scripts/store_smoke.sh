@@ -6,7 +6,10 @@
 #
 #   * the majority side keeps accepting writes during the partition;
 #   * the isolated minority refuses both reads and writes;
-#   * after healing + recovery, every node serves the surviving value.
+#   * after healing + recovery, every node serves the surviving value;
+#   * a node killed -9 mid-write-stream restarts from its --data-dir
+#     (snapshot + WAL), reports its durability counters, reruns
+#     RECOVER, and serves the value committed while it was dead.
 #
 # Finishes with a small loopback throughput measurement and writes
 # BENCH_store.json at the repo root (override with BENCH_OUT=...).
@@ -35,35 +38,52 @@ B="127.0.0.1:$((PORT_BASE + 1))"
 C="127.0.0.1:$((PORT_BASE + 2))"
 PEERS="0=$A,1=$B,2=$C"
 
-PIDS=()
+# PIDS is indexed by site and updated on restart, so the EXIT trap
+# always kills the *current* incarnation of every daemon, even when the
+# script dies mid-phase.
+PIDS=(0 0 0)
 cleanup() {
     for pid in "${PIDS[@]}"; do
-        kill "$pid" 2>/dev/null || true
+        [[ "$pid" != 0 ]] && kill -9 "$pid" 2>/dev/null || true
     done
 }
 trap cleanup EXIT
 
-for site in 0 1 2; do
+# Starts (or restarts) one site. The data directory lives under
+# LOG_DIR so CI's log artifact upload captures snapshot + WAL + epoch
+# on failure. --bind-retry-ms rides out the kernel reclaiming a port a
+# kill -9 abandoned.
+start_node() {
+    local site="$1"
     "$STORED" --site "$site" --policy odv --peers "$PEERS" --value v0 \
         --connect-timeout-ms 250 --read-timeout-ms 2000 \
         --backoff-ms 20 --backoff-cap-ms 200 \
+        --data-dir "$LOG_DIR/data/node$site" --snapshot-every 8 \
+        --bind-retry-ms 15000 --boot-recover-ms 20000 \
         --log "$LOG_DIR/node$site.log" &
-    PIDS+=($!)
-done
+    PIDS[site]=$!
+}
 
-# Wait until all three daemons answer `status`.
-for site_addr in "0 $A" "1 $B" "2 $C"; do
-    read -r site addr <<<"$site_addr"
-    for _ in $(seq 1 50); do
+wait_up() {
+    local site="$1" addr="$2"
+    for _ in $(seq 1 150); do
         if "$CTL" --node "$addr" status >/dev/null 2>&1; then
-            continue 2
+            return 0
         fi
         sleep 0.1
     done
     echo "FAIL: node $site ($addr) never came up" >&2
     exit 1
+}
+
+for site in 0 1 2; do
+    start_node "$site"
 done
-echo "== 3-node ODV cluster up on $PEERS"
+for site_addr in "0 $A" "1 $B" "2 $C"; do
+    read -r site addr <<<"$site_addr"
+    wait_up "$site" "$addr"
+done
+echo "== 3-node ODV cluster up on $PEERS (durable data dirs in $LOG_DIR/data)"
 
 expect_granted() {
     local what="$1"; shift
@@ -122,6 +142,40 @@ for addr in "$A" "$B" "$C"; do
     expect_value "healed read at $addr" "$addr" world
 done
 "$CTL" --node "$A" status | sed 's/^/    /'
+
+# Crash-restart: kill -9 node 2 while a write stream is in flight,
+# let the majority keep committing, then restart node 2 from its data
+# directory and require it to converge on the last committed value.
+echo "== kill -9 node 2 mid-write stream"
+(
+    for i in $(seq 1 20); do
+        "$CTL" --node "$A" put "crash-$i" >/dev/null 2>&1 || true
+    done
+) &
+WRITER=$!
+sleep 0.2
+kill -9 "${PIDS[2]}"
+PIDS[2]=0
+wait "$WRITER"
+expect_granted "majority put with node 2 dead" "$CTL" --node "$A" put survivor
+
+echo "== restarting node 2 from disk"
+start_node 2
+wait_up 2 "$C"
+STATUS_C="$("$CTL" --node "$C" status)"
+for field in "durability.enabled=true" "durability.snapshot_seq=" \
+    "durability.wal_records=" "durability.last_fsync="; do
+    if ! grep -q "$field" <<<"$STATUS_C"; then
+        echo "FAIL: restarted node 2 status missing $field:" >&2
+        echo "$STATUS_C" >&2
+        exit 1
+    fi
+done
+echo "ok: restarted node 2 reports durability counters"
+expect_granted "recover at restarted node 2" "$CTL" --node "$C" recover
+for addr in "$A" "$B" "$C"; do
+    expect_value "post-crash read at $addr" "$addr" survivor
+done
 
 # Loopback throughput: timed sequential round-trips through the client
 # (one process + one TCP connection per request — the honest CLI cost,
