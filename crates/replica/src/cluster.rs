@@ -1224,11 +1224,28 @@ impl<T: Clone, X: Transport<T>> Cluster<T, X> {
     fn commit_phase(
         &mut self,
         origin: SiteId,
+        ticket: u64,
         participants: SiteSet,
         op: u64,
         version: u64,
         value: Option<&T>,
     ) -> CommitOutcome {
+        // The commit point: a durable transport records ⟨ticket, o, v,
+        // P, value⟩ (fsync'd) before the commit has *any* effect —
+        // the coordinator's own apply included. A crashed coordinator's
+        // successor answers vote probes from that record; without it, a
+        // ticket whose commit landed only locally would look
+        // releasable, and releasing a committed participant's vote can
+        // fork the partition lineage.
+        self.transport.commit_point(
+            ticket,
+            ReplicaState {
+                op,
+                version,
+                partition: participants,
+            },
+            value,
+        );
         let mut applied = SiteSet::EMPTY;
         let mut missing = SiteSet::EMPTY;
         let mut late = Vec::new();
@@ -1528,7 +1545,14 @@ impl<T: Clone, X: Transport<T>> Cluster<T, X> {
                 });
             }
         };
-        let outcome = self.commit_phase(origin, p.participants, p.new_op, p.new_version, None);
+        let outcome = self.commit_phase(
+            origin,
+            ticket,
+            p.participants,
+            p.new_op,
+            p.new_version,
+            None,
+        );
         if !outcome.applied.is_empty() {
             self.checker.note_commit(p.new_op, p.participants);
         }
@@ -1608,6 +1632,7 @@ impl<T: Clone, X: Transport<T>> Cluster<T, X> {
         // divergence this layer exists to exercise.
         let outcome = self.commit_phase(
             origin,
+            ticket,
             p.participants,
             p.new_op,
             p.new_version,
@@ -1739,7 +1764,8 @@ impl<T: Clone, X: Transport<T>> Cluster<T, X> {
         // installing the commit locally (the origin is always a
         // participant of its own recovery) also releases any older
         // outstanding vote it was wedged on.
-        let outcome = self.commit_phase(site, p.participants, p.new_op, p.new_version, None);
+        let outcome =
+            self.commit_phase(site, ticket, p.participants, p.new_op, p.new_version, None);
         if !outcome.applied.is_empty() {
             self.checker.note_commit(p.new_op, p.participants);
         }

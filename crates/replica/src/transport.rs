@@ -19,6 +19,7 @@
 //! campaigns, the exhaustive checker, and a live loopback cluster all
 //! exercise the *identical* implementation of Figures 1–3/5–7.
 
+use dynvote_core::state::ReplicaState;
 use dynvote_types::SiteSet;
 
 use crate::bus::{Bus, Verdict};
@@ -131,6 +132,17 @@ pub trait Transport<T> {
     /// The caller applies all verdict side effects (trace records,
     /// crash faults) — the transport only reports them.
     fn carry(&mut self, request: WireRequest<'_, T>, serve: LocalServe<'_, T>) -> Carried<T>;
+
+    /// The commit point of operation `ticket`: the decision is made and
+    /// `state` = `⟨o, v, P⟩` (with `value` riding a write) is about to
+    /// take effect. Called strictly *before* the coordinator applies
+    /// the commit locally and before any `COMMIT` frame is sent, so a
+    /// durable transport can record the outcome where a crashed
+    /// coordinator's successor will find it (the vote-probe ledger).
+    /// In-memory clusters need no such record; the default is a no-op.
+    fn commit_point(&mut self, ticket: u64, state: ReplicaState, value: Option<&T>) {
+        let _ = (ticket, state, value);
+    }
 
     /// Best-effort broadcast of the abort oracle: sites holding an
     /// outstanding vote for `ticket` and not in `keep` may release it.

@@ -45,10 +45,18 @@ use crate::snapshot::{DurableSiteState, SnapshotLoad};
 
 /// The write-ahead log's file name inside a site's data directory.
 pub const WAL_FILE: &str = "wal.log";
+/// The previous generation's log, kept until the next snapshot rotation
+/// so a corrupt current snapshot can still be rebuilt from the previous
+/// snapshot plus both logs.
+pub const WAL_PREV_FILE: &str = "wal.prev.log";
 /// The snapshot's file name inside a site's data directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// The previous generation's snapshot, kept until the next rotation.
+pub const SNAPSHOT_PREV_FILE: &str = "snapshot.prev.bin";
 /// Where a corrupt snapshot is moved aside for forensics.
 pub const SNAPSHOT_CORRUPT_FILE: &str = "snapshot.bin.corrupt";
+/// Where a corrupt *previous* snapshot is moved aside for forensics.
+pub const SNAPSHOT_PREV_CORRUPT_FILE: &str = "snapshot.prev.bin.corrupt";
 /// The boot-epoch counter's file name inside a site's data directory.
 pub const EPOCH_FILE: &str = "epoch.bin";
 
@@ -397,8 +405,12 @@ pub struct Restored {
     pub image: Option<DurableSiteState>,
     /// The snapshot file existed but failed validation and was moved
     /// aside to [`SNAPSHOT_CORRUPT_FILE`]; the image (if any) came from
-    /// log replay alone.
+    /// the previous-generation snapshot and/or log replay.
     pub snapshot_was_corrupt: bool,
+    /// Recovery fell back to the previous-generation snapshot
+    /// ([`SNAPSHOT_PREV_FILE`]) because the current one was missing or
+    /// corrupt; the previous log was replayed on top of it first.
+    pub used_previous_snapshot: bool,
     /// How the log's tail looked (already repaired).
     pub wal_tail: WalTail,
     /// Log records folded into the image (stale pre-snapshot records
@@ -433,6 +445,13 @@ impl SiteStore {
     /// cover. `snapshot_every` bounds the log's length in records
     /// before an automatic snapshot; `0` disables automatic snapshots.
     ///
+    /// When the current snapshot is missing or corrupt, recovery chains
+    /// back one generation: the previous snapshot
+    /// ([`SNAPSHOT_PREV_FILE`]) plus the previous log
+    /// ([`WAL_PREV_FILE`]) plus the current log rebuild the same image,
+    /// because each rotation parks exactly the log that covers the gap
+    /// between the two snapshots.
+    ///
     /// # Errors
     ///
     /// Any I/O error other than a missing snapshot file. A corrupt
@@ -451,12 +470,36 @@ impl SiteStore {
                 let _ = std::fs::rename(&snapshot_path, dir.join(SNAPSHOT_CORRUPT_FILE));
             }
         }
+        // Fall back one generation when the current snapshot is
+        // unusable: the previous snapshot covers everything up to the
+        // last rotation, and the previous log covers the gap from there
+        // to the (lost) current snapshot.
+        let mut used_previous_snapshot = false;
+        let mut prev_entries: Vec<WalEntry> = Vec::new();
+        if snapshot_image.is_none() {
+            let prev_path = dir.join(SNAPSHOT_PREV_FILE);
+            match DurableSiteState::load(&prev_path)? {
+                SnapshotLoad::Loaded(image) => {
+                    used_previous_snapshot = true;
+                    snapshot_image = Some(image);
+                }
+                SnapshotLoad::Missing => {}
+                SnapshotLoad::Corrupt(_) => {
+                    let _ = std::fs::rename(&prev_path, dir.join(SNAPSHOT_PREV_CORRUPT_FILE));
+                }
+            }
+            let prev_wal = dir.join(WAL_PREV_FILE);
+            if prev_wal.exists() {
+                let (_, prev_replay) = Wal::open(&prev_wal)?;
+                prev_entries = prev_replay.entries;
+            }
+        }
         let snapshot_seq = snapshot_image.as_ref().map_or(0, |image| image.seq);
         let (wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
         let had_snapshot = snapshot_image.is_some();
         let mut image = snapshot_image.unwrap_or_else(DurableSiteState::blank);
         let mut replayed = 0u64;
-        for entry in &replay.entries {
+        for entry in prev_entries.iter().chain(&replay.entries) {
             // Skip records the snapshot already covers — the shape a
             // crash between snapshot rename and log truncation leaves.
             if entry.seq <= snapshot_seq {
@@ -482,6 +525,7 @@ impl SiteStore {
             Restored {
                 image: restored,
                 snapshot_was_corrupt,
+                used_previous_snapshot,
                 wal_tail: replay.tail,
                 replayed,
             },
@@ -539,18 +583,37 @@ impl SiteStore {
         Ok(())
     }
 
-    /// Writes the current image as a snapshot (atomic
-    /// write-then-rename, fsync'd file and directory) and truncates the
-    /// log it covers.
+    /// Writes the current image as a snapshot and rotates generations:
+    /// the old snapshot becomes [`SNAPSHOT_PREV_FILE`], the new image
+    /// lands atomically as [`SNAPSHOT_FILE`], and the log it covers is
+    /// parked as [`WAL_PREV_FILE`] (a fresh empty log takes its place).
+    /// Keeping exactly one previous generation means a later corrupt
+    /// *snapshot* is recoverable: previous snapshot + previous log +
+    /// current log rebuild the same image.
+    ///
+    /// A crash at any point between the steps is safe: replay skips
+    /// records a snapshot already covers, and every intermediate file
+    /// layout chains back to a complete image.
     ///
     /// # Errors
     ///
-    /// The snapshot write or the log truncation failed. A crash between
-    /// the two is safe: replay skips records the snapshot covers.
+    /// The snapshot write or a rename along the rotation failed.
     pub fn snapshot_now(&mut self) -> io::Result<()> {
-        self.image.write_atomic(&self.dir.join(SNAPSHOT_FILE))?;
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            std::fs::rename(&snapshot_path, self.dir.join(SNAPSHOT_PREV_FILE))?;
+        }
+        self.image.write_atomic(&snapshot_path)?;
         self.snapshot_seq = self.image.seq;
-        self.wal.truncate()
+        // Park the covered log and start a fresh one; the parked log is
+        // what lets recovery bridge from the previous snapshot if the
+        // one just written is later unreadable.
+        let wal_path = self.dir.join(WAL_FILE);
+        std::fs::rename(&wal_path, self.dir.join(WAL_PREV_FILE))?;
+        let (fresh, _) = Wal::open(&wal_path)?;
+        self.wal = fresh;
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
     }
 
     /// The running durable image (snapshot state + folded log).
@@ -896,6 +959,64 @@ mod tests {
         let image = restored.image.unwrap();
         assert_eq!(image.state, state(2, 2));
         assert_eq!(image.value.as_deref(), Some(b"v1".as_slice()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_corrupt_snapshot_falls_back_to_previous_generation() {
+        let dir = scratch_dir("prev-gen");
+        let final_image;
+        {
+            let (mut store, _) = SiteStore::open(&dir, 0).unwrap();
+            store.seed(state(1, 1), None, Some(b"v0".to_vec())).unwrap();
+            store.log(commit(2, 2, b"v1")).unwrap();
+            store.log(commit(3, 3, b"v2")).unwrap();
+            // Rotation: snapshot(seq 2) becomes current, the two
+            // commits are parked in the previous log.
+            store.snapshot_now().unwrap();
+            store.log(commit(4, 4, b"v3")).unwrap();
+            final_image = store.image().clone();
+        }
+        assert!(dir.join(SNAPSHOT_PREV_FILE).exists());
+        assert!(dir.join(WAL_PREV_FILE).exists());
+        // Corrupt the *current* snapshot AND tear the live log's tail
+        // with appended garbage (the crash-mid-append shape): recovery
+        // must chain previous snapshot -> previous log -> current log.
+        inject_flip_byte(&dir.join(SNAPSHOT_FILE), 12).unwrap();
+        let mut garbage = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        garbage.write_all(&[0xA5; 3]).unwrap();
+        drop(garbage);
+        let (store, restored) = SiteStore::open(&dir, 0).unwrap();
+        assert!(restored.snapshot_was_corrupt);
+        assert!(restored.used_previous_snapshot);
+        assert!(matches!(restored.wal_tail, WalTail::Torn { .. }));
+        assert_eq!(restored.image.as_ref(), Some(&final_image));
+        assert_eq!(store.image(), &final_image);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_missing_current_snapshot_recovers_from_previous() {
+        // The crash window between "rename current -> prev" and
+        // "write new current": no current snapshot at all.
+        let dir = scratch_dir("prev-missing-cur");
+        let final_image;
+        {
+            let (mut store, _) = SiteStore::open(&dir, 0).unwrap();
+            store.seed(state(1, 1), None, Some(b"v0".to_vec())).unwrap();
+            store.log(commit(2, 2, b"v1")).unwrap();
+            store.snapshot_now().unwrap();
+            store.log(commit(3, 3, b"v2")).unwrap();
+            final_image = store.image().clone();
+        }
+        std::fs::rename(dir.join(SNAPSHOT_FILE), dir.join(SNAPSHOT_PREV_FILE)).unwrap();
+        let (_, restored) = SiteStore::open(&dir, 0).unwrap();
+        assert!(restored.used_previous_snapshot);
+        assert!(!restored.snapshot_was_corrupt);
+        assert_eq!(restored.image.as_ref(), Some(&final_image));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use dynvote_replica::wal::{SiteStore, WalRecord};
+use dynvote_replica::wal::{inject_flip_byte, SiteStore, WalRecord, SNAPSHOT_FILE, WAL_FILE};
 use dynvote_replica::{Cluster, ClusterBuilder, Protocol};
 use dynvote_sim::SimRng;
 use dynvote_types::SiteId;
@@ -207,6 +207,85 @@ fn crash_restart_campaign(protocol: Protocol, seed: u64) {
     }
 }
 
+/// One combined-corruption campaign: drive a single site's store
+/// through a random committed history with rotation traffic, then hit
+/// the data directory with *both* injuries at once — a torn WAL tail
+/// (garbage appended past the last fsync'd record, the crash-mid-append
+/// shape) **and** a corrupt current snapshot — and require the reopened
+/// store to rebuild the exact acknowledged image by falling back to the
+/// previous-generation snapshot plus both logs.
+fn combined_corruption_campaign(seed: u64) {
+    let mut rng = SimRng::new(seed);
+    let dir = scratch_dir(&format!("combined-{seed}"));
+    // snapshot_every in 1..=4 guarantees at least one rotation, so a
+    // previous generation exists to fall back to.
+    let snapshot_every = 1 + rng.below(4) as u64;
+    let total = 4 + rng.below(24);
+    let final_image = {
+        let (mut store, restored) = SiteStore::open(&dir, snapshot_every).unwrap();
+        assert!(restored.image.is_none(), "fresh scratch dir");
+        let boot = dynvote_core::state::ReplicaState {
+            op: 1,
+            version: 1,
+            partition: dynvote_types::SiteSet::from_indices(SITES),
+        };
+        store.seed(boot, None, Some(b"v0".to_vec())).unwrap();
+        for step in 0..total {
+            let state = dynvote_core::state::ReplicaState {
+                op: 2 + step as u64,
+                version: 2 + step as u64,
+                partition: boot.partition,
+            };
+            let record = match rng.below(8) {
+                0 => WalRecord::Vote {
+                    ticket: 100 + step as u64,
+                },
+                1 => WalRecord::Release {
+                    ticket: 100 + step as u64,
+                },
+                _ => WalRecord::Commit {
+                    state,
+                    value: rng
+                        .bernoulli(0.7)
+                        .then(|| format!("w{step}-{}", rng.below(1 << 16)).into_bytes()),
+                },
+            };
+            store.log(record).unwrap();
+        }
+        store.image().clone()
+    };
+    // Both injuries in the same data dir.
+    let garbage_len = 1 + rng.below(48);
+    let mut wal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join(WAL_FILE))
+        .unwrap();
+    use std::io::Write as _;
+    let garbage: Vec<u8> = (0..garbage_len).map(|i| (i as u8) ^ 0xA5).collect();
+    wal.write_all(&garbage).unwrap();
+    drop(wal);
+    let snapshot_len = std::fs::metadata(dir.join(SNAPSHOT_FILE)).unwrap().len();
+    let offset = rng.below(snapshot_len as usize) as u64;
+    inject_flip_byte(&dir.join(SNAPSHOT_FILE), offset).unwrap();
+
+    let (store, restored) = SiteStore::open(&dir, snapshot_every).unwrap();
+    assert!(
+        restored.snapshot_was_corrupt,
+        "seed {seed}: flipped byte at {offset} must invalidate the snapshot"
+    );
+    assert!(
+        restored.used_previous_snapshot,
+        "seed {seed}: recovery must fall back to the previous generation"
+    );
+    assert_eq!(
+        restored.image.as_ref(),
+        Some(&final_image),
+        "seed {seed}: every acknowledged record must survive both injuries"
+    );
+    assert_eq!(store.image(), &final_image);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     /// Kill-after-fsync + restart is invisible: the restored cluster is
     /// byte-identical to the never-crashed one, immediately and after
@@ -217,6 +296,21 @@ proptest! {
             crash_restart_campaign(protocol, seed);
         }
     }
+
+    /// Torn WAL tail *plus* corrupt snapshot in the same data dir still
+    /// restores every acknowledged record, via the previous-generation
+    /// snapshot and the parked log.
+    #[test]
+    fn wal_combined_corruption_falls_back_to_previous_generation(seed in any::<u64>()) {
+        combined_corruption_campaign(seed);
+    }
+}
+
+/// Deterministic anchor for the combined-corruption property.
+#[test]
+fn wal_combined_corruption_pinned_seed() {
+    combined_corruption_campaign(7);
+    combined_corruption_campaign(42);
 }
 
 /// The deterministic anchor for the same property (seed pinned, so a

@@ -9,13 +9,19 @@
 //! dynvote-ctl --nodes 0=127.0.0.1:7100,1=127.0.0.1:7101 replay fork.trace
 //! ```
 //!
-//! Exit codes: 0 granted, 1 refused (the paper's ABORT), 2 usage or
-//! connection error.
+//! Exit codes: 0 granted, 1 refused or unavailable (the paper's
+//! ABORT / a typed no-quorum answer), 2 usage or connection error,
+//! 3 client-side deadline expired (the daemon never answered inside
+//! `--timeout-ms` — it may be down or wedged, but this client did not
+//! hang on it).
+//!
+//! Every operation honours `--timeout-ms` (default 5000) as a *hard*
+//! deadline over the whole exchange: connect, send, and read.
 
 use std::time::Duration;
 
 use dynvote_check::TraceFile;
-use dynvote_store::client::{request, Outcome};
+use dynvote_store::client::{request_deadline, ClientError, Outcome};
 use dynvote_store::replay;
 use dynvote_store::wire::Frame;
 use dynvote_types::SiteId;
@@ -24,12 +30,14 @@ fn fail(message: &str) -> ! {
     eprintln!("dynvote-ctl: {message}");
     eprintln!(
         "usage: dynvote-ctl --node ADDR (put VALUE | get | recover | status | \
-         deny SITE | allow SITE | heal-links)\n       \
+         deny SITE | allow SITE | heal-links) [--timeout-ms N]\n       \
          dynvote-ctl --nodes 0=ADDR,1=ADDR,… replay FILE.trace [--timeout-ms N] \
          [--crash-cmd CMD]\n       \
          (--crash-cmd maps crash/repair events to `sh -c \"CMD crash S\"` / \
          `sh -c \"CMD restart S\"` — real kill -9 + restart-from-disk \
-         instead of link isolation)"
+         instead of link isolation)\n       \
+         exit codes: 0 granted, 1 refused/unavailable, 2 usage or \
+         connection error, 3 deadline expired"
     );
     std::process::exit(2);
 }
@@ -59,6 +67,10 @@ fn report(outcome: &Outcome) -> ! {
         }
         Outcome::Refused(message) => {
             eprintln!("refused: {message}");
+            std::process::exit(1);
+        }
+        Outcome::Unavailable { reason, message } => {
+            eprintln!("unavailable ({reason}): {message}");
             std::process::exit(1);
         }
     }
@@ -155,8 +167,12 @@ fn main() {
         "heal-links" => Frame::HealLinks,
         other => fail(&format!("unknown command {other:?}")),
     };
-    match request(&node, &frame, timeout) {
+    match request_deadline(&node, &frame, timeout) {
         Ok(outcome) => report(&outcome),
+        Err(error @ ClientError::Timeout { .. }) => {
+            eprintln!("dynvote-ctl: {node}: {error}");
+            std::process::exit(3);
+        }
         Err(error) => {
             eprintln!("dynvote-ctl: {node}: {error}");
             std::process::exit(2);

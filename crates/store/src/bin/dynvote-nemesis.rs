@@ -1,0 +1,148 @@
+//! The live nemesis driver.
+//!
+//! ```text
+//! dynvote-nemesis campaign --seed 42 --duration 60s --topology figure8
+//! dynvote-nemesis campaign --seed 7 --sites 5 --policy tdv --out BENCH_faults.json
+//! dynvote-nemesis schedule --seed 42 --duration 60s --topology figure8
+//! ```
+//!
+//! `campaign` boots a real `dynvote-stored` fleet on loopback, runs the
+//! seeded fault schedule against it under a concurrent client workload
+//! and an online invariant monitor, then converges and reports. Same
+//! seed, same schedule — `schedule` prints it without touching a
+//! process, so reproducibility is `diff`-checkable.
+//!
+//! Exit codes: 0 campaign passed, 1 invariant violations (artifacts
+//! kept on disk, path printed), 2 usage or harness error.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dynvote_store::campaign::{self, CampaignConfig, Topology};
+
+fn fail(message: &str) -> ! {
+    eprintln!("dynvote-nemesis: {message}");
+    eprintln!(
+        "usage: dynvote-nemesis campaign [--seed N] [--duration 60s] \
+         [--topology flat|figure8] [--sites N] [--policy NAME] [--clients N] \
+         [--op-deadline-ms N] [--out FILE.json] [--data-root DIR] [--keep-data] \
+         [--stored BIN] [--quiet]\n       \
+         dynvote-nemesis schedule [--seed N] [--duration 60s] \
+         [--topology flat|figure8] [--sites N]\n       \
+         exit codes: 0 pass, 1 invariant violations, 2 usage/harness error"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `60`, `60s`, or `1500ms`.
+fn parse_duration(raw: &str) -> Result<Duration, String> {
+    let (digits, unit) = match raw {
+        _ if raw.ends_with("ms") => (&raw[..raw.len() - 2], 1u64),
+        _ if raw.ends_with('s') => (&raw[..raw.len() - 1], 1000),
+        _ => (raw, 1000),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration {raw:?} (want e.g. 60s or 1500ms)"))?;
+    Ok(Duration::from_millis(n * unit))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| fail("missing command"));
+    let mut config = CampaignConfig::default();
+    let mut sites_given = false;
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{arg} requires a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = value().parse().unwrap_or_else(|_| fail("bad --seed"));
+            }
+            "--duration" => {
+                config.duration = parse_duration(&value()).unwrap_or_else(|e| fail(&e));
+            }
+            "--topology" => {
+                config.topology = match value().as_str() {
+                    "flat" => Topology::Flat,
+                    "figure8" => Topology::Figure8,
+                    other => fail(&format!("unknown topology {other:?} (flat|figure8)")),
+                };
+            }
+            "--sites" => {
+                config.sites = value().parse().unwrap_or_else(|_| fail("bad --sites"));
+                sites_given = true;
+            }
+            "--policy" => config.policy = value(),
+            "--clients" => {
+                config.clients = value().parse().unwrap_or_else(|_| fail("bad --clients"));
+            }
+            "--op-deadline-ms" => {
+                config.op_deadline = Duration::from_millis(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --op-deadline-ms")),
+                );
+            }
+            "--out" => config.out = Some(PathBuf::from(value())),
+            "--data-root" => config.data_root = Some(PathBuf::from(value())),
+            "--keep-data" => config.keep_data = true,
+            "--stored" => config.stored_bin = Some(PathBuf::from(value())),
+            "--quiet" => config.quiet = true,
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if config.topology == Topology::Figure8 && !sites_given {
+        config.sites = 8;
+    }
+    if config.sites < 3 {
+        fail("--sites must be at least 3 (a majority needs somebody to outvote)");
+    }
+    match command.as_str() {
+        "schedule" => {
+            let network = config
+                .topology
+                .network(config.sites)
+                .unwrap_or_else(|e| fail(&e));
+            let partitions = network.segment_partitions().len();
+            let schedule = campaign::schedule::generate(
+                config.seed,
+                config.sites,
+                partitions,
+                config.duration,
+            );
+            print!("{}", schedule.render());
+        }
+        "campaign" => match campaign::run(&config) {
+            Ok(outcome) => {
+                print!("{}", outcome.report_json);
+                if outcome.violations.is_empty() {
+                    eprintln!(
+                        "dynvote-nemesis: PASS — {} ops, 0 violations (seed {})",
+                        outcome.ops, config.seed
+                    );
+                } else {
+                    eprintln!(
+                        "dynvote-nemesis: FAIL — {} violations (seed {}):",
+                        outcome.violations.len(),
+                        config.seed
+                    );
+                    for violation in &outcome.violations {
+                        eprintln!("  * {violation}");
+                    }
+                    if let Some(artifacts) = &outcome.artifacts {
+                        eprintln!(
+                            "dynvote-nemesis: logs, data dirs, and dossier kept at {}",
+                            artifacts.display()
+                        );
+                    }
+                    std::process::exit(1);
+                }
+            }
+            Err(error) => fail(&error),
+        },
+        other => fail(&format!("unknown command {other:?}")),
+    }
+}

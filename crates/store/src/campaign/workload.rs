@@ -1,0 +1,259 @@
+//! The concurrent client workload: while the nemesis swings, client
+//! threads keep issuing reads and writes through the hardened client
+//! ([`request_retry`]) — every operation resolves within its deadline,
+//! by construction, and every resolution is classified.
+//!
+//! Write values are globally unique monotone tokens (`w1`, `w2`, …)
+//! minted from one shared counter — the same trick the model checker's
+//! world uses — so the lineage checks can reconstruct, from the grant
+//! details alone, which write produced which `⟨o, v⟩` and detect a
+//! split brain as two different tokens claiming the same version.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynvote_sim::SimRng;
+
+use crate::client::{request_retry, ClientError, Outcome, RetryPolicy};
+use crate::jitter::Jitter;
+use crate::wire::{Frame, UnavailableReason};
+
+/// How one operation resolved. Every issued operation gets exactly one
+/// of these — the "no client hangs" guarantee made checkable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// The cluster granted it.
+    Granted,
+    /// The paper's ABORT (read/write refused by the quorum logic).
+    Refused,
+    /// A typed prompt "cannot serve this now" answer.
+    Unavailable(UnavailableReason),
+    /// No daemon answered before the per-op deadline.
+    TimedOut,
+    /// The daemon answered garbage — always a bug, never weather.
+    Protocol(String),
+}
+
+/// One completed client operation.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Offset from workload start when the op was issued.
+    pub at: Duration,
+    /// The site it was sent to.
+    pub site: usize,
+    /// `true` for writes, `false` for reads.
+    pub is_write: bool,
+    /// The write's token number (`w{token}`), if a write.
+    pub token: Option<u64>,
+    /// For granted writes: the committed `⟨o, v⟩` parsed from the grant
+    /// detail; for granted reads: `(0, version)` plus the value.
+    pub commit: Option<(u64, u64)>,
+    /// For granted reads: the value served.
+    pub read_value: Option<String>,
+    /// How it resolved.
+    pub result: OpResult,
+    /// Wall-clock time from issue to resolution.
+    pub latency: Duration,
+}
+
+/// Workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// How many client threads run concurrently.
+    pub clients: usize,
+    /// Hard per-operation deadline (retries included).
+    pub op_deadline: Duration,
+    /// Probability an operation is a write.
+    pub write_ratio: f64,
+    /// Think time between operations, mean (exponential).
+    pub think_mean: Duration,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            clients: 4,
+            op_deadline: Duration::from_secs(3),
+            write_ratio: 0.5,
+            think_mean: Duration::from_millis(120),
+        }
+    }
+}
+
+/// Parses `o` and `v` out of a write grant detail
+/// (`committed o=2 v=7 P={0,1,2}`) or a recover detail.
+#[must_use]
+pub fn parse_commit(detail: &str) -> Option<(u64, u64)> {
+    let mut o = None;
+    let mut v = None;
+    for word in detail.split_whitespace() {
+        if let Some(raw) = word.strip_prefix("o=") {
+            o = raw.parse().ok();
+        } else if let Some(raw) = word.strip_prefix("v=") {
+            v = raw.parse().ok();
+        }
+    }
+    Some((o?, v?))
+}
+
+/// A running workload: join to collect the records.
+pub struct Workload {
+    handles: Vec<std::thread::JoinHandle<Vec<OpRecord>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Workload {
+    /// Starts `config.clients` threads against `addrs` (index = site).
+    /// Each thread draws from its own [`SimRng`] substream of `seed`,
+    /// so the op mix is reproducible even though timing is not.
+    #[must_use]
+    pub fn start(addrs: Vec<String>, config: WorkloadConfig, seed: u64) -> Workload {
+        let stop = Arc::new(AtomicBool::new(false));
+        let tokens = Arc::new(AtomicU64::new(0));
+        let started = Instant::now();
+        let handles = (0..config.clients)
+            .map(|client| {
+                let addrs = addrs.clone();
+                let stop = Arc::clone(&stop);
+                let tokens = Arc::clone(&tokens);
+                std::thread::spawn(move || {
+                    client_loop(client, &addrs, config, seed, started, &stop, &tokens)
+                })
+            })
+            .collect();
+        Workload { handles, stop }
+    }
+
+    /// Signals the threads to finish their in-flight op and collects
+    /// every record.
+    #[must_use]
+    pub fn finish(self) -> Vec<OpRecord> {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut records = Vec::new();
+        for handle in self.handles {
+            records.extend(handle.join().expect("workload thread panicked"));
+        }
+        records.sort_by_key(|r| r.at);
+        records
+    }
+}
+
+fn client_loop(
+    client: usize,
+    addrs: &[String],
+    config: WorkloadConfig,
+    seed: u64,
+    started: Instant,
+    stop: &AtomicBool,
+    tokens: &AtomicU64,
+) -> Vec<OpRecord> {
+    let mut rng = SimRng::substream(seed, 0xC11E + client as u64);
+    let mut jitter = Jitter::new(seed ^ (client as u64).wrapping_mul(0x9E37_79B9));
+    let policy = RetryPolicy::default();
+    let mut records = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let site = rng.below(addrs.len());
+        let is_write = rng.bernoulli(config.write_ratio);
+        let token = if is_write {
+            Some(tokens.fetch_add(1, Ordering::SeqCst) + 1)
+        } else {
+            None
+        };
+        let frame = match token {
+            Some(n) => Frame::Put {
+                value: format!("w{n}").into_bytes(),
+            },
+            None => Frame::Get,
+        };
+        let at = started.elapsed();
+        let issued = Instant::now();
+        let answer = request_retry(
+            &addrs[site],
+            &frame,
+            config.op_deadline,
+            policy,
+            &mut jitter,
+        );
+        let latency = issued.elapsed();
+        let mut commit = None;
+        let mut read_value = None;
+        let result = match answer {
+            Ok(Outcome::Done(detail)) => {
+                commit = parse_commit(&detail);
+                OpResult::Granted
+            }
+            Ok(Outcome::Value { version, value }) => {
+                commit = Some((0, version));
+                read_value = Some(String::from_utf8_lossy(&value).into_owned());
+                OpResult::Granted
+            }
+            Ok(Outcome::Refused(_)) => OpResult::Refused,
+            Ok(Outcome::Unavailable { reason, .. }) => OpResult::Unavailable(reason),
+            Ok(Outcome::Report(_)) => OpResult::Protocol("report to a data op".to_string()),
+            Err(ClientError::Timeout { .. }) => OpResult::TimedOut,
+            // request_retry only surfaces Timeout or Protocol; spell it
+            // out rather than swallow a future variant.
+            Err(ClientError::Unreachable { detail }) => OpResult::Protocol(format!(
+                "request_retry leaked Unreachable ({detail}) — retry loop broken"
+            )),
+            Err(ClientError::Protocol { detail }) => OpResult::Protocol(detail),
+        };
+        records.push(OpRecord {
+            at,
+            site,
+            is_write,
+            token,
+            commit,
+            read_value,
+            result,
+            latency,
+        });
+        let think =
+            Duration::from_secs_f64(rng.exponential(config.think_mean.as_secs_f64()).min(1.0));
+        // Sleep in short slices so a stop request is honoured promptly.
+        let until = Instant::now() + think;
+        while Instant::now() < until && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commit_details() {
+        assert_eq!(parse_commit("committed o=2 v=7 P={0,1,2}"), Some((2, 7)));
+        assert_eq!(parse_commit("recovered: o=12 v=40 P={1}"), Some((12, 40)));
+        assert_eq!(parse_commit("linked"), None);
+    }
+
+    #[test]
+    fn workload_against_nothing_still_terminates_with_all_ops_resolved() {
+        // No daemon listening anywhere: every op must resolve as
+        // TimedOut within its deadline — the no-hang guarantee.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let config = WorkloadConfig {
+            clients: 2,
+            op_deadline: Duration::from_millis(200),
+            write_ratio: 0.5,
+            think_mean: Duration::from_millis(10),
+        };
+        let workload = Workload::start(vec![addr], config, 7);
+        std::thread::sleep(Duration::from_millis(600));
+        let records = workload.finish();
+        assert!(!records.is_empty(), "workload issued no ops");
+        for record in &records {
+            assert_eq!(record.result, OpResult::TimedOut, "{record:?}");
+            assert!(
+                record.latency < Duration::from_secs(2),
+                "op overran its deadline: {record:?}"
+            );
+        }
+    }
+}

@@ -1,11 +1,27 @@
 //! The client side: one-shot framed requests, as `dynvote-ctl` (and
-//! the loopback integration tests) issue them.
+//! the loopback integration tests) issue them — hardened so that no
+//! call ever hangs on a dead or wedged daemon.
+//!
+//! Two layers:
+//!
+//! * [`request_deadline`] — one attempt under a *hard* deadline that
+//!   covers the whole exchange (resolve + connect + write + read), with
+//!   typed failures: [`ClientError::Timeout`] when the deadline
+//!   expires, [`ClientError::Unreachable`] when the daemon is plainly
+//!   gone (connection refused/reset), [`ClientError::Protocol`] on a
+//!   malformed response.
+//! * [`request_retry`] — retries transient failures under the same
+//!   overall deadline with capped exponential backoff *plus jitter*, so
+//!   a thousand clients stampeding a restarted daemon decorrelate
+//!   instead of re-colliding every window.
 
+use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::wire::{read_frame, write_frame, Frame};
+use crate::jitter::Jitter;
+use crate::wire::{read_frame, write_frame, Frame, UnavailableReason};
 
 /// The outcome of one client command, decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,6 +37,14 @@ pub enum Outcome {
     },
     /// The access was refused (the paper's ABORT), with the clause.
     Refused(String),
+    /// The site answered promptly that it cannot serve the operation
+    /// right now — graceful degradation, with a typed cause.
+    Unavailable {
+        /// Why the operation cannot be served.
+        reason: UnavailableReason,
+        /// The refusal prose, with the clause that fired.
+        message: String,
+    },
     /// A status report (key=value lines).
     Report(String),
 }
@@ -29,34 +53,298 @@ impl Outcome {
     /// Whether the cluster granted the command.
     #[must_use]
     pub fn granted(&self) -> bool {
-        !matches!(self, Outcome::Refused(_))
+        !matches!(self, Outcome::Refused(_) | Outcome::Unavailable { .. })
     }
 }
 
-fn other(text: String) -> io::Error {
-    io::Error::new(io::ErrorKind::Other, text)
+/// Why one client exchange failed — typed, so callers can distinguish
+/// "took too long" from "nobody listening" without parsing strings.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The hard deadline expired before a response frame arrived.
+    Timeout {
+        /// Time spent before giving up.
+        elapsed: Duration,
+    },
+    /// The daemon is plainly not there: connection refused, reset, or
+    /// the address did not resolve. Resolves fast — retrying is the
+    /// caller's (or [`request_retry`]'s) choice.
+    Unreachable {
+        /// The underlying failure.
+        detail: String,
+    },
+    /// The daemon answered with bytes that do not decode to a response
+    /// frame (or to any frame a client expects).
+    Protocol {
+        /// The underlying failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Timeout { elapsed } => {
+                write!(f, "request timed out after {}ms", elapsed.as_millis())
+            }
+            ClientError::Unreachable { detail } => write!(f, "daemon unreachable: {detail}"),
+            ClientError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for io::Error {
+    fn from(error: ClientError) -> io::Error {
+        let kind = match &error {
+            ClientError::Timeout { .. } => io::ErrorKind::TimedOut,
+            ClientError::Unreachable { .. } => io::ErrorKind::ConnectionRefused,
+            ClientError::Protocol { .. } => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, error.to_string())
+    }
+}
+
+/// Classifies an I/O failure by *when* it happened and what it was.
+fn classify(error: &io::Error, started: Instant, connected: bool) -> ClientError {
+    match error.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ClientError::Timeout {
+            elapsed: started.elapsed(),
+        },
+        io::ErrorKind::InvalidData => ClientError::Protocol {
+            detail: error.to_string(),
+        },
+        _ if !connected => ClientError::Unreachable {
+            detail: error.to_string(),
+        },
+        // Post-connect resets/EOF: the daemon died mid-exchange. It is
+        // gone *now*, which is what Unreachable means to a retrier.
+        _ => ClientError::Unreachable {
+            detail: error.to_string(),
+        },
+    }
 }
 
 /// Connects, sends one request frame, reads one response frame.
 ///
+/// The legacy `io::Result` surface, kept for existing callers; the
+/// deadline is hard (see [`request_deadline`]).
+///
 /// # Errors
 ///
 /// Connection or framing failures; a daemon refusal is *not* an error
-/// (it decodes to [`Outcome::Refused`]).
+/// (it decodes to [`Outcome::Refused`] / [`Outcome::Unavailable`]).
 pub fn request(addr: &str, frame: &Frame, timeout: Duration) -> io::Result<Outcome> {
+    request_deadline(addr, frame, timeout).map_err(io::Error::from)
+}
+
+/// Connects, sends one request frame, reads one response frame — all
+/// under one *hard* deadline. Each socket phase gets only the time the
+/// deadline has left, so a daemon that accepts the connection and then
+/// goes silent still cannot hold the caller past `deadline`.
+///
+/// # Errors
+///
+/// [`ClientError`], typed; a refusal or unavailability answer is *not*
+/// an error.
+pub fn request_deadline(
+    addr: &str,
+    frame: &Frame,
+    deadline: Duration,
+) -> Result<Outcome, ClientError> {
+    let started = Instant::now();
+    let ends = started + deadline;
+    let remaining = |started: Instant| -> Result<Duration, ClientError> {
+        let left = ends.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(ClientError::Timeout {
+                elapsed: started.elapsed(),
+            });
+        }
+        Ok(left)
+    };
     let target = addr
-        .to_socket_addrs()?
+        .to_socket_addrs()
+        .map_err(|e| classify(&e, started, false))?
         .next()
-        .ok_or_else(|| other(format!("{addr}: no address")))?;
-    let mut stream = TcpStream::connect_timeout(&target, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    write_frame(&mut stream, frame)?;
-    match read_frame(&mut stream)? {
+        .ok_or_else(|| ClientError::Unreachable {
+            detail: format!("{addr}: no address"),
+        })?;
+    let stream = TcpStream::connect_timeout(&target, remaining(started)?)
+        .map_err(|e| classify(&e, started, false))?;
+    let mut stream = stream;
+    let step = |stream: &mut TcpStream, left: Duration| -> io::Result<()> {
+        stream.set_read_timeout(Some(left))?;
+        stream.set_write_timeout(Some(left))
+    };
+    step(&mut stream, remaining(started)?).map_err(|e| classify(&e, started, true))?;
+    write_frame(&mut stream, frame).map_err(|e| classify(&e, started, true))?;
+    // Re-arm the read with whatever the write left us.
+    step(&mut stream, remaining(started)?).map_err(|e| classify(&e, started, true))?;
+    let response = read_frame(&mut stream).map_err(|e| classify(&e, started, true))?;
+    match response {
         Frame::Done { detail } => Ok(Outcome::Done(detail)),
         Frame::Value { version, value } => Ok(Outcome::Value { version, value }),
         Frame::Refused { message } => Ok(Outcome::Refused(message)),
+        Frame::Unavailable { reason, message } => Ok(Outcome::Unavailable { reason, message }),
         Frame::Report { text } => Ok(Outcome::Report(text)),
-        unexpected => Err(other(format!("unexpected response frame {unexpected:?}"))),
+        unexpected => Err(ClientError::Protocol {
+            detail: format!("unexpected response frame {unexpected:?}"),
+        }),
+    }
+}
+
+/// Backoff policy for [`request_retry`]: capped exponential windows,
+/// jittered per attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// The first backoff window.
+    pub floor: Duration,
+    /// The ceiling the window doubles toward.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            floor: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        }
+    }
+}
+
+/// Issues `frame` repeatedly until the daemon *answers* (grant, refusal,
+/// or typed unavailability) or the overall `deadline` runs out.
+/// Transient failures — unreachable, reset mid-exchange, a slow
+/// attempt — are retried after a jittered, capped-exponential backoff;
+/// each attempt's own deadline is whatever the overall one has left.
+///
+/// The guarantee the fault-campaign workload builds on: this function
+/// returns within `deadline` (plus one scheduler wake), and every
+/// return is either a decoded answer or [`ClientError::Timeout`].
+///
+/// # Errors
+///
+/// [`ClientError::Timeout`] when the deadline ran out; or
+/// [`ClientError::Protocol`] when the daemon answered garbage (not
+/// retried — a protocol error is a bug, not weather).
+pub fn request_retry(
+    addr: &str,
+    frame: &Frame,
+    deadline: Duration,
+    policy: RetryPolicy,
+    jitter: &mut Jitter,
+) -> Result<Outcome, ClientError> {
+    let started = Instant::now();
+    let ends = started + deadline;
+    let mut window = policy.floor.max(Duration::from_millis(1));
+    loop {
+        let left = ends.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(ClientError::Timeout {
+                elapsed: started.elapsed(),
+            });
+        }
+        match request_deadline(addr, frame, left) {
+            Ok(outcome) => return Ok(outcome),
+            Err(ClientError::Protocol { detail }) => return Err(ClientError::Protocol { detail }),
+            Err(ClientError::Timeout { .. }) | Err(ClientError::Unreachable { .. }) => {}
+        }
+        let wait = jitter.equal_jitter(window);
+        let left = ends.saturating_duration_since(Instant::now());
+        if left <= wait {
+            // Not enough room for another attempt after the backoff.
+            std::thread::sleep(left);
+            return Err(ClientError::Timeout {
+                elapsed: started.elapsed(),
+            });
+        }
+        std::thread::sleep(wait);
+        window = (window * 2).min(policy.cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A port with nothing listening: bind, learn the port, release.
+    fn dead_addr() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        addr
+    }
+
+    #[test]
+    fn unreachable_daemon_resolves_fast_and_typed() {
+        let addr = dead_addr();
+        let started = Instant::now();
+        let result = request_deadline(&addr, &Frame::Get, Duration::from_secs(5));
+        assert!(
+            matches!(result, Err(ClientError::Unreachable { .. })),
+            "expected Unreachable, got {result:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "a refused connection must not consume the deadline"
+        );
+    }
+
+    #[test]
+    fn accepted_but_silent_daemon_times_out_at_the_deadline() {
+        // A listener that accepts and never answers: the classic hang.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let started = Instant::now();
+        let result = request_deadline(&addr, &Frame::Get, Duration::from_millis(300));
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(result, Err(ClientError::Timeout { .. })),
+            "expected Timeout, got {result:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "deadline 300ms but the call took {elapsed:?}"
+        );
+        drop(hold);
+    }
+
+    #[test]
+    fn retry_gives_up_within_the_overall_deadline() {
+        let addr = dead_addr();
+        let mut jitter = Jitter::new(7);
+        let started = Instant::now();
+        let result = request_retry(
+            &addr,
+            &Frame::Get,
+            Duration::from_millis(400),
+            RetryPolicy::default(),
+            &mut jitter,
+        );
+        let elapsed = started.elapsed();
+        assert!(matches!(result, Err(ClientError::Timeout { .. })));
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "retry loop overran its deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn client_error_maps_to_io_kinds() {
+        let timeout = ClientError::Timeout {
+            elapsed: Duration::from_millis(10),
+        };
+        assert_eq!(io::Error::from(timeout).kind(), io::ErrorKind::TimedOut);
+        let gone = ClientError::Unreachable {
+            detail: "refused".into(),
+        };
+        assert_eq!(
+            io::Error::from(gone).kind(),
+            io::ErrorKind::ConnectionRefused
+        );
     }
 }

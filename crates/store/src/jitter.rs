@@ -1,0 +1,115 @@
+//! A tiny deterministic PRNG for backoff jitter.
+//!
+//! Retry loops that back off in lockstep re-collide forever: every
+//! client (or every restarted peer writer) sleeps the same window and
+//! hammers the same instant again. The fix is jitter — each sleeper
+//! draws its wait from a window instead of hitting its edge. This
+//! module supplies the draw without pulling in a randomness dependency:
+//! a SplitMix64 stream, seeded per call site, good enough to decorrelate
+//! sleepers and cheap enough to sit inside a reconnect loop.
+
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+/// A SplitMix64 jitter stream.
+#[derive(Clone, Debug)]
+pub struct Jitter {
+    state: u64,
+}
+
+impl Jitter {
+    /// A stream seeded directly.
+    #[must_use]
+    pub fn new(seed: u64) -> Jitter {
+        Jitter { state: seed }
+    }
+
+    /// A stream seeded from anything hashable plus wall-clock entropy —
+    /// two processes restarted at (almost) the same instant, or two
+    /// links to different peers, still draw different sequences.
+    #[must_use]
+    pub fn from_entropy(salt: &impl Hash) -> Jitter {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut hasher);
+        std::process::id().hash(&mut hasher);
+        if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            elapsed.subsec_nanos().hash(&mut hasher);
+            elapsed.as_secs().hash(&mut hasher);
+        }
+        Jitter::new(hasher.finish())
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `[lo, hi]` (inclusive); returns `lo` when the range is
+    /// empty or inverted.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// The "equal jitter" wait for one backoff window: half the window
+    /// guaranteed, the other half drawn uniformly — bounded below (so a
+    /// hot loop still backs off) and above (so no one waits longer than
+    /// the un-jittered policy would).
+    pub fn equal_jitter(&mut self, window: Duration) -> Duration {
+        let micros = window.as_micros().min(u128::from(u64::MAX)) as u64;
+        let half = micros / 2;
+        Duration::from_micros(half + self.in_range(0, micros - half))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Jitter;
+    use std::time::Duration;
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_differs_across_seeds() {
+        let a: Vec<u64> = {
+            let mut j = Jitter::new(7);
+            (0..8).map(|_| j.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut j = Jitter::new(7);
+            (0..8).map(|_| j.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut j = Jitter::new(8);
+            (0..8).map(|_| j.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn equal_jitter_stays_inside_the_window() {
+        let mut j = Jitter::new(42);
+        let window = Duration::from_millis(800);
+        for _ in 0..256 {
+            let wait = j.equal_jitter(window);
+            assert!(wait >= window / 2, "wait {wait:?} under half the window");
+            assert!(wait <= window, "wait {wait:?} over the window");
+        }
+    }
+
+    #[test]
+    fn in_range_handles_degenerate_ranges() {
+        let mut j = Jitter::new(1);
+        assert_eq!(j.in_range(5, 5), 5);
+        assert_eq!(j.in_range(9, 3), 9);
+        for _ in 0..64 {
+            let draw = j.in_range(10, 12);
+            assert!((10..=12).contains(&draw));
+        }
+    }
+}

@@ -19,7 +19,11 @@
 //!   per process, one listener for peer, client, and admin frames;
 //! * [`client`] — one-shot framed requests, as `dynvote-ctl` sends;
 //! * [`replay`] — drive a live cluster through minimized model-checker
-//!   counterexample traces.
+//!   counterexample traces;
+//! * [`campaign`] — the live nemesis: seeded, time-bounded randomized
+//!   fault campaigns (SIGKILL/restart, partitions, disk injection,
+//!   stalls) against a fleet of real daemons, with a concurrent client
+//!   workload and an online invariant monitor (`dynvote-nemesis`).
 //!
 //! # Quick example (in-process loopback cluster)
 //!
@@ -40,16 +44,19 @@
 //! assert!(outcome.granted());
 //! ```
 
+pub mod campaign;
 pub mod client;
 pub mod config;
+pub mod jitter;
+pub mod probe;
 pub mod replay;
 pub mod server;
 pub mod tcp;
 pub mod wire;
 
-pub use client::{request, Outcome};
+pub use client::{request, request_deadline, request_retry, ClientError, Outcome, RetryPolicy};
 pub use config::Config;
 pub use replay::{run as run_replay, ReplayStep};
-pub use server::{refusal_clause, start, start_on, ServiceHandle};
+pub use server::{refusal_clause, start, start_on, unavailable_reason, ServiceHandle};
 pub use tcp::{LinkRules, PeerStats, TcpTimeouts, TcpTransport};
-pub use wire::{read_frame, write_frame, Frame, FrameError, MAX_FRAME};
+pub use wire::{read_frame, write_frame, Frame, FrameError, UnavailableReason, MAX_FRAME};

@@ -1,0 +1,498 @@
+//! Wedge resolution: the durable vote-probe ledger.
+//!
+//! A participant that answers a `START` with `mark_pending` holds an
+//! *outstanding vote* — it abstains from every other operation until
+//! the coordinator's `COMMIT` or `RELEASE` arrives. Both of those are
+//! delivered best-effort: a `RELEASE` is fire-and-forget, and a
+//! `COMMIT` whose retries run out simply leaves the participant in the
+//! coordinator's `missing` set. On the in-memory transport that is
+//! harmless (the model's operations are atomic), but on a real network
+//! a lost resolution frame wedges the participant *forever* — live
+//! fault campaigns reliably drive whole clusters into a state where
+//! every site is wedged, every site abstains, and no RECOVER can ever
+//! hear a reply.
+//!
+//! The escape is a pull path to complement the push: a wedged site
+//! periodically sends a `VOTE-PROBE` for its pending ticket to the
+//! coordinator that issued it (tickets encode the coordinator's site
+//! index, so the target is always known). The coordinator answers from
+//! the **ledger** ([`OpLedger`]): an append-only file in the data
+//! directory, written at the *commit point* of every operation —
+//! after the decision, strictly before the coordinator applies the
+//! commit to its own replica and before any `COMMIT` frame leaves the
+//! host — and replayed at boot, so the record survives a coordinator
+//! crash.
+//!
+//! The answers, and why each direction is sound:
+//!
+//! * Ticket ledgered as **committed**, prober in the committed
+//!   partition: re-send the `COMMIT` itself (state + value). The
+//!   prober voted for exactly this operation, so this is the frame it
+//!   lost; applying it twice is idempotent. A committed participant is
+//!   **never** answered with a release — releasing a stale member of
+//!   `P_new` would let it assemble a majority of `P_old` with other
+//!   stale sites and fork the partition lineage.
+//! * Ticket ledgered as **committed**, prober outside the committed
+//!   partition: it voted but was excluded from `P_new` (it lacked the
+//!   maximal version). Release it. The excluded sites are a strict
+//!   minority of `P_old`, and any group they later join that could win
+//!   a decision must contain a `P_new` member whose state dominates —
+//!   so freeing their votes cannot fork the lineage.
+//! * Ticket ledgered as **released** (the operation aborted): re-send
+//!   the release — a decision the coordinator already made.
+//! * Ticket from a **dead incarnation** of the coordinator, absent
+//!   from the ledger and **above its high-water mark**: the ledger
+//!   record is fsync'd before any effect of a commit exists, so an
+//!   unledgered ticket provably never committed anywhere — every vote
+//!   for it is non-binding and releasable. (Tickets are totally
+//!   ordered across incarnations: the boot epoch is salted into bits
+//!   32–47.)
+//! * Anything else — in flight, or evicted from the bounded in-memory
+//!   ring: abstain. The prober stays wedged, which is the safe
+//!   direction.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use dynvote_core::state::ReplicaState;
+use dynvote_types::{SiteId, SiteSet};
+
+/// The durable operation ledger inside a site's data directory.
+pub const LEDGER_FILE: &str = "ledger.log";
+
+/// The coordinator site index encoded in a vote ticket (bits 48–63).
+#[must_use]
+pub fn coordinator_of(ticket: u64) -> usize {
+    (ticket >> 48) as usize
+}
+
+/// The coordinator boot epoch encoded in a vote ticket (bits 32–47).
+#[must_use]
+pub fn epoch_of(ticket: u64) -> u64 {
+    (ticket >> 32) & 0xFFFF
+}
+
+/// The commit content recorded for one operation — what a kept
+/// participant's lost `COMMIT` frame carried.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// The committed `⟨o, v, P⟩`.
+    pub state: ReplicaState,
+    /// The write value riding the commit, when there was one.
+    pub value: Option<Vec<u8>>,
+}
+
+/// How a coordinator answers a vote probe for a ticket it has ledgered.
+#[derive(Clone, Debug)]
+pub enum ProbeAnswer {
+    /// The vote is non-binding for the prober: re-send the release
+    /// (with the set of sites that must still hold, so a kept site
+    /// that somehow probes is still not freed).
+    Release(SiteSet),
+    /// The prober is a committed participant: re-send the commit.
+    Commit(CommitRecord),
+    /// Not in the ledger — in flight, evicted, or from a dead
+    /// incarnation. The caller falls back to the high-water rule.
+    Unknown,
+}
+
+enum LedgerEntry {
+    /// The operation reached its commit point with this content.
+    Committed(CommitRecord),
+    /// The operation aborted; everyone outside `keep` may release.
+    Released(SiteSet),
+}
+
+const TAG_COMMIT: u8 = 1;
+const TAG_RELEASE: u8 = 2;
+
+/// The operation ledger: bounded in memory (old entries are evicted
+/// in ticket order, which is issue order), append-only on disk when
+/// opened against a data directory. Commit records are fsync'd at the
+/// commit point; release records are appended best-effort (losing one
+/// only costs liveness — the prober stays wedged — never safety).
+pub struct OpLedger {
+    entries: BTreeMap<u64, LedgerEntry>,
+    order: VecDeque<u64>,
+    cap: usize,
+    file: Option<File>,
+    high_water: u64,
+}
+
+impl Default for OpLedger {
+    fn default() -> Self {
+        OpLedger::new(1024)
+    }
+}
+
+impl OpLedger {
+    /// An in-memory ledger keeping at most `cap` tickets.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        OpLedger {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            file: None,
+            high_water: 0,
+        }
+    }
+
+    /// Opens (or creates) the durable ledger in `dir`, replaying every
+    /// intact record a previous incarnation appended. Replay stops at
+    /// the first truncated or unrecognised record — the torn tail a
+    /// crash mid-append leaves behind.
+    ///
+    /// # Errors
+    ///
+    /// File creation or the initial read failed.
+    pub fn open(dir: &Path) -> std::io::Result<OpLedger> {
+        let path = dir.join(LEDGER_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut ledger = OpLedger::default();
+        ledger.replay(&bytes);
+        ledger.file = Some(file);
+        Ok(ledger)
+    }
+
+    /// The highest ticket that ever reached its commit point here —
+    /// replayed records included. Tickets above it provably never
+    /// committed in any dead incarnation of this site.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    fn insert(&mut self, ticket: u64, entry: LedgerEntry) {
+        if !self.entries.contains_key(&ticket) {
+            if self.order.len() >= self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                }
+            }
+            self.order.push_back(ticket);
+        }
+        self.entries.insert(ticket, entry);
+    }
+
+    /// Records the commit content of `ticket` at its commit point and
+    /// makes the record durable (fsync) before returning. The caller
+    /// must invoke this before the commit has *any* effect — local
+    /// apply included.
+    ///
+    /// # Errors
+    ///
+    /// The append or fsync failed. The commit must not proceed on an
+    /// error: an unledgered committed ticket looks releasable to the
+    /// next incarnation.
+    pub fn note_commit(
+        &mut self,
+        ticket: u64,
+        state: ReplicaState,
+        value: Option<&Vec<u8>>,
+    ) -> std::io::Result<()> {
+        if let Some(file) = &mut self.file {
+            let mut record = Vec::with_capacity(38 + value.map_or(0, Vec::len));
+            record.push(TAG_COMMIT);
+            record.extend_from_slice(&ticket.to_le_bytes());
+            record.extend_from_slice(&state.op.to_le_bytes());
+            record.extend_from_slice(&state.version.to_le_bytes());
+            record.extend_from_slice(&state.partition.bits().to_le_bytes());
+            match value {
+                Some(bytes) => {
+                    record.push(1);
+                    record.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    record.extend_from_slice(bytes);
+                }
+                None => record.push(0),
+            }
+            file.write_all(&record)?;
+            file.sync_data()?;
+        }
+        self.insert(
+            ticket,
+            LedgerEntry::Committed(CommitRecord {
+                state,
+                value: value.cloned(),
+            }),
+        );
+        self.high_water = self.high_water.max(ticket);
+        Ok(())
+    }
+
+    /// Records that `ticket` was released with `keep` still bound —
+    /// the moment the release broadcast goes out. Appended without
+    /// fsync: a lost release record leaves the prober wedged (safe),
+    /// never mis-freed. A ticket already ledgered as committed keeps
+    /// its commit record — the post-commit release of the `missing`
+    /// set must not downgrade kept participants to releasable.
+    pub fn note_release(&mut self, ticket: u64, keep: SiteSet) {
+        if matches!(self.entries.get(&ticket), Some(LedgerEntry::Committed(_))) {
+            return;
+        }
+        if let Some(file) = &mut self.file {
+            let mut record = [0u8; 17];
+            record[0] = TAG_RELEASE;
+            record[1..9].copy_from_slice(&ticket.to_le_bytes());
+            record[9..17].copy_from_slice(&keep.bits().to_le_bytes());
+            let _ = file.write_all(&record);
+        }
+        self.insert(ticket, LedgerEntry::Released(keep));
+    }
+
+    /// Answers a probe from `prober` about `ticket`.
+    #[must_use]
+    pub fn answer(&self, ticket: u64, prober: SiteId) -> ProbeAnswer {
+        match self.entries.get(&ticket) {
+            Some(LedgerEntry::Committed(record)) => {
+                if record.state.partition.contains(prober) {
+                    ProbeAnswer::Commit(record.clone())
+                } else {
+                    ProbeAnswer::Release(record.state.partition)
+                }
+            }
+            Some(LedgerEntry::Released(keep)) => {
+                if keep.contains(prober) {
+                    ProbeAnswer::Unknown
+                } else {
+                    ProbeAnswer::Release(*keep)
+                }
+            }
+            None => ProbeAnswer::Unknown,
+        }
+    }
+
+    fn replay(&mut self, bytes: &[u8]) {
+        let mut at = 0usize;
+        let read_u64 = |bytes: &[u8], at: usize| {
+            bytes
+                .get(at..at + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+        };
+        while at < bytes.len() {
+            match bytes[at] {
+                TAG_COMMIT => {
+                    let (Some(ticket), Some(op), Some(version), Some(partition)) = (
+                        read_u64(bytes, at + 1),
+                        read_u64(bytes, at + 9),
+                        read_u64(bytes, at + 17),
+                        read_u64(bytes, at + 25),
+                    ) else {
+                        return;
+                    };
+                    let Some(&flag) = bytes.get(at + 33) else {
+                        return;
+                    };
+                    let mut next = at + 34;
+                    let value = if flag == 1 {
+                        let Some(len) = bytes
+                            .get(next..next + 4)
+                            .map(|s| u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+                        else {
+                            return;
+                        };
+                        next += 4;
+                        let Some(body) = bytes.get(next..next + len as usize) else {
+                            return;
+                        };
+                        next += len as usize;
+                        Some(body.to_vec())
+                    } else {
+                        None
+                    };
+                    self.insert(
+                        ticket,
+                        LedgerEntry::Committed(CommitRecord {
+                            state: ReplicaState {
+                                op,
+                                version,
+                                partition: SiteSet::from_bits(partition),
+                            },
+                            value,
+                        }),
+                    );
+                    self.high_water = self.high_water.max(ticket);
+                    at = next;
+                }
+                TAG_RELEASE => {
+                    let (Some(ticket), Some(keep)) =
+                        (read_u64(bytes, at + 1), read_u64(bytes, at + 9))
+                    else {
+                        return;
+                    };
+                    if !matches!(self.entries.get(&ticket), Some(LedgerEntry::Committed(_))) {
+                        self.insert(ticket, LedgerEntry::Released(SiteSet::from_bits(keep)));
+                    }
+                    at += 17;
+                }
+                // Unrecognised tag: a torn or corrupt tail. Everything
+                // before it was intact; stop here.
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(op: u64, version: u64) -> ReplicaState {
+        ReplicaState {
+            op,
+            version,
+            partition: SiteSet::from_iter([0, 1, 2].map(SiteId::new)),
+        }
+    }
+
+    #[test]
+    fn ticket_fields_decode() {
+        let ticket = (3u64 << 48) | (7u64 << 32) | 42;
+        assert_eq!(coordinator_of(ticket), 3);
+        assert_eq!(epoch_of(ticket), 7);
+    }
+
+    #[test]
+    fn unledgered_tickets_answer_unknown() {
+        let ledger = OpLedger::default();
+        assert!(matches!(
+            ledger.answer(9, SiteId::new(1)),
+            ProbeAnswer::Unknown
+        ));
+    }
+
+    #[test]
+    fn committed_tickets_recommit_participants_and_release_the_rest() {
+        let mut ledger = OpLedger::default();
+        let value = vec![1u8, 2, 3];
+        let committed = ReplicaState {
+            op: 2,
+            version: 5,
+            partition: SiteSet::from_iter([0, 2].map(SiteId::new)),
+        };
+        ledger
+            .note_commit(9, committed, Some(&value))
+            .expect("in-memory note_commit");
+        match ledger.answer(9, SiteId::new(2)) {
+            ProbeAnswer::Commit(record) => {
+                assert_eq!(record.state.op, 2);
+                assert_eq!(record.value.as_deref(), Some(&[1u8, 2, 3][..]));
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        // Excluded from P_new: released, never recommitted.
+        match ledger.answer(9, SiteId::new(1)) {
+            ProbeAnswer::Release(keep) => assert!(keep.contains(SiteId::new(2))),
+            other => panic!("expected release, got {other:?}"),
+        }
+        assert!(matches!(
+            ledger.answer(8, SiteId::new(1)),
+            ProbeAnswer::Unknown
+        ));
+    }
+
+    #[test]
+    fn post_commit_release_does_not_downgrade_the_commit() {
+        let mut ledger = OpLedger::default();
+        ledger
+            .note_commit(9, state(2, 5), None)
+            .expect("in-memory note_commit");
+        // The coordinator releases the missing set after the fanout;
+        // a kept participant probing later must still get the commit.
+        ledger.note_release(9, SiteSet::from_iter([SiteId::new(1)]));
+        assert!(matches!(
+            ledger.answer(9, SiteId::new(1)),
+            ProbeAnswer::Commit(_)
+        ));
+    }
+
+    #[test]
+    fn refusals_ledger_as_releases() {
+        let mut ledger = OpLedger::default();
+        ledger.note_release(4, SiteSet::EMPTY);
+        assert!(matches!(
+            ledger.answer(4, SiteId::new(0)),
+            ProbeAnswer::Release(keep) if keep.is_empty()
+        ));
+    }
+
+    #[test]
+    fn ledger_evicts_in_issue_order() {
+        let mut ledger = OpLedger::new(2);
+        ledger.note_release(1, SiteSet::EMPTY);
+        ledger.note_release(2, SiteSet::EMPTY);
+        ledger.note_release(3, SiteSet::EMPTY);
+        assert!(matches!(
+            ledger.answer(1, SiteId::new(0)),
+            ProbeAnswer::Unknown
+        ));
+        assert!(matches!(
+            ledger.answer(3, SiteId::new(0)),
+            ProbeAnswer::Release(_)
+        ));
+    }
+
+    #[test]
+    fn durable_ledger_replays_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("dynvote-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let value = vec![9u8, 8];
+        {
+            let mut ledger = OpLedger::open(&dir).expect("open ledger");
+            assert_eq!(ledger.high_water(), 0);
+            ledger
+                .note_commit(77, state(3, 2), Some(&value))
+                .expect("durable note_commit");
+            ledger.note_release(78, SiteSet::EMPTY);
+            assert_eq!(ledger.high_water(), 77);
+        }
+        let reopened = OpLedger::open(&dir).expect("reopen ledger");
+        assert_eq!(reopened.high_water(), 77);
+        match reopened.answer(77, SiteId::new(1)) {
+            ProbeAnswer::Commit(record) => {
+                assert_eq!(record.state.version, 2);
+                assert_eq!(record.value.as_deref(), Some(&[9u8, 8][..]));
+            }
+            other => panic!("expected replayed commit, got {other:?}"),
+        }
+        assert!(matches!(
+            reopened.answer(78, SiteId::new(0)),
+            ProbeAnswer::Release(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_intact_prefix() {
+        let dir = std::env::temp_dir().join(format!("dynvote-ledger-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        {
+            let mut ledger = OpLedger::open(&dir).expect("open ledger");
+            ledger
+                .note_commit(10, state(1, 1), None)
+                .expect("durable note_commit");
+        }
+        // A crash mid-append: half a record of garbage at the tail.
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(dir.join(LEDGER_FILE))
+            .expect("append");
+        file.write_all(&[TAG_COMMIT, 0xAA, 0xBB]).expect("tear");
+        drop(file);
+        let reopened = OpLedger::open(&dir).expect("reopen ledger");
+        assert_eq!(reopened.high_water(), 10);
+        assert!(matches!(
+            reopened.answer(10, SiteId::new(0)),
+            ProbeAnswer::Commit(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

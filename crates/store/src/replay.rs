@@ -119,25 +119,62 @@ impl Driver<'_> {
 
     /// Pushes the full desired connectivity to every daemon.
     fn reconcile(&self) -> Result<(), String> {
-        for (site, _) in self.nodes {
-            if self.kill_mode && self.crashed.contains(site) {
-                continue; // the process is dead — nothing to configure
-            }
-            self.send(*site, &Frame::HealLinks)?;
-            for (peer, _) in self.nodes {
-                if peer == site || self.connected(*site, *peer) {
-                    continue;
-                }
-                self.send(
-                    *site,
-                    &Frame::Deny {
-                        site: SiteId::new(*peer),
-                    },
-                )?;
-            }
-        }
-        Ok(())
+        let skip: Vec<usize> = if self.kill_mode {
+            self.crashed.iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        push_link_rules(self.nodes, &skip, self.timeout, &|a, b| {
+            self.connected(a, b)
+        })
     }
+}
+
+/// Pushes a full desired connectivity onto every live daemon: each site
+/// gets `heal-links` followed by one `deny` per pair the `connected`
+/// predicate rules out, so topology events compose idempotently instead
+/// of accumulating. Sites in `skip` (dead processes) receive nothing.
+///
+/// Shared between counterexample replay and the live fault campaign —
+/// both drive the same fabric, they just compute connectivity
+/// differently (replay: crash set × canonical partition; campaign:
+/// additionally, stalled sites).
+///
+/// # Errors
+///
+/// A daemon that should be alive did not accept the rules.
+pub(crate) fn push_link_rules(
+    nodes: &[(usize, String)],
+    skip: &[usize],
+    timeout: Duration,
+    connected: &dyn Fn(usize, usize) -> bool,
+) -> Result<(), String> {
+    let addr_of = |site: usize| -> Result<&str, String> {
+        nodes
+            .iter()
+            .find(|(index, _)| *index == site)
+            .map(|(_, addr)| addr.as_str())
+            .ok_or_else(|| format!("no node entry for site {site}"))
+    };
+    for (site, _) in nodes {
+        if skip.contains(site) {
+            continue; // the process is dead — nothing to configure
+        }
+        let addr = addr_of(*site)?;
+        let send = |frame: &Frame| -> Result<Outcome, String> {
+            request(addr, frame, timeout).map_err(|e| format!("S{site} ({addr}): {e}"))
+        };
+        send(&Frame::HealLinks)?;
+        for (peer, _) in nodes {
+            if peer == site || connected(*site, *peer) {
+                continue;
+            }
+            send(&Frame::Deny {
+                site: SiteId::new(*peer),
+            })?;
+        }
+    }
+    Ok(())
 }
 
 fn describe(outcome: &Outcome) -> String {
@@ -148,6 +185,9 @@ fn describe(outcome: &Outcome) -> String {
             String::from_utf8_lossy(value)
         ),
         Outcome::Refused(message) => format!("refused: {message}"),
+        Outcome::Unavailable { reason, message } => {
+            format!("unavailable ({reason}): {message}")
+        }
         Outcome::Report(_) => "report".to_string(),
     }
 }

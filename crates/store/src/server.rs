@@ -49,8 +49,9 @@ use dynvote_replica::{Cluster, ClusterBuilder, MessageKind, Reply};
 use dynvote_types::{AccessError, SiteId, SiteSet};
 
 use crate::config::Config;
+use crate::probe::{coordinator_of, epoch_of, OpLedger, ProbeAnswer};
 use crate::tcp::{LinkRules, TcpTransport};
-use crate::wire::{read_frame, write_frame, Frame};
+use crate::wire::{read_frame, write_frame, Frame, UnavailableReason};
 
 /// The paper clause behind a refusal — every ABORT in Figures 1–3/5–7
 /// traces back to one of these.
@@ -125,6 +126,20 @@ struct Daemon {
     /// Crash-test hook: abort after a client write's WAL fsync, before
     /// the ack (see `Config::crash_after_wal_append`).
     crash_after_wal_append: bool,
+    /// Finished-operation ledger shared with the transport — answers
+    /// `VOTE-PROBE` frames without touching the cluster lock.
+    ledger: Arc<Mutex<OpLedger>>,
+    /// The commit fence a *dead* incarnation left behind: tickets of
+    /// older epochs above it provably never started a commit fanout.
+    /// `None` without durable storage (epochs are meaningless there).
+    boot_fence: Option<u64>,
+    /// This incarnation's boot epoch (16-bit, as salted into tickets).
+    boot_epoch: Option<u64>,
+    /// Peer client addresses, for the wedge-probe loop.
+    peers: Vec<(SiteId, String)>,
+    /// Wedges resolved by probing (released / late commits applied).
+    probe_released: std::sync::atomic::AtomicU64,
+    probe_commits: std::sync::atomic::AtomicU64,
 }
 
 /// Folds the local participant's current protocol state into the
@@ -241,6 +256,19 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         Arc::clone(&links),
         config.timeouts,
     );
+    let ledger = transport.ledger();
+    // The durable operation ledger: replay what every dead incarnation
+    // recorded at its commit points (the vote-probe answers and the
+    // high-water mark of the dead-epoch rule), then swap it into the
+    // transport's shared handle so this incarnation's commit points
+    // keep appending to it.
+    let mut boot_fence = None;
+    if let Some(dir) = &config.data_dir {
+        std::fs::create_dir_all(dir)?;
+        let durable = OpLedger::open(Path::new(dir))?;
+        boot_fence = Some(durable.high_water());
+        *ledger.lock().expect("op ledger poisoned") = durable;
+    }
     let mut cluster = ClusterBuilder::new()
         .network(network)
         .copies(config.copies())
@@ -258,12 +286,16 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
     // Durable boot: restore snapshot + WAL replay into the local node,
     // or seed a fresh data directory with the boot state.
     let mut restored_from_disk = false;
+    let mut boot_epoch = None;
     let store = match &config.data_dir {
         Some(dir) => {
             let (mut store, restored) = SiteStore::open(Path::new(dir), config.snapshot_every)?;
             if restored.snapshot_was_corrupt {
+                log.log("durable restore: snapshot failed validation, moved aside; falling back");
+            }
+            if restored.used_previous_snapshot {
                 log.log(
-                    "durable restore: snapshot failed validation, moved aside; replaying WAL alone",
+                    "durable restore: recovered from previous-generation snapshot + parked WAL",
                 );
             }
             match restored.wal_tail {
@@ -311,6 +343,7 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
             cluster.advance_ticket_past(
                 ((config.local.index() as u64) << 48) | ((store.epoch() & 0xFFFF) << 32),
             );
+            boot_epoch = Some(store.epoch() & 0xFFFF);
             Some(Mutex::new(store))
         }
         None => None,
@@ -325,6 +358,12 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         log,
         store,
         crash_after_wal_append: config.crash_after_wal_append,
+        ledger,
+        boot_fence,
+        boot_epoch,
+        peers: config.peers.clone(),
+        probe_released: std::sync::atomic::AtomicU64::new(0),
+        probe_commits: std::sync::atomic::AtomicU64::new(0),
     });
     daemon.log.log(&format!(
         "dynvote-stored up: policy={policy_name} listen={addr} peers={} durable={}",
@@ -342,6 +381,17 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         let _ = std::thread::Builder::new()
             .name(format!("dynvote-boot-recover-{}", config.local.index()))
             .spawn(move || boot_recover(&recover_daemon, &recover_shutdown, window));
+    }
+    // The wedge-probe loop: while this site holds an outstanding vote,
+    // periodically ask the ticket's coordinator what became of it (see
+    // `crate::probe`). Without it, a single lost RELEASE or COMMIT
+    // frame wedges the site until an operator intervenes.
+    if !config.peers.is_empty() {
+        let probe_daemon = Arc::clone(&daemon);
+        let probe_shutdown = Arc::clone(&shutdown);
+        let _ = std::thread::Builder::new()
+            .name(format!("dynvote-wedge-probe-{}", config.local.index()))
+            .spawn(move || wedge_probe_loop(&probe_daemon, &probe_shutdown));
     }
     let accept_shutdown = Arc::clone(&shutdown);
     let idle = config.timeouts.read;
@@ -400,6 +450,212 @@ fn boot_recover(daemon: &Arc<Daemon>, shutdown: &AtomicBool, window: Duration) {
             return;
         }
         std::thread::sleep(Duration::from_millis(250));
+    }
+}
+
+/// How often a wedged site probes its coordinator.
+const WEDGE_PROBE_INTERVAL: Duration = Duration::from_millis(400);
+
+/// Per-probe reply deadline (resolve + connect + exchange).
+const WEDGE_PROBE_DEADLINE: Duration = Duration::from_millis(1500);
+
+/// Whether `ticket` was issued by a dead incarnation of this daemon
+/// *and* sits above the ledger high-water mark it left — the two facts
+/// that together prove the ticket never reached a commit point, so
+/// every vote for it is non-binding.
+fn dead_and_unfenced(daemon: &Daemon, ticket: u64) -> bool {
+    coordinator_of(ticket) == daemon.local.index()
+        && match (daemon.boot_epoch, daemon.boot_fence) {
+            (Some(epoch), Some(fence)) => epoch_of(ticket) < epoch && ticket > fence,
+            _ => false,
+        }
+}
+
+/// Persists and logs a wedge resolution (the cluster lock is held).
+fn note_probe_resolution(
+    daemon: &Daemon,
+    cluster: &Cluster<Vec<u8>, TcpTransport>,
+    ticket: u64,
+    what: &str,
+) {
+    if let Err(error) = sync_durable(daemon, cluster) {
+        daemon.log.log(&format!(
+            "wedge probe ticket={ticket}: durability failure: {error}"
+        ));
+    }
+    daemon
+        .log
+        .log(&format!("wedge probe: ticket={ticket} {what}"));
+}
+
+/// One raw frame exchange with a peer daemon under a hard deadline —
+/// the probe loop speaks peer frames, which the client API's typed
+/// outcomes do not carry.
+fn probe_exchange(addr: &str, frame: &Frame, deadline: Duration) -> std::io::Result<Frame> {
+    use std::net::ToSocketAddrs;
+    let ends = Instant::now() + deadline;
+    let left = || {
+        let left = ends.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "probe deadline",
+            ))
+        } else {
+            Ok(left)
+        }
+    };
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&target, left()?)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(left()?))?;
+    write_frame(&mut stream, frame)?;
+    stream.set_read_timeout(Some(left()?))?;
+    read_frame(&mut stream)
+}
+
+/// The wedge-probe loop: while this site holds an outstanding vote,
+/// periodically asks the ticket's coordinator what became of it (see
+/// `crate::probe` for the soundness argument). Without this pull path
+/// a single lost `RELEASE` or `COMMIT` frame wedges the site forever.
+fn wedge_probe_loop(daemon: &Arc<Daemon>, shutdown: &AtomicBool) {
+    loop {
+        std::thread::sleep(WEDGE_PROBE_INTERVAL);
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let pending = {
+            let cluster = daemon.cluster.lock().expect("cluster poisoned");
+            cluster.pending_at(daemon.local)
+        };
+        let Some(ticket) = pending else { continue };
+        let coordinator = coordinator_of(ticket);
+        if coordinator == daemon.local.index() {
+            // Wedged on a ticket of a dead incarnation of *ourselves*
+            // (the vote is durable; a crash between the commit point
+            // and the local apply leaves it outstanding). The replayed
+            // ledger or the high-water rule resolves it locally, no
+            // network needed. The ledger guard is dropped before the
+            // cluster lock is taken — the transport locks in the
+            // opposite order.
+            let answer = {
+                daemon
+                    .ledger
+                    .lock()
+                    .expect("op ledger poisoned")
+                    .answer(ticket, daemon.local)
+            };
+            match answer {
+                ProbeAnswer::Commit(record) => {
+                    let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+                    if cluster.pending_at(daemon.local) == Some(ticket) {
+                        let kind = MessageKind::Commit {
+                            op: record.state.op,
+                            version: record.state.version,
+                            partition: record.state.partition,
+                        };
+                        let _ = cluster.serve_at(
+                            daemon.local,
+                            &kind,
+                            record.value.as_ref(),
+                            ticket,
+                            false,
+                        );
+                        note_probe_resolution(
+                            daemon,
+                            &cluster,
+                            ticket,
+                            "own ledgered COMMIT applied",
+                        );
+                        daemon.probe_commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                ProbeAnswer::Release(keep) if !keep.contains(daemon.local) => {
+                    let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+                    if cluster.pending_at(daemon.local) == Some(ticket) {
+                        cluster.local_release(ticket, keep);
+                        note_probe_resolution(
+                            daemon,
+                            &cluster,
+                            ticket,
+                            "self-released (own ledgered release)",
+                        );
+                        daemon.probe_released.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    if dead_and_unfenced(daemon, ticket) {
+                        let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+                        if cluster.pending_at(daemon.local) == Some(ticket) {
+                            cluster.local_release(ticket, SiteSet::EMPTY);
+                            note_probe_resolution(
+                                daemon,
+                                &cluster,
+                                ticket,
+                                "self-released (dead own epoch, above high water)",
+                            );
+                            daemon.probe_released.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let Some((to, addr)) = daemon
+            .peers
+            .iter()
+            .find(|(site, _)| site.index() == coordinator)
+            .cloned()
+        else {
+            continue;
+        };
+        if daemon.links.is_blocked(to) {
+            // The partition surface applies to probes too.
+            continue;
+        }
+        let probe = Frame::VoteProbe {
+            ticket,
+            from: daemon.local,
+            to,
+        };
+        match probe_exchange(&addr, &probe, WEDGE_PROBE_DEADLINE) {
+            Ok(Frame::Release {
+                ticket: answered,
+                keep,
+                ..
+            }) if answered == ticket && !keep.contains(daemon.local) => {
+                let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+                if cluster.pending_at(daemon.local) == Some(ticket) {
+                    cluster.local_release(ticket, keep);
+                    note_probe_resolution(daemon, &cluster, ticket, "released by coordinator");
+                    daemon.probe_released.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Frame::Commit {
+                ticket: answered,
+                state,
+                value,
+                ..
+            }) if answered == ticket => {
+                let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+                // Re-check under the lock: only the exact wedge this
+                // probe was sent for may be resolved by its reply.
+                if cluster.pending_at(daemon.local) == Some(ticket) {
+                    let kind = MessageKind::Commit {
+                        op: state.op,
+                        version: state.version,
+                        partition: state.partition,
+                    };
+                    let _ = cluster.serve_at(daemon.local, &kind, value.as_ref(), ticket, false);
+                    note_probe_resolution(daemon, &cluster, ticket, "late COMMIT applied");
+                    daemon.probe_commits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -609,6 +865,65 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
                 }),
             }
         }
+        Frame::VoteProbe { ticket, from, .. } => {
+            if daemon.links.is_blocked(from) {
+                // The simulated partition drops the probe: no reply,
+                // the prober times out as it would across a real cut.
+                return Dispatch::Close;
+            }
+            let answer = daemon
+                .ledger
+                .lock()
+                .expect("op ledger poisoned")
+                .answer(ticket, from);
+            match answer {
+                ProbeAnswer::Release(keep) => {
+                    daemon.log.log(&format!(
+                        "vote probe from S{}: ticket={ticket} finished — re-sent RELEASE",
+                        from.index()
+                    ));
+                    Dispatch::Reply(Frame::Release {
+                        ticket,
+                        from: daemon.local,
+                        keep,
+                    })
+                }
+                ProbeAnswer::Commit(record) => {
+                    daemon.log.log(&format!(
+                        "vote probe from S{}: ticket={ticket} committed — re-sent COMMIT",
+                        from.index()
+                    ));
+                    Dispatch::Reply(Frame::Commit {
+                        ticket,
+                        from: daemon.local,
+                        to: from,
+                        state: record.state,
+                        value: record.value,
+                    })
+                }
+                ProbeAnswer::Unknown => {
+                    if dead_and_unfenced(daemon, ticket) {
+                        daemon.log.log(&format!(
+                            "vote probe from S{}: ticket={ticket} is a dead epoch's, above the fence — released",
+                            from.index()
+                        ));
+                        Dispatch::Reply(Frame::Release {
+                            ticket,
+                            from: daemon.local,
+                            keep: SiteSet::EMPTY,
+                        })
+                    } else {
+                        // In flight, evicted, or a dead epoch at or
+                        // below the fence: cannot soundly say.
+                        Dispatch::Reply(Frame::Abstain {
+                            ticket,
+                            from: daemon.local,
+                            to: from,
+                        })
+                    }
+                }
+            }
+        }
         Frame::Release { ticket, from, keep } => {
             if !daemon.links.is_blocked(from) {
                 let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
@@ -753,10 +1068,35 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
             })
         }
         Frame::Status => {
-            let cluster = daemon.cluster.lock().expect("cluster poisoned");
-            Dispatch::Reply(Frame::Report {
-                text: status_text(daemon, &cluster),
-            })
+            // `status` doubles as the liveness probe for every harness
+            // (fleet boot, nemesis cooldown, smoke scripts). Under
+            // faults a quorum round can hold the cluster lock for many
+            // seconds of bounded peer timeouts, so blocking here would
+            // starve the probe behind queued data operations and make
+            // an alive daemon look dead. Spin briefly for the lock;
+            // past that, answer `busy=1` — the prober learns the
+            // process is up even when no state can be sampled.
+            let give_up = Instant::now() + Duration::from_millis(1500);
+            loop {
+                match daemon.cluster.try_lock() {
+                    Ok(cluster) => {
+                        break Dispatch::Reply(Frame::Report {
+                            text: status_text(daemon, &cluster),
+                        });
+                    }
+                    Err(std::sync::TryLockError::Poisoned(error)) => {
+                        panic!("cluster poisoned: {error}")
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        if Instant::now() >= give_up {
+                            break Dispatch::Reply(Frame::Report {
+                                text: format!("site={}\nbusy=1\n", daemon.local.index()),
+                            });
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
         }
 
         // A response frame arriving as a request is protocol confusion.
@@ -767,14 +1107,34 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
         | Frame::Done { .. }
         | Frame::Value { .. }
         | Frame::Refused { .. }
+        | Frame::Unavailable { .. }
         | Frame::Report { .. } => Dispatch::Close,
     }
 }
 
+/// The typed cause behind a data-operation refusal — what a client (or
+/// the fault-campaign workload) branches on without parsing prose.
+#[must_use]
+pub fn unavailable_reason(err: &AccessError) -> UnavailableReason {
+    match err {
+        AccessError::NoQuorum { .. } => UnavailableReason::NoQuorum,
+        AccessError::TieLost { .. } => UnavailableReason::TieLost,
+        AccessError::NoCurrentCopy { .. } => UnavailableReason::NoCurrentCopy,
+        AccessError::OriginUnavailable { .. } => UnavailableReason::OriginDown,
+        AccessError::Timeout { .. } => UnavailableReason::PeerSilence,
+        AccessError::Indeterminate { .. } => UnavailableReason::Indeterminate,
+    }
+}
+
+/// A data operation the quorum logic cannot serve answers promptly with
+/// a typed [`Frame::Unavailable`] — graceful degradation, never a
+/// stall: the client learns *why* (no quorum, tie lost, peers silent…)
+/// and decides whether to retry elsewhere.
 fn refuse(daemon: &Arc<Daemon>, op: &str, err: &AccessError) -> Dispatch {
     let clause = refusal_clause(err);
     daemon.log.log(&format!("REFUSE {op}: {err} — {clause}"));
-    Dispatch::Reply(Frame::Refused {
+    Dispatch::Reply(Frame::Unavailable {
+        reason: unavailable_reason(err),
         message: format!("{err} [{clause}]"),
     })
 }
@@ -827,6 +1187,14 @@ fn status_text(daemon: &Arc<Daemon>, cluster: &Cluster<Vec<u8>, TcpTransport>) -
     line("recovers_ok", stats.recovers_ok.to_string());
     line("recovers_refused", stats.recovers_refused.to_string());
     line("links_blocked", fmt_sites(daemon.links.blocked()));
+    line(
+        "probe.released",
+        daemon.probe_released.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "probe.commits",
+        daemon.probe_commits.load(Ordering::Relaxed).to_string(),
+    );
     match &daemon.store {
         Some(store) => {
             let store = store.lock().expect("site store poisoned");

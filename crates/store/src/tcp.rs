@@ -16,7 +16,9 @@
 //! thread refuses further attempts until the backoff window elapses
 //! (failing sends fast instead of hammering a dead peer), doubling the
 //! window on each consecutive failure up to a cap and resetting it on
-//! success.
+//! success. Each wait is *jittered* — drawn from `[window/2, window]`
+//! per link — so sites restarted at the same instant do not reconnect
+//! in lockstep.
 //!
 //! [`LinkRules`] is the partition surface: a shared set of peers this
 //! host refuses to talk to. Outbound frames to a denied peer are
@@ -39,6 +41,8 @@ use dynvote_replica::{
 };
 use dynvote_types::{SiteId, SiteSet};
 
+use crate::jitter::Jitter;
+use crate::probe::OpLedger;
 use crate::wire::{read_frame, Frame};
 
 /// The runtime-mutable partition surface shared by the transport (which
@@ -168,6 +172,11 @@ struct PeerLink {
     backoff: Duration,
     retry_at: Instant,
     stats: Arc<Mutex<PeerStats>>,
+    /// Decorrelates reconnect waves: each wait is drawn from
+    /// `[window/2, window]` rather than sitting exactly on the window's
+    /// edge, so a fleet of simultaneously-restarted sites does not
+    /// retry in lockstep forever.
+    jitter: Jitter,
 }
 
 impl PeerLink {
@@ -177,8 +186,9 @@ impl PeerLink {
 
     fn note_failure(&mut self) {
         self.conn = None;
-        self.retry_at = Instant::now() + self.backoff;
-        let backoff_ms = self.backoff.as_millis() as u64;
+        let wait = self.jitter.equal_jitter(self.backoff);
+        self.retry_at = Instant::now() + wait;
+        let backoff_ms = wait.as_millis() as u64;
         self.backoff = (self.backoff * 2).min(self.timeouts.backoff_cap);
         self.stat(|s| {
             s.connected = false;
@@ -278,6 +288,11 @@ pub struct TcpTransport {
     /// exchange lost. The thread's socket timeouts bound its work, so
     /// this only needs to cover connect + write + read once.
     reply_wait: Duration,
+    /// The operation ledger for answering vote probes — shared with
+    /// the daemon's `VOTE-PROBE` handler, written at every commit
+    /// point. Durable (replayed across restarts) when the daemon has a
+    /// data directory.
+    ledger: Arc<Mutex<OpLedger>>,
 }
 
 impl TcpTransport {
@@ -306,6 +321,7 @@ impl TcpTransport {
                 backoff: timeouts.backoff_floor,
                 retry_at: Instant::now(),
                 stats: Arc::clone(&stats),
+                jitter: Jitter::from_entropy(&(local.index(), site.index(), addr)),
             };
             std::thread::Builder::new()
                 .name(format!("dynvote-peer-{}", site.index()))
@@ -318,7 +334,16 @@ impl TcpTransport {
             peers: map,
             links,
             reply_wait: timeouts.connect + timeouts.read + Duration::from_millis(500),
+            ledger: Arc::new(Mutex::new(OpLedger::default())),
         }
+    }
+
+    /// The operation ledger (shared handle) — the daemon's vote-probe
+    /// handler answers from it, and daemons with a data directory
+    /// swap in a durable replayed instance at boot.
+    #[must_use]
+    pub fn ledger(&self) -> Arc<Mutex<OpLedger>> {
+        Arc::clone(&self.ledger)
     }
 
     /// The link rules this transport consults (shared with the daemon).
@@ -472,7 +497,33 @@ impl Transport<Vec<u8>> for TcpTransport {
         }
     }
 
+    fn commit_point(&mut self, ticket: u64, state: ReplicaState, value: Option<&Vec<u8>>) {
+        // The wedge-resolution record, fsync'd before the commit has
+        // any effect (see `crate::probe`). A failed append is only
+        // unsound if this process also dies and a wedged site probes
+        // across the gap; surface it loudly rather than fail the
+        // commit.
+        if let Err(error) = self
+            .ledger
+            .lock()
+            .expect("op ledger poisoned")
+            .note_commit(ticket, state, value)
+        {
+            eprintln!(
+                "S{} commit ledger write failed at ticket {ticket}: {error}",
+                self.local.index()
+            );
+        }
+    }
+
     fn release(&mut self, ticket: u64, keep: SiteSet) {
+        // The abort is decided the moment the release broadcast goes
+        // out; ledger it even for peers behind a cut link — the probe
+        // path is exactly for deliveries that fail here.
+        self.ledger
+            .lock()
+            .expect("op ledger poisoned")
+            .note_release(ticket, keep);
         let frame = Frame::Release {
             ticket,
             from: self.local,
@@ -525,7 +576,6 @@ fn local_response(message: &Message, body: Reply<Vec<u8>>) -> Carried<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write as _;
     use std::net::TcpListener;
 
     fn start_message(from: usize, to: usize) -> Message {
@@ -586,6 +636,44 @@ mod tests {
         assert_eq!(transport.peer_stats()[0].1.sends, 0, "no socket work");
         links.clear();
         assert!(!links.is_blocked(SiteId::new(1)));
+    }
+
+    #[test]
+    fn reconnect_backoff_is_jittered_within_the_window() {
+        // Drive the link state machine directly through consecutive
+        // failures: every recorded wait must stay inside the jitter
+        // envelope [window/2, window] of the exponential policy, and
+        // two links (different seeds) must not draw identical waves.
+        let waves: Vec<Vec<u64>> = (0u64..2)
+            .map(|seed| {
+                let timeouts = TcpTimeouts::fast();
+                let mut link = PeerLink {
+                    addr: "127.0.0.1:1".to_string(),
+                    timeouts,
+                    conn: None,
+                    backoff: timeouts.backoff_floor,
+                    retry_at: Instant::now(),
+                    stats: Arc::new(Mutex::new(PeerStats::default())),
+                    jitter: Jitter::new(7 + seed),
+                };
+                let mut window = timeouts.backoff_floor;
+                let mut waits = Vec::new();
+                for _ in 0..8 {
+                    link.note_failure();
+                    let wait = link.stats.lock().unwrap().backoff_ms;
+                    let lo = (window / 2).as_millis() as u64;
+                    let hi = window.as_millis() as u64;
+                    assert!(
+                        (lo..=hi).contains(&wait),
+                        "wait {wait}ms outside [{lo}, {hi}]ms"
+                    );
+                    waits.push(wait);
+                    window = (window * 2).min(timeouts.backoff_cap);
+                }
+                waits
+            })
+            .collect();
+        assert_ne!(waves[0], waves[1], "two links retry in lockstep");
     }
 
     #[test]

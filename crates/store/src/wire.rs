@@ -51,6 +51,8 @@ pub enum FrameError {
     BadSite(u16),
     /// A boolean field held a byte other than 0 or 1.
     BadBool(u8),
+    /// An unavailability-reason field held an unknown code.
+    BadReason(u8),
     /// A text field was not valid UTF-8.
     BadUtf8,
 }
@@ -68,12 +70,83 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::BadSite(index) => write!(f, "site index {index} out of range"),
             FrameError::BadBool(b) => write!(f, "boolean field holds 0x{b:02x}"),
+            FrameError::BadReason(b) => write!(f, "unknown unavailability reason 0x{b:02x}"),
             FrameError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
         }
     }
 }
 
 impl std::error::Error for FrameError {}
+
+/// Why a data operation could not be served right now — the typed,
+/// machine-readable core of a [`Frame::Unavailable`] response. Clients
+/// (and the fault-campaign workload) branch on this without parsing
+/// refusal prose; the codes mirror [`dynvote_types::AccessError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnavailableReason {
+    /// The reachable sites do not form a majority of the current
+    /// partition set (the paper's quorum condition failed).
+    NoQuorum,
+    /// Exactly half the votes were assembled and the tie-breaker was
+    /// on the other side.
+    TieLost,
+    /// A quorum of control state answered, but no reachable site holds
+    /// a current copy of the data.
+    NoCurrentCopy,
+    /// The serving site itself is down or still recovering.
+    OriginDown,
+    /// Peers went silent mid-operation (crash or partition during the
+    /// exchange); the operation aborted rather than hang.
+    PeerSilence,
+    /// The operation aborted at an indeterminate point — some
+    /// participants may have committed; retry after RECOVER.
+    Indeterminate,
+}
+
+impl UnavailableReason {
+    const ALL: [UnavailableReason; 6] = [
+        UnavailableReason::NoQuorum,
+        UnavailableReason::TieLost,
+        UnavailableReason::NoCurrentCopy,
+        UnavailableReason::OriginDown,
+        UnavailableReason::PeerSilence,
+        UnavailableReason::Indeterminate,
+    ];
+
+    fn code(self) -> u8 {
+        match self {
+            UnavailableReason::NoQuorum => 1,
+            UnavailableReason::TieLost => 2,
+            UnavailableReason::NoCurrentCopy => 3,
+            UnavailableReason::OriginDown => 4,
+            UnavailableReason::PeerSilence => 5,
+            UnavailableReason::Indeterminate => 6,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|reason| reason.code() == code)
+    }
+
+    /// The stable lower-case token used in status output and reports.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            UnavailableReason::NoQuorum => "no-quorum",
+            UnavailableReason::TieLost => "tie-lost",
+            UnavailableReason::NoCurrentCopy => "no-current-copy",
+            UnavailableReason::OriginDown => "origin-down",
+            UnavailableReason::PeerSilence => "peer-silence",
+            UnavailableReason::Indeterminate => "indeterminate",
+        }
+    }
+}
+
+impl std::fmt::Display for UnavailableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
 
 /// One wire frame — see the module docs for the three families.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -155,6 +228,19 @@ pub enum Frame {
         /// wedged.
         keep: SiteSet,
     },
+    /// A wedged participant asking the coordinator that issued
+    /// `ticket` what became of it — the pull path that complements the
+    /// best-effort `COMMIT`/`RELEASE` push. Answered with the
+    /// [`Frame::Release`] or [`Frame::Commit`] the prober lost, or a
+    /// [`Frame::Abstain`] when the coordinator cannot soundly say.
+    VoteProbe {
+        /// The outstanding vote's ticket.
+        ticket: u64,
+        /// The wedged (probing) site.
+        from: SiteId,
+        /// The coordinator the ticket names.
+        to: SiteId,
+    },
     /// Explicit abstention: the recipient processed the `START` but is
     /// wedged on an outstanding vote for another operation.
     Abstain {
@@ -212,6 +298,16 @@ pub enum Frame {
         /// The report text.
         text: String,
     },
+    /// Response: the site cannot serve this data operation *right now*
+    /// — graceful degradation with a typed cause, answered promptly
+    /// instead of stalling. Carries the same human-readable clause a
+    /// [`Frame::Refused`] would, plus the machine-readable reason.
+    Unavailable {
+        /// Why the operation cannot be served.
+        reason: UnavailableReason,
+        /// The refusal prose, with the clause that fired.
+        message: String,
+    },
 }
 
 const T_START_REQ: u8 = 0x01;
@@ -222,6 +318,7 @@ const T_COPY_REQ: u8 = 0x05;
 const T_COPY_REP: u8 = 0x06;
 const T_RELEASE: u8 = 0x07;
 const T_ABSTAIN: u8 = 0x08;
+const T_VOTE_PROBE: u8 = 0x09;
 const T_PUT: u8 = 0x10;
 const T_GET: u8 = 0x11;
 const T_RECOVER: u8 = 0x12;
@@ -233,6 +330,7 @@ const T_DONE: u8 = 0x20;
 const T_VALUE: u8 = 0x21;
 const T_REFUSED: u8 = 0x22;
 const T_REPORT: u8 = 0x23;
+const T_UNAVAILABLE: u8 = 0x24;
 
 fn put_site(out: &mut Vec<u8>, site: SiteId) {
     // SiteId indices are bounded by MAX_SITES (64), far under u16.
@@ -377,6 +475,12 @@ impl Frame {
                 put_site(out, *from);
                 put_site(out, *to);
             }
+            Frame::VoteProbe { ticket, from, to } => {
+                put_u8(out, T_VOTE_PROBE);
+                put_u64(out, *ticket);
+                put_site(out, *from);
+                put_site(out, *to);
+            }
             Frame::Put { value } => {
                 put_u8(out, T_PUT);
                 put_bytes(out, value);
@@ -409,6 +513,11 @@ impl Frame {
             Frame::Report { text } => {
                 put_u8(out, T_REPORT);
                 put_text(out, text);
+            }
+            Frame::Unavailable { reason, message } => {
+                put_u8(out, T_UNAVAILABLE);
+                put_u8(out, reason.code());
+                put_text(out, message);
             }
         }
     }
@@ -478,6 +587,11 @@ impl Frame {
                 from: read_site(&mut r)?,
                 to: read_site(&mut r)?,
             },
+            T_VOTE_PROBE => Frame::VoteProbe {
+                ticket: r.u64()?,
+                from: read_site(&mut r)?,
+                to: read_site(&mut r)?,
+            },
             T_PUT => Frame::Put {
                 value: read_blob(&mut r)?,
             },
@@ -504,6 +618,15 @@ impl Frame {
             T_REPORT => Frame::Report {
                 text: read_text(&mut r)?,
             },
+            T_UNAVAILABLE => {
+                let code = r.u8()?;
+                let reason =
+                    UnavailableReason::from_code(code).ok_or(FrameError::BadReason(code))?;
+                Frame::Unavailable {
+                    reason,
+                    message: read_text(&mut r)?,
+                }
+            }
             other => return Err(FrameError::UnknownType(other)),
         };
         if !r.is_exhausted() {
@@ -602,6 +725,11 @@ mod tests {
                 from: SiteId::new(3),
                 to: SiteId::new(0),
             },
+            Frame::VoteProbe {
+                ticket: (2 << 48) | 91,
+                from: SiteId::new(1),
+                to: SiteId::new(2),
+            },
         ];
         for frame in frames {
             let bytes = frame.encode();
@@ -609,6 +737,26 @@ mod tests {
             assert_eq!(read_frame(&mut cursor).unwrap(), frame);
             assert!(cursor.is_empty());
         }
+    }
+
+    #[test]
+    fn unavailable_round_trips_every_reason() {
+        for reason in UnavailableReason::ALL {
+            let frame = Frame::Unavailable {
+                reason,
+                message: format!("cannot serve: {reason}"),
+            };
+            let bytes = frame.encode();
+            let mut cursor = &bytes[..];
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+        }
+        // An unknown reason code is a decode error, not a panic or a
+        // silent default.
+        let mut body = Vec::new();
+        put_u8(&mut body, T_UNAVAILABLE);
+        put_u8(&mut body, 0xEE);
+        put_u32(&mut body, 0);
+        assert_eq!(Frame::decode(&body), Err(FrameError::BadReason(0xEE)));
     }
 
     #[test]

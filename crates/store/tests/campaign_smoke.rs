@@ -1,0 +1,49 @@
+//! A short end-to-end fault campaign against real daemons: the
+//! tier-two live assertion that the nemesis harness itself works —
+//! kills land, restarts recover, the workload never hangs, the monitor
+//! stays quiet, and the schedule is reproducible from its seed.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dynvote_store::campaign::{self, CampaignConfig, Topology};
+
+#[test]
+fn short_seeded_campaign_passes_with_zero_violations() {
+    let data_root =
+        std::env::temp_dir().join(format!("dynvote-campaign-smoke-{}", std::process::id()));
+    let config = CampaignConfig {
+        seed: 7,
+        duration: Duration::from_secs(8),
+        sites: 3,
+        topology: Topology::Flat,
+        policy: "odv".to_string(),
+        clients: 2,
+        op_deadline: Duration::from_secs(3),
+        data_root: Some(data_root.clone()),
+        out: None,
+        keep_data: false,
+        stored_bin: Some(PathBuf::from(env!("CARGO_BIN_EXE_dynvote-stored"))),
+        quiet: true,
+    };
+    let outcome = campaign::run(&config).expect("campaign harness failed");
+    assert!(
+        outcome.violations.is_empty(),
+        "campaign found violations:\n{}",
+        outcome.violations.join("\n")
+    );
+    assert!(outcome.ops > 0, "workload issued no operations");
+    assert!(
+        outcome.report_json.contains("\"result\": \"pass\""),
+        "report disagrees with outcome:\n{}",
+        outcome.report_json
+    );
+    std::fs::remove_dir_all(&data_root).ok();
+}
+
+#[test]
+fn schedule_is_a_pure_function_of_its_seed() {
+    let a = campaign::schedule::generate(42, 8, 5, Duration::from_secs(60));
+    let b = campaign::schedule::generate(42, 8, 5, Duration::from_secs(60));
+    assert_eq!(a.render(), b.render());
+}

@@ -172,6 +172,7 @@ proptest! {
                 | FrameError::UnknownType(_)
                 | FrameError::BadSite(_)
                 | FrameError::BadBool(_)
+                | FrameError::BadReason(_)
                 | FrameError::BadUtf8,
             ) => {}
             Err(FrameError::Oversized { .. }) => {

@@ -38,13 +38,16 @@ B="127.0.0.1:$((PORT_BASE + 1))"
 C="127.0.0.1:$((PORT_BASE + 2))"
 PEERS="0=$A,1=$B,2=$C"
 
-# PIDS is indexed by site and updated on restart, so the EXIT trap
-# always kills the *current* incarnation of every daemon, even when the
-# script dies mid-phase.
+# PIDS is indexed by site (the *current* incarnation, for targeted
+# kills); ALL_PIDS is append-only and holds every process this script
+# ever spawned — daemons restarted mid-phase AND the background writer
+# — so the EXIT trap reaps stragglers no matter when the script dies.
+# Killing an already-dead pid is a harmless no-op.
 PIDS=(0 0 0)
+ALL_PIDS=()
 cleanup() {
-    for pid in "${PIDS[@]}"; do
-        [[ "$pid" != 0 ]] && kill -9 "$pid" 2>/dev/null || true
+    for pid in "${ALL_PIDS[@]}"; do
+        kill -9 "$pid" 2>/dev/null || true
     done
 }
 trap cleanup EXIT
@@ -62,17 +65,27 @@ start_node() {
         --bind-retry-ms 15000 --boot-recover-ms 20000 \
         --log "$LOG_DIR/node$site.log" &
     PIDS[site]=$!
+    ALL_PIDS+=("${PIDS[site]}")
 }
 
+# Polls until the site answers status. Fails loudly — with the node's
+# log — if the daemon process dies before ever binding (a silent exit
+# here used to surface much later as a confusing protocol refusal).
 wait_up() {
     local site="$1" addr="$2"
     for _ in $(seq 1 150); do
         if "$CTL" --node "$addr" status >/dev/null 2>&1; then
             return 0
         fi
+        if ! kill -0 "${PIDS[$site]}" 2>/dev/null; then
+            echo "FAIL: node $site ($addr) exited before binding; its log:" >&2
+            sed 's/^/    /' "$LOG_DIR/node$site.log" >&2 || true
+            exit 1
+        fi
         sleep 0.1
     done
-    echo "FAIL: node $site ($addr) never came up" >&2
+    echo "FAIL: node $site ($addr) never came up; its log:" >&2
+    sed 's/^/    /' "$LOG_DIR/node$site.log" >&2 || true
     exit 1
 }
 
@@ -153,6 +166,7 @@ echo "== kill -9 node 2 mid-write stream"
     done
 ) &
 WRITER=$!
+ALL_PIDS+=("$WRITER")
 sleep 0.2
 kill -9 "${PIDS[2]}"
 PIDS[2]=0
