@@ -1,0 +1,310 @@
+//! Closed-loop load driver for the networked store, written to
+//! `BENCH_store.json` at the repo root.
+//!
+//! The number this replaces was a lie the file admitted to: ~500 put/s
+//! of *CLI latency*, where every operation paid a process spawn, a
+//! fresh TCP connect, and a serial quorum round. This harness measures
+//! the transport instead: it boots a loopback fleet **in process**
+//! (real daemons, real sockets, the same `TcpTransport` peer links),
+//! then drives it through persistent pipelined [`Connection`]s —
+//! configurable client count, pipeline depth, and read/write mix —
+//! and reports sustained req/s plus p50/p99/p999 latency.
+//!
+//! All clients target site 0: a single coordinator is the honest
+//! configuration for a throughput ceiling (two coordinators polling
+//! *at* each other serialize on vote wedging, which is a protocol
+//! property, not a transport one — EXPERIMENTS.md discusses it).
+//!
+//! ```text
+//! cargo run --release -p dynvote-bench --bin store_throughput -- \
+//!     [--clients N] [--pipeline D] [--write-pct P] [--secs S] \
+//!     [--policy odv] [--sites 3] [--quick] [--out PATH]
+//! ```
+
+use std::collections::VecDeque;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use dynvote_store::client::request;
+use dynvote_store::config::Config;
+use dynvote_store::conn::{ConnOptions, Connection};
+use dynvote_store::server::{start_on, ServiceHandle};
+use dynvote_store::wire::Frame;
+use dynvote_store::{Deadline, Outcome};
+
+struct Args {
+    clients: usize,
+    pipeline: usize,
+    write_pct: u64,
+    secs: f64,
+    policy: String,
+    sites: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 2,
+        pipeline: 256,
+        write_pct: 90,
+        secs: 5.0,
+        policy: "odv".to_string(),
+        sites: 3,
+        out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json").to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--clients" => args.clients = value("--clients").parse().expect("--clients"),
+            "--pipeline" => args.pipeline = value("--pipeline").parse().expect("--pipeline"),
+            "--write-pct" => args.write_pct = value("--write-pct").parse().expect("--write-pct"),
+            "--secs" => args.secs = value("--secs").parse().expect("--secs"),
+            "--policy" => args.policy = value("--policy"),
+            "--sites" => args.sites = value("--sites").parse().expect("--sites"),
+            "--quick" => args.secs = 2.0,
+            "--out" => args.out = value("--out"),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other:?}\nusage: store_throughput \
+                     [--clients N] [--pipeline D] [--write-pct P] [--secs S] \
+                     [--policy NAME] [--sites N] [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.clients >= 1 && args.pipeline >= 1 && args.sites >= 1);
+    assert!(args.write_pct <= 100, "--write-pct is a percentage");
+    args
+}
+
+/// Boots a loopback fleet: ephemeral listeners first (so every config
+/// names real addresses), then one daemon per site, then a status poll
+/// until all accept. `--quiet` keeps the grant log off stderr — at the
+/// rates this harness drives, the terminal would be the bottleneck.
+fn boot_fleet(policy: &str, sites: usize) -> (Vec<ServiceHandle>, Vec<String>) {
+    let listeners: Vec<TcpListener> = (0..sites)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect();
+    let peers = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| format!("{i}={a}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let flags = format!(
+                "--site {i} --policy {policy} --peers {peers} --value v0 --quiet \
+                 --connect-timeout-ms 250 --read-timeout-ms 2000 \
+                 --backoff-ms 10 --backoff-cap-ms 100"
+            );
+            let config = Config::parse_args(flags.split_whitespace().map(str::to_string))
+                .expect("bench config");
+            start_on(config, listener).expect("daemon start")
+        })
+        .collect();
+    for addr in &addrs {
+        let up = (0..50).any(|_| {
+            matches!(
+                request(addr, &Frame::Status, Duration::from_millis(500)),
+                Ok(Outcome::Report(_))
+            )
+        });
+        assert!(up, "daemon at {addr} never answered status");
+    }
+    (handles, addrs)
+}
+
+/// What one client thread brings back.
+struct ClientRun {
+    /// (latency in µs, was a write) per completed request.
+    samples: Vec<(u64, bool)>,
+    refused: u64,
+    errors: u64,
+}
+
+/// One closed-loop client: keep `depth` requests in flight on a single
+/// pipelined connection until `end`, then drain.
+fn drive_client(addr: &str, depth: usize, write_pct: u64, seed: u64, end: Instant) -> ClientRun {
+    let conn = Connection::new(addr, ConnOptions::default());
+    let mut jitter = dynvote_store::jitter::Jitter::new(seed);
+    let payload = vec![b'x'; 32];
+    let mut run = ClientRun {
+        samples: Vec::with_capacity(1 << 16),
+        refused: 0,
+        errors: 0,
+    };
+    let mut inflight = VecDeque::with_capacity(depth);
+    let reap =
+        |run: &mut ClientRun,
+         (pending, started, is_write): (dynvote_store::conn::Pending, Instant, bool)| {
+            let wait_deadline = Deadline::within(Duration::from_secs(10));
+            match conn.wait(&pending, &wait_deadline) {
+                Ok(outcome) if outcome.granted() => {
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    run.samples.push((micros, is_write));
+                }
+                Ok(_) => run.refused += 1,
+                Err(_) => run.errors += 1,
+            }
+        };
+    while Instant::now() < end {
+        while inflight.len() < depth {
+            let is_write = jitter.in_range(0, 99) < write_pct;
+            let frame = if is_write {
+                Frame::Put {
+                    value: payload.clone(),
+                }
+            } else {
+                Frame::Get
+            };
+            let submit_deadline = Deadline::within(Duration::from_secs(10));
+            match conn.submit(&frame, &submit_deadline) {
+                Ok(pending) => inflight.push_back((pending, Instant::now(), is_write)),
+                Err(_) => {
+                    run.errors += 1;
+                    break;
+                }
+            }
+        }
+        let Some(oldest) = inflight.pop_front() else {
+            break;
+        };
+        reap(&mut run, oldest);
+    }
+    for leftover in inflight {
+        reap(&mut run, leftover);
+    }
+    run
+}
+
+/// The `q`-th percentile (0.0–1.0) of a sorted sample vector, in µs.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn histogram_json(label: &str, mut samples: Vec<u64>) -> String {
+    samples.sort_unstable();
+    format!(
+        r#""{label}": {{ "count": {count}, "p50_us": {p50}, "p99_us": {p99}, "p999_us": {p999}, "max_us": {max} }}"#,
+        count = samples.len(),
+        p50 = percentile(&samples, 0.50),
+        p99 = percentile(&samples, 0.99),
+        p999 = percentile(&samples, 0.999),
+        max = samples.last().copied().unwrap_or(0),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "booting {} x {} loopback fleet ...",
+        args.sites, args.policy
+    );
+    let (handles, addrs) = boot_fleet(&args.policy, args.sites);
+    let target = addrs[0].clone();
+
+    eprintln!(
+        "driving: {} clients x pipeline {} at {}% writes for {:.1}s ...",
+        args.clients, args.pipeline, args.write_pct, args.secs
+    );
+    let started = Instant::now();
+    let end = started + Duration::from_secs_f64(args.secs);
+    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..args.clients)
+            .map(|i| {
+                let target = &target;
+                scope.spawn(move || {
+                    drive_client(
+                        target,
+                        args.pipeline,
+                        args.write_pct,
+                        0x5eed_0000 + i as u64,
+                        end,
+                    )
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = Vec::new();
+    let mut writes: Vec<u64> = Vec::new();
+    let mut reads: Vec<u64> = Vec::new();
+    let mut refused = 0u64;
+    let mut errors = 0u64;
+    for run in runs {
+        refused += run.refused;
+        errors += run.errors;
+        for (micros, is_write) in run.samples {
+            all.push(micros);
+            if is_write {
+                writes.push(micros);
+            } else {
+                reads.push(micros);
+            }
+        }
+    }
+    let completed = all.len() as u64;
+    let rps = completed as f64 / wall;
+    assert!(
+        errors == 0 && refused == 0,
+        "fault-free loopback run saw {refused} refusals / {errors} errors"
+    );
+
+    let json = format!(
+        r#"{{
+  "generated_by": "cargo run --release -p dynvote-bench --bin store_throughput",
+  "machine": {{ "cores": {cores} }},
+  "cluster": {{ "policy": "{policy}", "sites": {sites}, "durable": false }},
+  "workload": {{ "clients": {clients}, "pipeline_depth": {pipeline}, "write_pct": {write_pct}, "payload_bytes": 32, "secs": {wall:.3} }},
+  "completed_requests": {completed},
+  "requests_per_sec": {rps:.0},
+  {hist_all},
+  {hist_writes},
+  {hist_reads},
+  "note": "closed-loop, in-process loopback fleet; persistent pipelined connections (correlation-id frames) and batched quorum commits; latency includes pipeline queueing"
+}}
+"#,
+        policy = args.policy,
+        sites = args.sites,
+        clients = args.clients,
+        pipeline = args.pipeline,
+        write_pct = args.write_pct,
+        hist_all = histogram_json("latency", all),
+        hist_writes = histogram_json("write_latency", writes),
+        hist_reads = histogram_json("read_latency", reads),
+    );
+
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    eprint!("{json}");
+    eprintln!("wrote {} ({rps:.0} req/s)", args.out);
+}

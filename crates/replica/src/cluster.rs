@@ -203,6 +203,25 @@ impl ClusterBuilder {
     /// part of the supplied network.
     #[must_use]
     pub fn build_with_value<T: Clone>(self, initial: T) -> Cluster<T> {
+        self.build_with_transport(BusTransport::new(), initial)
+    }
+
+    /// Builds the all-in-process cluster on a caller-supplied
+    /// transport. This is the observation seam for tests that need to
+    /// see the transport-level event order (e.g. that the commit point
+    /// fires strictly before the `COMMIT` fanout) — wrap a
+    /// [`BusTransport`] in a recorder and hand it in here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no copies were declared, or when a copy site is not
+    /// part of the supplied network.
+    #[must_use]
+    pub fn build_with_transport<T: Clone, X: Transport<T>>(
+        self,
+        transport: X,
+        initial: T,
+    ) -> Cluster<T, X> {
         assert!(!self.copies.is_empty(), "a replicated file needs copies");
         let copies: SiteSet = SiteSet::from_indices(self.copies.iter().copied());
         let witnesses: SiteSet = SiteSet::from_indices(self.witnesses.iter().copied());
@@ -250,7 +269,7 @@ impl ClusterBuilder {
             checker: Checker::new(),
             stats: OpStats::default(),
             history: Vec::new(),
-            transport: BusTransport::new(),
+            transport,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             op_ticket: 0,
         }
@@ -1597,6 +1616,133 @@ impl<T: Clone, X: Transport<T>> Cluster<T, X> {
             Err(_) => self.stats.writes_refused += 1,
         }
         result
+    }
+
+    /// WRITE, batched: commits `values` as `values.len()` consecutive
+    /// write operations decided by ONE poll and closed by ONE commit
+    /// exchange. The quorum question is identical for every write in
+    /// the batch — the group either holds a strict majority of P_m or
+    /// it does not — so one ruling covers all of them, and the single
+    /// COMMIT installs ⟨o + K, v + K, P⟩ with the *last* value: exactly
+    /// the state K serial writes would leave (each overwriting its
+    /// predecessor), with the same per-write history entries and
+    /// checker lineage notes.
+    ///
+    /// All-or-nothing by construction: one decision grants or refuses
+    /// the whole batch, so a client never sees write i+1 acknowledged
+    /// while write i failed. A partial commit surfaces as
+    /// [`AccessError::Indeterminate`] for every write — the honest
+    /// answer, since the one fanout carried them all.
+    ///
+    /// Returns one result per value, in order; `Ok` carries the
+    /// committed ⟨o, v, P⟩ entry for that write.
+    pub fn write_batch(
+        &mut self,
+        origin: SiteId,
+        values: Vec<T>,
+    ) -> Vec<Result<CommittedOp, AccessError>> {
+        let count = values.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        let refuse_all = |this: &mut Self, err: AccessError| {
+            this.stats.writes_refused += count as u64;
+            (0..count).map(|_| Err(err.clone())).collect()
+        };
+        let group = match self.origin_group(origin, AccessKind::Write) {
+            Ok(group) => group,
+            Err(err) => return refuse_all(self, err),
+        };
+        let Some(rule) = self.rule.clone() else {
+            // MCV quorums count static votes, not a partition lineage:
+            // there is no per-batch poll to amortize. Serve serially.
+            return values
+                .into_iter()
+                .map(|value| {
+                    self.write(origin, value).map(|()| {
+                        self.history
+                            .last()
+                            .copied()
+                            .expect("a granted write records its history entry")
+                    })
+                })
+                .collect();
+        };
+        let ticket = self.next_ticket();
+        let poll = self.poll_phase(origin, group, ticket, true);
+        if !poll.origin_alive {
+            self.release_pending(ticket, SiteSet::EMPTY);
+            return refuse_all(self, AccessError::OriginUnavailable { origin });
+        }
+        let p = match plan_with_witnesses(
+            OpKind::Write,
+            poll.heard,
+            self.copies,
+            self.witnesses,
+            &poll.table,
+            &rule,
+            Some(&self.network),
+        ) {
+            Ok(p) => p,
+            Err(refusal) => {
+                self.release_pending(ticket, SiteSet::EMPTY);
+                let err = self.timeout_or(refusal, AccessKind::Write, origin, &poll);
+                return refuse_all(self, err);
+            }
+        };
+        // The plan grants the first write ⟨o+1, v+1⟩; the batch's K-th
+        // lands at ⟨o+K, v+K⟩. Only the final state and the final value
+        // ride the COMMIT — the intermediate values are overwritten
+        // before any reader could be served, exactly as under K serial
+        // writes back to back.
+        let steps = (count - 1) as u64;
+        let final_op = p.new_op + steps;
+        let final_version = p.new_version + steps;
+        let last = values
+            .last()
+            .cloned()
+            .expect("batch verified non-empty above");
+        let outcome = self.commit_phase(
+            origin,
+            ticket,
+            p.participants,
+            final_op,
+            final_version,
+            Some(&last),
+        );
+        if !outcome.applied.is_empty() {
+            for i in 0..count as u64 {
+                self.checker.note_commit(p.new_op + i, p.participants);
+            }
+        }
+        self.release_pending(ticket, outcome.missing);
+        if outcome.missing.is_empty() {
+            self.stats.writes_ok += count as u64;
+            (0..count as u64)
+                .map(|i| {
+                    self.checker.note_write(p.new_version + i);
+                    let entry = CommittedOp {
+                        kind: AccessKind::Write,
+                        origin,
+                        op: p.new_op + i,
+                        version: p.new_version + i,
+                        participants: p.participants,
+                    };
+                    self.record_op(entry);
+                    Ok(entry)
+                })
+                .collect()
+        } else {
+            refuse_all(
+                self,
+                AccessError::Indeterminate {
+                    kind: AccessKind::Write,
+                    origin,
+                    applied: outcome.applied,
+                    missing: outcome.missing,
+                },
+            )
+        }
     }
 
     fn dynamic_write(

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! dynvote-ctl --node 127.0.0.1:7100 put "new contents"
+//! dynvote-ctl --node 127.0.0.1:7100 put bench --repeat 500 --pipeline 16
 //! dynvote-ctl --node 127.0.0.1:7100 get
 //! dynvote-ctl --node 127.0.0.1:7100 recover
 //! dynvote-ctl --node 127.0.0.1:7100 status
 //! dynvote-ctl --node 127.0.0.1:7100 deny 2 | allow 2 | heal-links
 //! dynvote-ctl --nodes 0=127.0.0.1:7100,1=127.0.0.1:7101 replay fork.trace
 //! ```
+//!
+//! `--repeat N` (put/get only) issues the operation N times over ONE
+//! persistent, pipelined connection with up to `--pipeline D` (default
+//! 16) requests outstanding — what a script loop of one-shot
+//! invocations would measure is process spawn + connect, not the
+//! store. Prints a one-line req/s summary.
 //!
 //! Exit codes: 0 granted, 1 refused or unavailable (the paper's
 //! ABORT / a typed no-quorum answer), 2 usage or connection error,
@@ -18,10 +25,12 @@
 //! Every operation honours `--timeout-ms` (default 5000) as a *hard*
 //! deadline over the whole exchange: connect, send, and read.
 
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use dynvote_check::TraceFile;
-use dynvote_store::client::{request_deadline, ClientError, Outcome};
+use dynvote_store::client::{request_deadline, ClientError, Deadline, Outcome};
+use dynvote_store::conn::{ConnOptions, Connection};
 use dynvote_store::replay;
 use dynvote_store::wire::Frame;
 use dynvote_types::SiteId;
@@ -30,7 +39,8 @@ fn fail(message: &str) -> ! {
     eprintln!("dynvote-ctl: {message}");
     eprintln!(
         "usage: dynvote-ctl --node ADDR (put VALUE | get | recover | status | \
-         deny SITE | allow SITE | heal-links) [--timeout-ms N]\n       \
+         deny SITE | allow SITE | heal-links) [--timeout-ms N] \
+         [--repeat N [--pipeline D]]\n       \
          dynvote-ctl --nodes 0=ADDR,1=ADDR,… replay FILE.trace [--timeout-ms N] \
          [--crash-cmd CMD]\n       \
          (--crash-cmd maps crash/repair events to `sh -c \"CMD crash S\"` / \
@@ -76,12 +86,70 @@ fn report(outcome: &Outcome) -> ! {
     }
 }
 
+/// `--repeat` batch mode: `count` copies of `frame` over one
+/// persistent connection, `depth` outstanding, then a req/s summary.
+/// Never returns — exits with the usual codes (a single refusal or
+/// error fails the whole batch).
+fn run_repeated(node: &str, frame: &Frame, count: u64, depth: usize, timeout: Duration) -> ! {
+    let conn = Connection::new(node, ConnOptions::default());
+    let started = Instant::now();
+    let mut inflight = VecDeque::with_capacity(depth);
+    let reap = |inflight: &mut VecDeque<dynvote_store::conn::Pending>| {
+        let Some(oldest) = inflight.pop_front() else {
+            return;
+        };
+        match conn.wait(&oldest, &Deadline::within(timeout)) {
+            Ok(outcome) if outcome.granted() => {}
+            Ok(Outcome::Refused(message)) => {
+                eprintln!("refused: {message}");
+                std::process::exit(1);
+            }
+            Ok(Outcome::Unavailable { reason, message }) => {
+                eprintln!("unavailable ({reason}): {message}");
+                std::process::exit(1);
+            }
+            Ok(_) => unreachable!("granted() covered above"),
+            Err(error @ ClientError::Timeout { .. }) => {
+                eprintln!("dynvote-ctl: {node}: {error}");
+                std::process::exit(3);
+            }
+            Err(error) => {
+                eprintln!("dynvote-ctl: {node}: {error}");
+                std::process::exit(2);
+            }
+        }
+    };
+    for _ in 0..count {
+        match conn.submit(frame, &Deadline::within(timeout)) {
+            Ok(pending) => inflight.push_back(pending),
+            Err(error) => {
+                eprintln!("dynvote-ctl: {node}: {error}");
+                std::process::exit(2);
+            }
+        }
+        if inflight.len() >= depth {
+            reap(&mut inflight);
+        }
+    }
+    while !inflight.is_empty() {
+        reap(&mut inflight);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "ok: {count} ops in {secs:.3}s ({:.0} req/s, pipeline {depth})",
+        count as f64 / secs
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut node = None;
     let mut nodes: Vec<(usize, String)> = Vec::new();
     let mut timeout = Duration::from_secs(5);
     let mut crash_cmd: Option<String> = None;
+    let mut repeat = 1u64;
+    let mut pipeline = 16usize;
     let mut rest = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -117,6 +185,24 @@ fn main() {
                     iter.next()
                         .unwrap_or_else(|| fail("--crash-cmd requires a value")),
                 );
+            }
+            "--repeat" => {
+                let n = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--repeat requires a value"));
+                repeat = n.parse().unwrap_or_else(|_| fail("bad --repeat value"));
+                if repeat == 0 {
+                    fail("--repeat must be at least 1");
+                }
+            }
+            "--pipeline" => {
+                let d = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--pipeline requires a value"));
+                pipeline = d.parse().unwrap_or_else(|_| fail("bad --pipeline value"));
+                if pipeline == 0 {
+                    fail("--pipeline must be at least 1");
+                }
             }
             _ => rest.push(arg),
         }
@@ -167,6 +253,12 @@ fn main() {
         "heal-links" => Frame::HealLinks,
         other => fail(&format!("unknown command {other:?}")),
     };
+    if repeat > 1 {
+        if !matches!(frame, Frame::Put { .. } | Frame::Get) {
+            fail("--repeat applies to put and get only");
+        }
+        run_repeated(&node, &frame, repeat, pipeline, timeout);
+    }
     match request_deadline(&node, &frame, timeout) {
         Ok(outcome) => report(&outcome),
         Err(error @ ClientError::Timeout { .. }) => {

@@ -16,12 +16,88 @@
 //!   instead of re-colliding every window.
 
 use std::fmt;
-use std::io;
+use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use crate::jitter::Jitter;
 use crate::wire::{read_frame, write_frame, Frame, UnavailableReason};
+
+/// A hard deadline as an *absolute* instant, shared by every phase of
+/// an exchange — resolve, connect, write, read, and (for the pipelined
+/// [`crate::conn::Connection`]) the wait for an out-of-order reply.
+///
+/// Phases never re-arm from a fresh duration: each asks the deadline
+/// what is left *now*, so time one phase consumes (or time spent parked
+/// behind other in-flight replies) is charged against the same budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    started: Instant,
+    ends: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    #[must_use]
+    pub fn within(budget: Duration) -> Self {
+        let started = Instant::now();
+        Deadline {
+            started,
+            ends: started + budget,
+        }
+    }
+
+    /// Time since the deadline was armed.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The typed expiry, attributing the full span since arming.
+    #[must_use]
+    pub fn timeout(&self) -> ClientError {
+        ClientError::Timeout {
+            elapsed: self.elapsed(),
+        }
+    }
+
+    /// What is left, or the typed [`ClientError::Timeout`] when the
+    /// deadline has passed.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] once the absolute instant is reached.
+    pub fn remaining(&self) -> Result<Duration, ClientError> {
+        let left = self.ends.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(self.timeout());
+        }
+        Ok(left)
+    }
+}
+
+/// A [`Read`] adapter that re-arms the socket read timeout from the
+/// absolute deadline before *every* read call. `read_frame` issues
+/// separate reads for the length prefix and the body; arming the socket
+/// once before the frame (the old behaviour) let each partial read
+/// start a fresh window, so a responder dribbling one field per window
+/// could hold the caller past the deadline. Re-arming per read caps the
+/// whole frame at what the deadline has left.
+struct DeadlineRead<'a> {
+    stream: &'a TcpStream,
+    deadline: &'a Deadline,
+}
+
+impl Read for DeadlineRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let left = self
+            .deadline
+            .remaining()
+            .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "deadline expired"))?;
+        self.stream.set_read_timeout(Some(left))?;
+        (&mut &*self.stream).read(buf)
+    }
+}
 
 /// The outcome of one client command, decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +182,25 @@ impl From<ClientError> for io::Error {
     }
 }
 
+/// Decodes a response frame into an [`Outcome`] — shared by the
+/// one-shot path here and the pipelined [`crate::conn::Connection`].
+///
+/// # Errors
+///
+/// [`ClientError::Protocol`] when the frame is not a response type.
+pub fn decode_outcome(frame: Frame) -> Result<Outcome, ClientError> {
+    match frame {
+        Frame::Done { detail } => Ok(Outcome::Done(detail)),
+        Frame::Value { version, value } => Ok(Outcome::Value { version, value }),
+        Frame::Refused { message } => Ok(Outcome::Refused(message)),
+        Frame::Unavailable { reason, message } => Ok(Outcome::Unavailable { reason, message }),
+        Frame::Report { text } => Ok(Outcome::Report(text)),
+        unexpected => Err(ClientError::Protocol {
+            detail: format!("unexpected response frame {unexpected:?}"),
+        }),
+    }
+}
+
 /// Classifies an I/O failure by *when* it happened and what it was.
 fn classify(error: &io::Error, started: Instant, connected: bool) -> ClientError {
     match error.kind() {
@@ -153,17 +248,8 @@ pub fn request_deadline(
     frame: &Frame,
     deadline: Duration,
 ) -> Result<Outcome, ClientError> {
-    let started = Instant::now();
-    let ends = started + deadline;
-    let remaining = |started: Instant| -> Result<Duration, ClientError> {
-        let left = ends.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            return Err(ClientError::Timeout {
-                elapsed: started.elapsed(),
-            });
-        }
-        Ok(left)
-    };
+    let deadline = Deadline::within(deadline);
+    let started = deadline.started;
     let target = addr
         .to_socket_addrs()
         .map_err(|e| classify(&e, started, false))?
@@ -171,28 +257,21 @@ pub fn request_deadline(
         .ok_or_else(|| ClientError::Unreachable {
             detail: format!("{addr}: no address"),
         })?;
-    let stream = TcpStream::connect_timeout(&target, remaining(started)?)
+    let mut stream = TcpStream::connect_timeout(&target, deadline.remaining()?)
         .map_err(|e| classify(&e, started, false))?;
-    let mut stream = stream;
-    let step = |stream: &mut TcpStream, left: Duration| -> io::Result<()> {
-        stream.set_read_timeout(Some(left))?;
-        stream.set_write_timeout(Some(left))
-    };
-    step(&mut stream, remaining(started)?).map_err(|e| classify(&e, started, true))?;
+    stream
+        .set_write_timeout(Some(deadline.remaining()?))
+        .map_err(|e| classify(&e, started, true))?;
     write_frame(&mut stream, frame).map_err(|e| classify(&e, started, true))?;
-    // Re-arm the read with whatever the write left us.
-    step(&mut stream, remaining(started)?).map_err(|e| classify(&e, started, true))?;
-    let response = read_frame(&mut stream).map_err(|e| classify(&e, started, true))?;
-    match response {
-        Frame::Done { detail } => Ok(Outcome::Done(detail)),
-        Frame::Value { version, value } => Ok(Outcome::Value { version, value }),
-        Frame::Refused { message } => Ok(Outcome::Refused(message)),
-        Frame::Unavailable { reason, message } => Ok(Outcome::Unavailable { reason, message }),
-        Frame::Report { text } => Ok(Outcome::Report(text)),
-        unexpected => Err(ClientError::Protocol {
-            detail: format!("unexpected response frame {unexpected:?}"),
-        }),
-    }
+    // Read through the deadline adapter: every partial read re-arms
+    // from the *absolute* deadline, so the whole response frame —
+    // prefix and body, however many reads it takes — shares one budget.
+    let response = read_frame(&mut DeadlineRead {
+        stream: &stream,
+        deadline: &deadline,
+    })
+    .map_err(|e| classify(&e, started, true))?;
+    decode_outcome(response)
 }
 
 /// Backoff policy for [`request_retry`]: capped exponential windows,
@@ -331,6 +410,53 @@ mod tests {
             elapsed < Duration::from_secs(3),
             "retry loop overran its deadline: {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn dribbling_responder_cannot_extend_the_deadline() {
+        use std::io::Write;
+
+        // A daemon that answers one byte at a time, each gap shorter
+        // than the deadline. With per-*read* timeout arming (the old
+        // behaviour) every byte restarts the clock and the exchange
+        // runs for seconds; with absolute-deadline re-arming the caller
+        // is released once the overall budget is spent.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let dribble = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Drain the request, then dribble a large valid frame.
+            let mut sink = [0u8; 256];
+            let _ = stream.read(&mut sink);
+            let frame = Frame::Done {
+                detail: "x".repeat(64),
+            };
+            for byte in frame.encode() {
+                if stream.write_all(&[byte]).is_err() {
+                    return;
+                }
+                let _ = stream.flush();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let started = Instant::now();
+        let result = request_deadline(&addr, &Frame::Get, Duration::from_millis(400));
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(result, Err(ClientError::Timeout { .. })),
+            "expected Timeout, got {result:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "dribbled bytes re-armed the deadline: took {elapsed:?} for a 400ms budget"
+        );
+        if let Err(ClientError::Timeout { elapsed }) = result {
+            assert!(
+                elapsed >= Duration::from_millis(350),
+                "timeout under-attributes time spent waiting: {elapsed:?}"
+            );
+        }
+        drop(dribble);
     }
 
     #[test]

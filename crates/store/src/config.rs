@@ -57,8 +57,13 @@ pub struct Config {
     pub bridges: Vec<(usize, String)>,
     /// The initial file contents.
     pub initial: Vec<u8>,
-    /// Optional log file (always also logs to stderr).
+    /// Optional log file (always also logs to stderr unless `quiet`).
     pub log: Option<String>,
+    /// Suppress the stderr copy of the protocol log. The load driver
+    /// sets this: formatting 50k grant lines a second to a terminal
+    /// would measure the console, not the transport. File logging
+    /// (`--log`) still applies.
+    pub quiet: bool,
     /// Socket and backoff timing.
     pub timeouts: TcpTimeouts,
     /// Durable storage directory (`None` = in-memory only).
@@ -112,6 +117,7 @@ impl Config {
         let mut bridges = Vec::new();
         let mut initial = Vec::new();
         let mut log = None;
+        let mut quiet = false;
         let mut timeouts = TcpTimeouts::default();
         let mut data_dir = None;
         let mut snapshot_every = 64u64;
@@ -170,6 +176,7 @@ impl Config {
                 }
                 "--value" => initial = value("--value")?.into_bytes(),
                 "--log" => log = Some(value("--log")?),
+                "--quiet" => quiet = true,
                 "--data-dir" => data_dir = Some(value("--data-dir")?),
                 "--snapshot-every" => {
                     snapshot_every = value("--snapshot-every")?
@@ -220,6 +227,7 @@ impl Config {
             bridges,
             initial,
             log,
+            quiet,
             timeouts,
             data_dir,
             snapshot_every,

@@ -18,6 +18,8 @@
 //! * [`config`] / [`server`] — the `dynvote-stored` daemon: one site
 //!   per process, one listener for peer, client, and admin frames;
 //! * [`client`] — one-shot framed requests, as `dynvote-ctl` sends;
+//! * [`conn`] — the persistent, pipelined library client: one
+//!   connection, N outstanding correlation-id-tagged requests;
 //! * [`replay`] — drive a live cluster through minimized model-checker
 //!   counterexample traces;
 //! * [`campaign`] — the live nemesis: seeded, time-bounded randomized
@@ -47,6 +49,7 @@
 pub mod campaign;
 pub mod client;
 pub mod config;
+pub mod conn;
 pub mod jitter;
 pub mod probe;
 pub mod replay;
@@ -54,8 +57,11 @@ pub mod server;
 pub mod tcp;
 pub mod wire;
 
-pub use client::{request, request_deadline, request_retry, ClientError, Outcome, RetryPolicy};
+pub use client::{
+    request, request_deadline, request_retry, ClientError, Deadline, Outcome, RetryPolicy,
+};
 pub use config::Config;
+pub use conn::{ConnOptions, Connection, ConnectionPool};
 pub use replay::{run as run_replay, ReplayStep};
 pub use server::{refusal_clause, start, start_on, unavailable_reason, ServiceHandle};
 pub use tcp::{LinkRules, PeerStats, TcpTimeouts, TcpTransport};

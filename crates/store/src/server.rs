@@ -23,6 +23,19 @@
 //! wait, the poll's bounded retry absorbs it, and the worst case is an
 //! honest `Timeout` refusal, never a deadlock (see DESIGN.md §9).
 //!
+//! Sessions are persistent and pipelined (DESIGN.md §12): a client may
+//! keep one connection open and send any number of
+//! [`Frame::Tagged`]-wrapped data requests without waiting; replies
+//! come back tagged with the same correlation id, in completion order.
+//! Client data operations do not run on the session thread — they
+//! queue for the daemon's single *batch worker*, which drains the
+//! queue under the cluster lock and serves runs of consecutive writes
+//! through one poll/commit quorum exchange ([`Cluster::write_batch`])
+//! and runs of reads through one quorum read, then fsyncs once for the
+//! whole batch strictly before any acknowledgement leaves. Untagged
+//! data frames keep the old one-at-a-time semantics on the wire but
+//! share the same batch worker underneath.
+//!
 //! Every grant and refusal is logged with the paper clause that fired,
 //! so a partition experiment reads as a protocol trace.
 //!
@@ -36,11 +49,11 @@
 //! background to catch up from the majority partition.
 
 use std::fs::File;
-use std::io::Write as _;
+use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -97,22 +110,44 @@ fn fmt_sites(set: SiteSet) -> String {
 struct Logger {
     site: usize,
     file: Option<Mutex<File>>,
+    /// Drop the stderr copy (`--quiet`): under a load driver the
+    /// terminal write, not the protocol, would dominate the profile.
+    quiet: bool,
 }
 
 impl Logger {
     fn log(&self, line: &str) {
+        if self.quiet && self.file.is_none() {
+            return;
+        }
         let stamp = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis())
             .unwrap_or(0);
         let full = format!("[{stamp}] S{} {line}", self.site);
-        eprintln!("{full}");
+        if !self.quiet {
+            eprintln!("{full}");
+        }
         if let Some(file) = &self.file {
             if let Ok(mut file) = file.lock() {
                 let _ = writeln!(file, "{full}");
             }
         }
     }
+}
+
+/// A client data operation, decoupled from the session that carried
+/// it: the batch worker executes these in queue order.
+enum DataOp {
+    Put(Vec<u8>),
+    Get,
+}
+
+/// One queued data operation plus the completion that routes its reply
+/// back to whichever session (tagged or legacy) submitted it.
+struct PendingData {
+    op: DataOp,
+    done: Box<dyn FnOnce(Frame) + Send>,
 }
 
 struct Daemon {
@@ -140,6 +175,13 @@ struct Daemon {
     /// Wedges resolved by probing (released / late commits applied).
     probe_released: std::sync::atomic::AtomicU64,
     probe_commits: std::sync::atomic::AtomicU64,
+    /// The data-operation queue feeding the batch worker.
+    batch: mpsc::Sender<PendingData>,
+    /// Batch-worker counters for `status`: batches run, operations
+    /// served through them, and the largest single batch.
+    batch_rounds: AtomicU64,
+    batch_ops: AtomicU64,
+    batch_max: AtomicU64,
 }
 
 /// Folds the local participant's current protocol state into the
@@ -281,6 +323,7 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
             Some(path) => Some(Mutex::new(File::create(path)?)),
             None => None,
         },
+        quiet: config.quiet,
     };
 
     // Durable boot: restore snapshot + WAL replay into the local node,
@@ -350,6 +393,7 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
     };
 
     let policy_name = cluster.protocol().name();
+    let (batch_tx, batch_rx) = mpsc::channel();
     let daemon = Arc::new(Daemon {
         cluster: Mutex::new(cluster),
         links,
@@ -364,6 +408,10 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         peers: config.peers.clone(),
         probe_released: std::sync::atomic::AtomicU64::new(0),
         probe_commits: std::sync::atomic::AtomicU64::new(0),
+        batch: batch_tx,
+        batch_rounds: AtomicU64::new(0),
+        batch_ops: AtomicU64::new(0),
+        batch_max: AtomicU64::new(0),
     });
     daemon.log.log(&format!(
         "dynvote-stored up: policy={policy_name} listen={addr} peers={} durable={}",
@@ -371,6 +419,17 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         daemon.store.is_some(),
     ));
     let shutdown = Arc::new(AtomicBool::new(false));
+    // The batch worker: the single consumer of the data-operation
+    // queue. Every client put/get — pipelined or legacy — funnels
+    // through it, which is what lets the daemon amortize one quorum
+    // exchange and one fsync over a run of concurrent operations.
+    {
+        let batch_daemon = Arc::clone(&daemon);
+        let batch_shutdown = Arc::clone(&shutdown);
+        let _ = std::thread::Builder::new()
+            .name(format!("dynvote-batch-{}", config.local.index()))
+            .spawn(move || batch_loop(&batch_daemon, &batch_shutdown, &batch_rx));
+    }
     // A site restarted from disk holds pre-crash state that may be
     // stale; catch up from the majority partition in the background
     // (serving is already safe — quorum logic refuses what it must).
@@ -700,18 +759,28 @@ fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> bool {
 
 fn handle_connection(
     daemon: &Arc<Daemon>,
-    mut stream: TcpStream,
+    stream: TcpStream,
     shutdown: &AtomicBool,
     idle: Duration,
 ) {
     let _ = stream.set_read_timeout(Some(idle));
     let _ = stream.set_write_timeout(Some(idle));
     let _ = stream.set_nodelay(true);
+    // Replies completed by the batch worker race replies written inline
+    // by this thread, so every write goes through one locked writer.
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::with_capacity(64 * 1024, stream);
     loop {
-        if !wait_readable(&stream, shutdown) {
+        // Park on the idle poll only when the buffer is drained: the
+        // peek sees the socket, not bytes already pulled into the
+        // BufReader.
+        if reader.buffer().is_empty() && !wait_readable(reader.get_ref(), shutdown) {
             return;
         }
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame(&mut reader) {
             Ok(frame) => frame,
             Err(e) => {
                 if e.kind() == std::io::ErrorKind::InvalidData {
@@ -722,15 +791,244 @@ fn handle_connection(
                 return;
             }
         };
-        match dispatch(daemon, frame) {
-            Dispatch::Reply(reply) => {
-                if write_frame(&mut stream, &reply).is_err() {
+        match frame {
+            // Tagged data frames pipeline: queue for the batch worker
+            // and read the next frame immediately; the completion
+            // writes the tagged reply whenever the worker finishes, in
+            // whatever order that happens.
+            Frame::Tagged { id, inner } => match *inner {
+                Frame::Put { value } => {
+                    if !enqueue_data(daemon, DataOp::Put(value), tagged_completion(&writer, id)) {
+                        return;
+                    }
+                }
+                Frame::Get => {
+                    if !enqueue_data(daemon, DataOp::Get, tagged_completion(&writer, id)) {
+                        return;
+                    }
+                }
+                // Every other tagged frame answers inline on this
+                // thread — admin and status stay snappy even while the
+                // batch worker sits in a slow quorum round (which is
+                // exactly what the out-of-order pipelining test pins).
+                inner => match dispatch(daemon, inner) {
+                    Dispatch::Reply(reply) => {
+                        let tagged = Frame::Tagged {
+                            id,
+                            inner: Box::new(reply),
+                        };
+                        if write_shared(&writer, &tagged).is_err() {
+                            return;
+                        }
+                    }
+                    Dispatch::Silent => {}
+                    Dispatch::Close => return,
+                },
+            },
+            // Untagged data frames keep the one-at-a-time wire
+            // semantics: queue, wait for the reply, answer, read on.
+            Frame::Put { value } => {
+                if !serve_legacy_data(daemon, &writer, DataOp::Put(value)) {
                     return;
                 }
             }
-            Dispatch::Silent => {}
-            Dispatch::Close => return,
+            Frame::Get => {
+                if !serve_legacy_data(daemon, &writer, DataOp::Get) {
+                    return;
+                }
+            }
+            frame => match dispatch(daemon, frame) {
+                Dispatch::Reply(reply) => {
+                    if write_shared(&writer, &reply).is_err() {
+                        return;
+                    }
+                }
+                Dispatch::Silent => {}
+                Dispatch::Close => return,
+            },
         }
+    }
+}
+
+/// Writes one frame through a session's shared writer.
+fn write_shared(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> std::io::Result<()> {
+    let mut guard = writer.lock().expect("session writer poisoned");
+    write_frame(&mut *guard, frame)
+}
+
+/// Queues a data operation for the batch worker. `false` means the
+/// daemon is shutting down (the queue is gone): close the session.
+fn enqueue_data(daemon: &Arc<Daemon>, op: DataOp, done: Box<dyn FnOnce(Frame) + Send>) -> bool {
+    daemon.batch.send(PendingData { op, done }).is_ok()
+}
+
+/// A completion that wraps the reply in the request's correlation id
+/// and writes it through the session's shared writer.
+fn tagged_completion(writer: &Arc<Mutex<TcpStream>>, id: u64) -> Box<dyn FnOnce(Frame) + Send> {
+    let writer = Arc::clone(writer);
+    Box::new(move |reply| {
+        let tagged = Frame::Tagged {
+            id,
+            inner: Box::new(reply),
+        };
+        let _ = write_shared(&writer, &tagged);
+    })
+}
+
+/// The legacy (untagged) data path: queue the operation, block this
+/// session until the batch worker answers, write the bare reply.
+fn serve_legacy_data(daemon: &Arc<Daemon>, writer: &Arc<Mutex<TcpStream>>, op: DataOp) -> bool {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let done: Box<dyn FnOnce(Frame) + Send> = Box::new(move |reply| {
+        let _ = tx.send(reply);
+    });
+    if !enqueue_data(daemon, op, done) {
+        return false;
+    }
+    // A dropped sender (worker gone at shutdown) unblocks us with Err.
+    let Ok(reply) = rx.recv() else { return false };
+    write_shared(writer, &reply).is_ok()
+}
+
+/// The largest number of queued operations one batch absorbs — bounds
+/// the cluster-lock hold and the blast radius of a durability failure.
+const BATCH_CAP: usize = 256;
+
+/// The batch worker: single consumer of the data-operation queue.
+/// Drains what queued, serves it in runs — consecutive writes become
+/// one poll/commit quorum exchange ([`Cluster::write_batch`]),
+/// consecutive reads coalesce into one quorum read — then fsyncs once
+/// for the whole batch before releasing any reply (DESIGN.md §12).
+fn batch_loop(daemon: &Arc<Daemon>, shutdown: &AtomicBool, queue: &mpsc::Receiver<PendingData>) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let first = match queue.recv_timeout(Duration::from_millis(100)) {
+            Ok(item) => item,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        // Take the lock first, then drain: every operation that queued
+        // while the previous batch held it joins this one.
+        let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+        let mut items = vec![first];
+        while items.len() < BATCH_CAP {
+            match queue.try_recv() {
+                Ok(item) => items.push(item),
+                Err(_) => break,
+            }
+        }
+        daemon.batch_rounds.fetch_add(1, Ordering::Relaxed);
+        daemon
+            .batch_ops
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        daemon
+            .batch_max
+            .fetch_max(items.len() as u64, Ordering::Relaxed);
+        run_batch(daemon, &mut cluster, items);
+    }
+}
+
+/// Serves one drained batch under the cluster lock, syncs durably ONCE,
+/// and only then releases the replies — the batched generalisation of
+/// fsync-before-ack: no acknowledgement in the batch leaves before the
+/// WAL holds every state change the batch made.
+fn run_batch(
+    daemon: &Arc<Daemon>,
+    cluster: &mut Cluster<Vec<u8>, TcpTransport>,
+    items: Vec<PendingData>,
+) {
+    // (completion, reply, Some(op name) when the reply is a grant that
+    // a failed fsync must downgrade to a durability refusal).
+    type Staged = (Box<dyn FnOnce(Frame) + Send>, Frame, Option<&'static str>);
+    let mut replies: Vec<Staged> = Vec::with_capacity(items.len());
+    let mut wrote = false;
+    let mut iter = items.into_iter().peekable();
+    while let Some(item) = iter.next() {
+        match item.op {
+            DataOp::Put(value) => {
+                wrote = true;
+                let mut values = vec![value];
+                let mut dones = vec![item.done];
+                while matches!(iter.peek().map(|next| &next.op), Some(DataOp::Put(_))) {
+                    let next = iter.next().expect("peeked");
+                    if let DataOp::Put(value) = next.op {
+                        values.push(value);
+                        dones.push(next.done);
+                    }
+                }
+                let results = cluster.write_batch(daemon.local, values);
+                for (done, result) in dones.into_iter().zip(results) {
+                    let staged = match result {
+                        Ok(op) => {
+                            let detail = format!(
+                                "committed o={} v={} P={{{}}}",
+                                op.op,
+                                op.version,
+                                fmt_sites(op.participants)
+                            );
+                            daemon.log.log(&format!(
+                                "GRANT write: {detail} — Algorithm 1: the group holds a strict majority of P_m"
+                            ));
+                            (Frame::Done { detail }, Some("write"))
+                        }
+                        Err(err) => (refuse(daemon, "write", &err), None),
+                    };
+                    replies.push((done, staged.0, staged.1));
+                }
+            }
+            DataOp::Get => {
+                let mut dones = vec![item.done];
+                while matches!(iter.peek().map(|next| &next.op), Some(DataOp::Get)) {
+                    dones.push(iter.next().expect("peeked").done);
+                }
+                // One quorum read serves the run: every waiter queued
+                // before the round decided, so each is entitled to
+                // exactly this answer.
+                let (frame, granted) = match cluster.read(daemon.local) {
+                    Ok(value) => {
+                        // The version of the value *served*, from the
+                        // read's committed history entry — the local
+                        // copy may still be stale when a repaired site
+                        // reads before running RECOVER.
+                        let version = cluster.history().last().map_or_else(
+                            || cluster.state_at(daemon.local).version,
+                            |op| op.version,
+                        );
+                        daemon.log.log(&format!(
+                            "GRANT read ×{}: v={version} — Algorithm 1: the group holds a strict majority of P_m",
+                            dones.len()
+                        ));
+                        (Frame::Value { version, value }, Some("read"))
+                    }
+                    Err(err) => (refuse(daemon, "read", &err), None),
+                };
+                for done in dones {
+                    replies.push((done, frame.clone(), granted));
+                }
+            }
+        }
+    }
+    // Persist regardless of the outcomes: even a refused operation may
+    // have changed local state (a partial commit landed).
+    let synced = sync_durable(daemon, cluster);
+    if wrote && daemon.crash_after_wal_append && matches!(synced, Ok(true)) {
+        // Crash-test hook: the WAL holds the commit, the client never
+        // hears about it. The restart must serve it anyway —
+        // fsync-before-ack, proven from outside.
+        daemon
+            .log
+            .log("crash-after-wal-append: aborting before the ack");
+        std::process::abort();
+    }
+    let fsync_failed = synced.err();
+    for (done, frame, granted) in replies {
+        let frame = match (&fsync_failed, granted) {
+            (Some(error), Some(op)) => durability_refuse(daemon, op, error),
+            _ => frame,
+        };
+        done(frame);
     }
 }
 
@@ -941,82 +1239,16 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
         }
 
         // ---- client data frames: the coordinator side ---------------
-        Frame::Put { value } => {
-            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
-            let result = cluster.write(daemon.local, value);
-            // Persist regardless of the outcome: even a refused write
-            // may have changed local state (a partial commit landed).
-            let synced = sync_durable(daemon, &cluster);
-            if daemon.crash_after_wal_append && matches!(synced, Ok(true)) {
-                // Crash-test hook: the WAL holds the commit, the client
-                // never hears about it. The restart must serve it
-                // anyway — fsync-before-ack, proven from outside.
-                daemon
-                    .log
-                    .log("crash-after-wal-append: aborting before the ack");
-                std::process::abort();
-            }
-            match result {
-                Ok(()) => {
-                    if let Err(error) = synced {
-                        return durability_refuse(daemon, "write", &error);
-                    }
-                    let committed = cluster.history().last().cloned();
-                    let detail = match committed {
-                        Some(op) => format!(
-                            "committed o={} v={} P={{{}}}",
-                            op.op,
-                            op.version,
-                            fmt_sites(op.participants)
-                        ),
-                        None => "committed".to_string(),
-                    };
-                    daemon.log.log(&format!(
-                        "GRANT write: {detail} — Algorithm 1: the group holds a strict majority of P_m"
-                    ));
-                    Dispatch::Reply(Frame::Done { detail })
-                }
-                Err(err) => refuse(daemon, "write", &err),
-            }
-        }
-        Frame::Get => {
-            let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
-            match cluster.read(daemon.local) {
-                Ok(value) => {
-                    // A granted read can absorb a commit (version/P
-                    // movement); persist it before answering.
-                    if let Err(error) = sync_durable(daemon, &cluster) {
-                        return durability_refuse(daemon, "read", &error);
-                    }
-                    // The version of the value *served*, from the read's
-                    // committed history entry — the local copy may still
-                    // be stale when a repaired site reads before running
-                    // RECOVER (the copy comes from the current partition).
-                    let version = cluster
-                        .history()
-                        .last()
-                        .map_or_else(|| cluster.state_at(daemon.local).version, |op| op.version);
-                    daemon.log.log(&format!(
-                        "GRANT read: v={version} — Algorithm 1: the group holds a strict majority of P_m"
-                    ));
-                    Dispatch::Reply(Frame::Value { version, value })
-                }
-                Err(err) => {
-                    if let Err(error) = sync_durable(daemon, &cluster) {
-                        daemon
-                            .log
-                            .log(&format!("read refusal: durability failure: {error}"));
-                    }
-                    refuse(daemon, "read", &err)
-                }
-            }
-        }
+        // Put/Get never reach dispatch: `handle_connection` intercepts
+        // them (tagged or not) and queues them for the batch worker.
+        // Arriving here means a peer-loop path sent one — confusion.
+        Frame::Put { .. } | Frame::Get | Frame::Tagged { .. } => Dispatch::Close,
         Frame::Recover => {
             let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
             match cluster.recover(daemon.local) {
                 Ok(()) => {
                     if let Err(error) = sync_durable(daemon, &cluster) {
-                        return durability_refuse(daemon, "recover", &error);
+                        return Dispatch::Reply(durability_refuse(daemon, "recover", &error));
                     }
                     let state = cluster.state_at(daemon.local);
                     let detail = format!(
@@ -1036,7 +1268,7 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
                             .log
                             .log(&format!("recover refusal: durability failure: {error}"));
                     }
-                    refuse(daemon, "recover", &err)
+                    Dispatch::Reply(refuse(daemon, "recover", &err))
                 }
             }
         }
@@ -1130,26 +1362,26 @@ pub fn unavailable_reason(err: &AccessError) -> UnavailableReason {
 /// a typed [`Frame::Unavailable`] — graceful degradation, never a
 /// stall: the client learns *why* (no quorum, tie lost, peers silent…)
 /// and decides whether to retry elsewhere.
-fn refuse(daemon: &Arc<Daemon>, op: &str, err: &AccessError) -> Dispatch {
+fn refuse(daemon: &Arc<Daemon>, op: &str, err: &AccessError) -> Frame {
     let clause = refusal_clause(err);
     daemon.log.log(&format!("REFUSE {op}: {err} — {clause}"));
-    Dispatch::Reply(Frame::Unavailable {
+    Frame::Unavailable {
         reason: unavailable_reason(err),
         message: format!("{err} [{clause}]"),
-    })
+    }
 }
 
 /// A granted operation whose durable record could not be fsync'd is
 /// refused to the client — the site never acknowledges state its disk
 /// does not hold. (The cluster-wide commit may still have landed at the
 /// other participants; the refusal message says so.)
-fn durability_refuse(daemon: &Arc<Daemon>, op: &str, error: &std::io::Error) -> Dispatch {
+fn durability_refuse(daemon: &Arc<Daemon>, op: &str, error: &std::io::Error) -> Frame {
     daemon
         .log
         .log(&format!("REFUSE {op}: local WAL fsync failed: {error}"));
-    Dispatch::Reply(Frame::Refused {
+    Frame::Refused {
         message: format!("{op} not acknowledged: local WAL fsync failed ({error}); the operation may have committed at other sites"),
-    })
+    }
 }
 
 /// The `dynvote-ctl status` body: the paper's per-copy state
@@ -1194,6 +1426,18 @@ fn status_text(daemon: &Arc<Daemon>, cluster: &Cluster<Vec<u8>, TcpTransport>) -
     line(
         "probe.commits",
         daemon.probe_commits.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "batch.rounds",
+        daemon.batch_rounds.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "batch.ops",
+        daemon.batch_ops.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "batch.max",
+        daemon.batch_max.load(Ordering::Relaxed).to_string(),
     );
     match &daemon.store {
         Some(store) => {

@@ -12,8 +12,16 @@
 //! * **client requests** (`0x10..=0x16`) — `dynvote-ctl` commands:
 //!   the data operations and the link-rule administration used to cut
 //!   real partitions into a live cluster;
-//! * **client responses** (`0x20..=0x23`) — outcome, value, refusal,
-//!   or a status report.
+//! * **client responses** (`0x20..=0x24`) — outcome, value, refusal,
+//!   unavailability, or a status report.
+//!
+//! A fourth kind wraps the other three: a [`Frame::Tagged`] envelope
+//! (`0x30`) prefixes any frame with a 64-bit correlation id. Pipelined
+//! sessions send many tagged requests down one connection without
+//! waiting; the daemon answers each with a tagged response carrying the
+//! *same* id, possibly out of order, and the client matches replies to
+//! callers by id. Envelopes do not nest — a `Tagged` inside a `Tagged`
+//! is a decode error, which keeps decoding non-recursive and canonical.
 //!
 //! Decoding is *total* over untrusted bytes: every malformed input
 //! returns a [`FrameError`] — never a panic — and no allocation is
@@ -55,6 +63,8 @@ pub enum FrameError {
     BadReason(u8),
     /// A text field was not valid UTF-8.
     BadUtf8,
+    /// A correlation-id envelope wrapped another envelope.
+    NestedTag,
 }
 
 impl std::fmt::Display for FrameError {
@@ -72,6 +82,7 @@ impl std::fmt::Display for FrameError {
             FrameError::BadBool(b) => write!(f, "boolean field holds 0x{b:02x}"),
             FrameError::BadReason(b) => write!(f, "unknown unavailability reason 0x{b:02x}"),
             FrameError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+            FrameError::NestedTag => write!(f, "correlation-id envelopes do not nest"),
         }
     }
 }
@@ -308,6 +319,17 @@ pub enum Frame {
         /// The refusal prose, with the clause that fired.
         message: String,
     },
+
+    /// A correlation-id envelope around any other frame. A pipelined
+    /// session tags each request with a caller-chosen id; the daemon
+    /// echoes the id on the matching response, so many requests can be
+    /// in flight on one connection and answered out of order.
+    Tagged {
+        /// The correlation id, echoed verbatim on the response.
+        id: u64,
+        /// The wrapped frame (never itself a `Tagged`).
+        inner: Box<Frame>,
+    },
 }
 
 const T_START_REQ: u8 = 0x01;
@@ -331,6 +353,7 @@ const T_VALUE: u8 = 0x21;
 const T_REFUSED: u8 = 0x22;
 const T_REPORT: u8 = 0x23;
 const T_UNAVAILABLE: u8 = 0x24;
+const T_TAGGED: u8 = 0x30;
 
 fn put_site(out: &mut Vec<u8>, site: SiteId) {
     // SiteId indices are bounded by MAX_SITES (64), far under u16.
@@ -386,6 +409,26 @@ impl Frame {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::new();
+        self.encode_body(&mut body);
+        debug_assert!(body.len() <= MAX_FRAME as usize);
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Encodes the frame wrapped in a correlation-id envelope, length
+    /// prefix included — the hot-path encoder pipelined clients use,
+    /// sparing them a clone of the inner frame into [`Frame::Tagged`].
+    #[must_use]
+    pub fn encode_tagged(&self, id: u64) -> Vec<u8> {
+        debug_assert!(
+            !matches!(self, Frame::Tagged { .. }),
+            "correlation-id envelopes do not nest"
+        );
+        let mut body = Vec::new();
+        put_u8(&mut body, T_TAGGED);
+        put_u64(&mut body, id);
         self.encode_body(&mut body);
         debug_assert!(body.len() <= MAX_FRAME as usize);
         let mut out = Vec::with_capacity(4 + body.len());
@@ -519,6 +562,11 @@ impl Frame {
                 put_u8(out, reason.code());
                 put_text(out, message);
             }
+            Frame::Tagged { id, inner } => {
+                put_u8(out, T_TAGGED);
+                put_u64(out, *id);
+                inner.encode_body(out);
+            }
         }
     }
 
@@ -529,26 +577,40 @@ impl Frame {
     /// [`FrameError`] on any malformed input; never panics.
     pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
         let mut r = Reader::new(body);
+        let frame = Frame::decode_one(&mut r, true)?;
+        if !r.is_exhausted() {
+            return Err(FrameError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+
+    /// Decodes one frame from the reader. `allow_tag` is true only at
+    /// the top level: a [`Frame::Tagged`] wraps exactly one plain
+    /// frame, so the decoder never recurses more than one level and a
+    /// nested envelope is a [`FrameError::NestedTag`].
+    fn decode_one(r: &mut Reader<'_>, allow_tag: bool) -> Result<Frame, FrameError> {
         let frame = match r.u8()? {
             T_START_REQ => Frame::StartReq {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
-                mark_pending: read_bool(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
+                mark_pending: read_bool(r)?,
             },
             T_STATE_REP => Frame::StateRep {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
                 state: r.state()?,
             },
             T_COMMIT => {
                 let ticket = r.u64()?;
-                let from = read_site(&mut r)?;
-                let to = read_site(&mut r)?;
+                let from = read_site(r)?;
+                let to = read_site(r)?;
                 let state = r.state()?;
-                let value = if read_bool(&mut r)? {
-                    Some(read_blob(&mut r)?)
+                let value = if read_bool(r)? {
+                    Some(read_blob(r)?)
                 } else {
                     None
                 };
@@ -562,61 +624,61 @@ impl Frame {
             }
             T_COMMIT_ACK => Frame::CommitAck {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
             },
             T_COPY_REQ => Frame::CopyReq {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
             },
             T_COPY_REP => Frame::CopyRep {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
                 version: r.u64()?,
-                value: read_blob(&mut r)?,
+                value: read_blob(r)?,
             },
             T_RELEASE => Frame::Release {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
+                from: read_site(r)?,
                 keep: SiteSet::from_bits(r.u64()?),
             },
             T_ABSTAIN => Frame::Abstain {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
             },
             T_VOTE_PROBE => Frame::VoteProbe {
                 ticket: r.u64()?,
-                from: read_site(&mut r)?,
-                to: read_site(&mut r)?,
+                from: read_site(r)?,
+                to: read_site(r)?,
             },
             T_PUT => Frame::Put {
-                value: read_blob(&mut r)?,
+                value: read_blob(r)?,
             },
             T_GET => Frame::Get,
             T_RECOVER => Frame::Recover,
             T_STATUS => Frame::Status,
             T_DENY => Frame::Deny {
-                site: read_site(&mut r)?,
+                site: read_site(r)?,
             },
             T_ALLOW => Frame::Allow {
-                site: read_site(&mut r)?,
+                site: read_site(r)?,
             },
             T_HEAL_LINKS => Frame::HealLinks,
             T_DONE => Frame::Done {
-                detail: read_text(&mut r)?,
+                detail: read_text(r)?,
             },
             T_VALUE => Frame::Value {
                 version: r.u64()?,
-                value: read_blob(&mut r)?,
+                value: read_blob(r)?,
             },
             T_REFUSED => Frame::Refused {
-                message: read_text(&mut r)?,
+                message: read_text(r)?,
             },
             T_REPORT => Frame::Report {
-                text: read_text(&mut r)?,
+                text: read_text(r)?,
             },
             T_UNAVAILABLE => {
                 let code = r.u8()?;
@@ -624,16 +686,20 @@ impl Frame {
                     UnavailableReason::from_code(code).ok_or(FrameError::BadReason(code))?;
                 Frame::Unavailable {
                     reason,
-                    message: read_text(&mut r)?,
+                    message: read_text(r)?,
+                }
+            }
+            T_TAGGED => {
+                if !allow_tag {
+                    return Err(FrameError::NestedTag);
+                }
+                Frame::Tagged {
+                    id: r.u64()?,
+                    inner: Box::new(Frame::decode_one(r, false)?),
                 }
             }
             other => return Err(FrameError::UnknownType(other)),
         };
-        if !r.is_exhausted() {
-            return Err(FrameError::TrailingBytes {
-                extra: r.remaining(),
-            });
-        }
         Ok(frame)
     }
 }

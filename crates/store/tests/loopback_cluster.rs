@@ -24,8 +24,9 @@ use std::net::TcpListener;
 use std::time::Duration;
 
 use dynvote_replica::{ClusterBuilder, Protocol};
-use dynvote_store::client::{request, Outcome};
+use dynvote_store::client::{request, Deadline, Outcome};
 use dynvote_store::config::Config;
+use dynvote_store::conn::{ConnOptions, Connection};
 use dynvote_store::server::{start_on, ServiceHandle};
 use dynvote_store::wire::Frame;
 use dynvote_types::{SiteId, SiteSet};
@@ -336,6 +337,89 @@ fn tcp_cluster_matches_in_memory_cluster() {
     for site in 0..3 {
         assert_eq!(live.get_value(site), "b", "S{site} value");
     }
+    live.stop();
+}
+
+/// Pipelining under a stalled link: two requests go down ONE
+/// connection, the first (a write) wedges in a quorum round whose peer
+/// exchanges silently time out, and the second (a status probe) is
+/// answered while the first is still in flight. The replies come back
+/// out of order, and each is matched to *its* correlation id — the
+/// status never receives the write's answer or vice versa.
+#[test]
+fn pipelined_responses_overtake_a_stalled_quorum_round() {
+    let live = Live::boot("odv", 3, "");
+
+    // Cut the link *at the peers only*: S1 and S2 silently ignore
+    // frames from S0, so S0's poll waits out its read timeout instead
+    // of refusing fast (S0's own outbound links stay open). That is
+    // the stall — the cluster lock is held for seconds.
+    for peer in [1, 2] {
+        let done = live.req(
+            peer,
+            &Frame::Deny {
+                site: SiteId::new(0),
+            },
+        );
+        assert!(matches!(done, Outcome::Done(_)), "deny S0 at S{peer}");
+    }
+
+    let conn = Connection::new(&live.addrs[0], ConnOptions::default());
+    let deadline = Deadline::within(TIMEOUT);
+    let started = std::time::Instant::now();
+    let stalled = conn
+        .submit(
+            &Frame::Put {
+                value: b"stalled".to_vec(),
+            },
+            &deadline,
+        )
+        .expect("submit the write");
+    let probe = conn
+        .submit(&Frame::Status, &deadline)
+        .expect("submit status");
+    assert_ne!(stalled.id(), probe.id(), "distinct correlation ids");
+
+    // The status answer overtakes the write on the same socket. It is
+    // bounded by the probe's 1.5s lock spin, not the multi-second
+    // peer timeouts the write is sitting through.
+    let report = conn.wait(&probe, &deadline).expect("status reply");
+    let status_latency = started.elapsed();
+    assert!(
+        matches!(report, Outcome::Report(_)),
+        "the status id must get the status answer, got {report:?}"
+    );
+    assert!(
+        status_latency < Duration::from_millis(1900),
+        "status took {status_latency:?} — it queued behind the stalled write"
+    );
+
+    // The write is still in flight; when it finally resolves it is a
+    // (refused/unavailable) answer matched to the write's id, and it
+    // genuinely sat through at least one peer read timeout. The poll's
+    // bounded retry can take 3 attempts × 2 peers × ~2.75s, so this
+    // wait gets a far larger budget than the probe needed.
+    let outcome = conn
+        .wait(&stalled, &Deadline::within(Duration::from_secs(30)))
+        .expect("write reply");
+    let write_latency = started.elapsed();
+    assert!(
+        !outcome.granted(),
+        "a 1-of-3 coordinator cannot have quorum, got {outcome:?}"
+    );
+    assert!(
+        matches!(outcome, Outcome::Refused(_) | Outcome::Unavailable { .. }),
+        "the write id must get the write answer, got {outcome:?}"
+    );
+    assert!(
+        write_latency > status_latency,
+        "the write resolved before the probe it was supposed to stall past"
+    );
+    assert!(
+        write_latency >= Duration::from_millis(1900),
+        "write resolved in {write_latency:?} — the link never stalled, \
+         so this test proved nothing about overtaking"
+    );
     live.stop();
 }
 
