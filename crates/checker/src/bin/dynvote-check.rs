@@ -3,6 +3,7 @@
 //! ```text
 //! dynvote-check [--policy NAME|all] [--sites N] [--segments K]
 //!               [--depth D] [--budget-secs S] [--max-findings M]
+//!               [--threads N] [--symmetry on|off] [--bench-out PATH]
 //!               [--deny-hazards] [--no-shrink] [--trace-dir DIR]
 //!               [--diff dv-ldv|odv-ldv|otdv-tdv|mcv-ldv]
 //! ```
@@ -12,7 +13,7 @@
 //! error.
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dynvote_check::{
     policy_name, run, run_differential, CheckConfig, DiffConfig, Expectation, Relation, Report,
@@ -31,10 +32,14 @@ struct Args {
     shrink: bool,
     trace_dir: Option<String>,
     diff: Option<(Protocol, Protocol, Relation)>,
+    threads: usize,
+    symmetry: bool,
+    bench_out: Option<String>,
 }
 
-const USAGE: &str = "usage: dynvote-check [--policy NAME|all] [--sites N (<=5)] \
+const USAGE: &str = "usage: dynvote-check [--policy NAME|all] [--sites N (<=8)] \
 [--segments K (<=3)] [--depth D] [--budget-secs S] [--max-findings M] \
+[--threads N] [--symmetry on|off] [--bench-out PATH] \
 [--deny-hazards] [--no-shrink] [--trace-dir DIR] [--diff dv-ldv|odv-ldv|otdv-tdv|mcv-ldv]";
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
         shrink: true,
         trace_dir: None,
         diff: None,
+        threads: 1,
+        symmetry: false,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,6 +101,24 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --max-findings value\n{USAGE}"))?;
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| format!("bad --threads value\n{USAGE}"))?;
+                if args.threads == 0 {
+                    return Err(format!("--threads must be at least 1\n{USAGE}"));
+                }
+            }
+            "--symmetry" => {
+                args.symmetry = match value("--symmetry")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!("--symmetry wants on|off, got {other:?}\n{USAGE}"))
+                    }
+                };
+            }
+            "--bench-out" => args.bench_out = Some(value("--bench-out")?),
             "--deny-hazards" => args.deny_hazards = true,
             "--no-shrink" => args.shrink = false,
             "--trace-dir" => args.trace_dir = Some(value("--trace-dir")?),
@@ -115,10 +141,12 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    // The small-scope bounds the tool is calibrated for.
-    if args.sites > 5 {
+    // The small-scope bounds the tool is calibrated for; 8 sites /
+    // 3 segments is the paper's Figure 8 topology, reachable since the
+    // parallel + symmetry engine landed.
+    if args.sites > 8 {
         return Err(format!(
-            "--sites is capped at 5, got {}\n{USAGE}",
+            "--sites is capped at 8, got {}\n{USAGE}",
             args.sites
         ));
     }
@@ -166,7 +194,9 @@ fn run_diff(args: &Args, primary: Protocol, reference: Protocol, relation: Relat
             return ExitCode::from(2);
         }
     };
-    let mut config = DiffConfig::new(scenario, reference, relation, args.depth);
+    let mut config = DiffConfig::new(scenario, reference, relation, args.depth)
+        .threads(args.threads)
+        .symmetry(args.symmetry);
     config.budget = args.budget;
     config.max_findings = args.max_findings;
     let report = run_differential(&config);
@@ -202,6 +232,76 @@ fn run_diff(args: &Args, primary: Protocol, reference: Protocol, relation: Relat
     ExitCode::FAILURE
 }
 
+struct BenchRow {
+    policy: String,
+    states: u64,
+    dedup: u64,
+    transitions: u64,
+    secs: f64,
+    real: u64,
+    hazards: u64,
+    truncated: bool,
+}
+
+fn rate(states: u64, secs: f64) -> u64 {
+    if secs > 0.0 {
+        (states as f64 / secs) as u64
+    } else {
+        0
+    }
+}
+
+/// Renders the sweep as a BENCH_*.json document. The headline
+/// `states_per_sec` comes first so CI's `grep -o ... | head -1`
+/// baseline pattern picks up the aggregate, not a per-policy row.
+fn write_bench(path: &str, args: &Args, rows: &[BenchRow]) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let total_states: u64 = rows.iter().map(|r| r.states).sum();
+    let total_transitions: u64 = rows.iter().map(|r| r.transitions).sum();
+    let total_secs: f64 = rows.iter().map(|r| r.secs).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo run --release -p dynvote-check --bin dynvote-check -- --bench-out\",\n",
+    );
+    out.push_str(&format!("  \"machine\": {{ \"cores\": {cores} }},\n"));
+    out.push_str(&format!(
+        "  \"scenario\": {{ \"sites\": {}, \"segments\": {}, \"depth\": {}, \"threads\": {}, \"symmetry\": {} }},\n",
+        args.sites, args.segments, args.depth, args.threads, args.symmetry
+    ));
+    out.push_str(&format!(
+        "  \"total\": {{ \"states\": {}, \"transitions\": {}, \"secs\": {:.3}, \"states_per_sec\": {} }},\n",
+        total_states,
+        total_transitions,
+        total_secs,
+        rate(total_states, total_secs)
+    ));
+    out.push_str("  \"per_policy\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"policy\": \"{}\", \"states\": {}, \"dedup\": {}, \"transitions\": {}, \
+             \"secs\": {:.3}, \"states_per_sec\": {}, \"real\": {}, \"hazards\": {}, \
+             \"truncated\": {} }}{}\n",
+            row.policy,
+            row.states,
+            row.dedup,
+            row.transitions,
+            row.secs,
+            rate(row.states, row.secs),
+            row.real,
+            row.hazards,
+            row.truncated,
+            if index + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(error) = std::fs::write(path, out) {
+        eprintln!("warning: cannot write {path}: {error}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -216,9 +316,14 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "dynvote-check: depth {}, {} sites, {} segment(s)",
-        args.depth, args.sites, args.segments
+        "dynvote-check: depth {}, {} sites, {} segment(s), {} thread(s), symmetry {}",
+        args.depth,
+        args.sites,
+        args.segments,
+        args.threads,
+        if args.symmetry { "on" } else { "off" }
     );
+    let mut rows: Vec<BenchRow> = Vec::new();
     println!(
         "{:<6} {:>10} {:>10} {:>12} {:>6} {:>7}",
         "policy", "states", "dedup", "transitions", "real", "hazards"
@@ -232,11 +337,25 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let mut config = CheckConfig::new(scenario, args.depth);
+        let mut config = CheckConfig::new(scenario, args.depth)
+            .threads(args.threads)
+            .symmetry(args.symmetry);
         config.budget = args.budget;
         config.max_findings = args.max_findings;
         config.shrink = args.shrink;
+        let started = Instant::now();
         let report = run(&config);
+        let secs = started.elapsed().as_secs_f64();
+        rows.push(BenchRow {
+            policy: policy_name(policy).to_string(),
+            states: report.states_explored,
+            dedup: report.dedup_hits,
+            transitions: report.transitions,
+            secs,
+            real: report.real_violations,
+            hazards: report.known_hazards,
+            truncated: report.truncated,
+        });
         println!(
             "{:<6} {:>10} {:>10} {:>12} {:>6} {:>7}{}",
             policy_name(policy),
@@ -279,6 +398,9 @@ fn main() -> ExitCode {
         if report.real_violations > 0 || (args.deny_hazards && report.known_hazards > 0) {
             failed = true;
         }
+    }
+    if let Some(path) = &args.bench_out {
+        write_bench(path, &args, &rows);
     }
     if failed {
         ExitCode::FAILURE

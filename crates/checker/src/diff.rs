@@ -20,16 +20,28 @@
 //! grant where LDV refuses. The checker found and minimized a witness;
 //! it is pinned as a corpus trace and documented in EXPERIMENTS.md
 //! rather than asserted as an invariant.
+//!
+//! Differential runs share the layered-BFS engine ([`crate::engine`])
+//! with the invariant checker, so they inherit `--threads` parallelism
+//! and the `--symmetry` quotient. A pair state is deduplicated by the
+//! combined fingerprint of both worlds; under symmetry the *same*
+//! relabeling is applied to both sides (a permutation that maps pair
+//! `(p, r)` onto pair `(πp, πr)` is a symmetry of the lockstep system
+//! only if it is one of each side), and the admissible group is the
+//! *meet* of the two policies' groups — which, per the soundness rules
+//! in [`crate::symmetry`], is non-trivial only when both policies are
+//! site-symmetric.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use dynvote_replica::Protocol;
 
+use crate::engine::{self, EngineConfig, Space};
 use crate::event::CheckEvent;
 use crate::explore::enumerate_events;
 use crate::scenario::{policy_name, Scenario};
 use crate::shrink::ddmin;
+use crate::symmetry::{canonical_fingerprint, SymmetryGroup};
 use crate::world::World;
 
 /// The relation a differential run asserts between primary and
@@ -58,10 +70,15 @@ pub struct DiffConfig {
     pub budget: Option<Duration>,
     /// At most this many counterexamples keep their traces.
     pub max_findings: usize,
+    /// Worker threads for frontier expansion.
+    pub threads: usize,
+    /// Quotient pair states by the meet of both policies' symmetry
+    /// groups.
+    pub symmetry: bool,
 }
 
 impl DiffConfig {
-    /// A default exhaustive configuration.
+    /// A default exhaustive configuration: sequential, no symmetry.
     #[must_use]
     pub fn new(
         scenario: Scenario,
@@ -76,7 +93,23 @@ impl DiffConfig {
             depth,
             budget: None,
             max_findings: 4,
+            threads: 1,
+            symmetry: false,
         }
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> DiffConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Turns the symmetry quotient on or off.
+    #[must_use]
+    pub fn symmetry(mut self, on: bool) -> DiffConfig {
+        self.symmetry = on;
+        self
     }
 
     fn reference_scenario(&self) -> Scenario {
@@ -129,24 +162,49 @@ impl DiffReport {
     }
 }
 
-struct Pair {
+/// The lockstep pair, as a [`Space`]: a mismatch is a terminal hit.
+#[derive(Clone)]
+struct PairSpace {
     primary: World,
     reference: World,
+    primary_policy: Protocol,
+    reference_policy: Protocol,
+    relation: Relation,
 }
 
-impl Pair {
-    fn fingerprint(&self) -> u64 {
-        self.primary.fingerprint() ^ self.reference.fingerprint().rotate_left(17)
+impl Space for PairSpace {
+    type Hit = String;
+
+    fn events(&self) -> Vec<CheckEvent> {
+        // The alphabet comes from the primary world; fault events keep
+        // the two up-sets identical, so enumeration agrees between the
+        // worlds even after their partition sets diverge.
+        enumerate_events(&self.primary)
+    }
+
+    fn step(&mut self, event: CheckEvent) -> Vec<String> {
+        check_pair(self, event).into_iter().collect()
+    }
+
+    fn fingerprint(&self, symmetry: Option<&SymmetryGroup>) -> u64 {
+        match symmetry {
+            None => self.primary.fingerprint() ^ self.reference.fingerprint().rotate_left(17),
+            Some(group) => canonical_fingerprint(
+                &[&self.primary.sym_view(), &self.reference.sym_view()],
+                group,
+            ),
+        }
     }
 }
 
-/// Checks one event against the relation; `Some(detail)` on mismatch.
-fn check_event(config: &DiffConfig, pair: &mut Pair, event: CheckEvent) -> Option<String> {
+/// Applies one event to both worlds and checks the relation;
+/// `Some(detail)` on mismatch.
+fn check_pair(pair: &mut PairSpace, event: CheckEvent) -> Option<String> {
     let out_primary = pair.primary.apply(event);
     let out_reference = pair.reference.apply(event);
-    let primary_name = policy_name(config.scenario.policy);
-    let reference_name = policy_name(config.reference);
-    match config.relation {
+    let primary_name = policy_name(pair.primary_policy);
+    let reference_name = policy_name(pair.reference_policy);
+    match pair.relation {
         Relation::GrantImplies => {
             if out_primary.granted && !out_reference.granted {
                 return Some(format!(
@@ -182,119 +240,71 @@ fn verdict(granted: bool) -> &'static str {
     }
 }
 
+fn root_pair(config: &DiffConfig) -> PairSpace {
+    PairSpace {
+        primary: World::new(&config.scenario),
+        reference: World::new(&config.reference_scenario()),
+        primary_policy: config.scenario.policy,
+        reference_policy: config.reference,
+        relation: config.relation,
+    }
+}
+
 /// Replays `events` on fresh lockstep worlds; true if any step breaks
 /// the relation.
 fn mismatch_reproduces(config: &DiffConfig, events: &[CheckEvent]) -> bool {
-    let mut pair = Pair {
-        primary: World::new(&config.scenario),
-        reference: World::new(&config.reference_scenario()),
-    };
+    let mut pair = root_pair(config);
     events
         .iter()
-        .any(|&event| check_event(config, &mut pair, event).is_some())
+        .any(|&event| check_pair(&mut pair, event).is_some())
 }
 
 /// Runs the lockstep differential exploration.
 #[must_use]
 pub fn run_differential(config: &DiffConfig) -> DiffReport {
+    let engine_config = EngineConfig {
+        depth: config.depth,
+        threads: config.threads,
+        symmetry: config.symmetry.then(|| {
+            SymmetryGroup::of(&config.scenario)
+                .meet(&SymmetryGroup::of(&config.reference_scenario()))
+        }),
+        deadline: config.budget.map(|budget| Instant::now() + budget),
+        max_traced: config.max_findings,
+    };
+    let result = engine::explore(root_pair(config), &engine_config);
+
     let mut report = DiffReport {
         scenario: config.scenario,
         reference: config.reference,
         relation: config.relation,
-        states_explored: 1,
-        dedup_hits: 0,
-        transitions: 0,
-        truncated: false,
+        states_explored: result.states_explored,
+        dedup_hits: result.dedup_hits,
+        transitions: result.transitions,
+        truncated: result.truncated,
         mismatches: 0,
         findings: Vec::new(),
     };
-    let root = Pair {
-        primary: World::new(&config.scenario),
-        reference: World::new(&config.reference_scenario()),
-    };
-    let deadline = config.budget.map(|b| Instant::now() + b);
-    let mut seen: HashMap<u64, u8> = HashMap::new();
-    seen.insert(root.fingerprint(), depth_u8(config.depth));
-    let mut path = Vec::new();
-    dfs(
-        config,
-        &root,
-        config.depth,
-        &deadline,
-        &mut seen,
-        &mut path,
-        &mut report,
-    );
+    for rec in result.hits {
+        for detail in rec.hits {
+            report.mismatches += 1;
+            if report.findings.len() < config.max_findings {
+                if let Some(trace) = &rec.trace {
+                    report.findings.push(DiffFinding {
+                        trace: trace.clone(),
+                        detail,
+                        shrunk: trace.clone(),
+                    });
+                }
+            }
+        }
+    }
     for finding in &mut report.findings {
         finding.shrunk = ddmin(&finding.trace, |candidate| {
             mismatch_reproduces(config, candidate)
         });
     }
     report
-}
-
-fn depth_u8(depth: usize) -> u8 {
-    u8::try_from(depth.min(usize::from(u8::MAX))).expect("clamped")
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dfs(
-    config: &DiffConfig,
-    pair: &Pair,
-    depth_left: usize,
-    deadline: &Option<Instant>,
-    seen: &mut HashMap<u64, u8>,
-    path: &mut Vec<CheckEvent>,
-    report: &mut DiffReport,
-) {
-    if depth_left == 0 || report.truncated {
-        return;
-    }
-    // The alphabet comes from the primary world; fault events keep the
-    // two up-sets identical, so enumeration agrees between the worlds
-    // even after their partition sets diverge.
-    for event in enumerate_events(&pair.primary) {
-        report.transitions += 1;
-        if report.transitions & 0x3FF == 0 {
-            if let Some(deadline) = deadline {
-                if Instant::now() >= *deadline {
-                    report.truncated = true;
-                    return;
-                }
-            }
-        }
-        let mut child = Pair {
-            primary: pair.primary.clone(),
-            reference: pair.reference.clone(),
-        };
-        let mismatch = check_event(config, &mut child, event);
-        path.push(event);
-        if let Some(detail) = mismatch {
-            report.mismatches += 1;
-            if report.findings.len() < config.max_findings {
-                report.findings.push(DiffFinding {
-                    trace: path.clone(),
-                    detail,
-                    shrunk: path.clone(),
-                });
-            }
-        } else {
-            let fingerprint = child.fingerprint();
-            let remaining = depth_u8(depth_left - 1);
-            match seen.get(&fingerprint) {
-                Some(&covered) if covered >= remaining => report.dedup_hits += 1,
-                _ => {
-                    seen.insert(fingerprint, remaining);
-                    report.states_explored += 1;
-                    dfs(config, &child, depth_left - 1, deadline, seen, path, report);
-                }
-            }
-        }
-        path.pop();
-        if report.truncated {
-            return;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -335,5 +345,31 @@ mod tests {
             "witness should shrink small, got {:?}",
             finding.shrunk
         );
+    }
+
+    #[test]
+    fn parallel_and_symmetric_diff_agree_with_sequential() {
+        let scenario = Scenario::new(Protocol::Odv, 3, 1).unwrap();
+        let base = run_differential(&DiffConfig::new(
+            scenario,
+            Protocol::Ldv,
+            Relation::Equivalent,
+            4,
+        ));
+        let par = run_differential(
+            &DiffConfig::new(scenario, Protocol::Ldv, Relation::Equivalent, 4).threads(4),
+        );
+        assert_eq!(base.states_explored, par.states_explored);
+        assert_eq!(base.dedup_hits, par.dedup_hits);
+        assert_eq!(base.transitions, par.transitions);
+        assert_eq!(base.mismatches, par.mismatches);
+
+        // ODV/LDV both carry the lexicographic tie-break, so the meet
+        // group is the identity and symmetry-on must change nothing.
+        let sym = run_differential(
+            &DiffConfig::new(scenario, Protocol::Ldv, Relation::Equivalent, 4).symmetry(true),
+        );
+        assert_eq!(base.states_explored, sym.states_explored);
+        assert_eq!(base.mismatches, sym.mismatches);
     }
 }

@@ -1,0 +1,508 @@
+//! The shared exploration engine: layered breadth-first search with
+//! work-stealing parallel expansion, sharded fingerprint deduplication,
+//! and optional symmetry quotienting.
+//!
+//! Both the invariant checker ([`crate::explore`]) and the differential
+//! checker ([`crate::diff`]) run on this engine; each provides a
+//! [`Space`] (its notion of state, successor events, and terminal
+//! hits).
+//!
+//! # Why layered BFS (and not parallel DFS)
+//!
+//! Deduplication uses *depth-left dominance*: a state revisited with
+//! less remaining depth than a previous visit can only reach a subset
+//! of what that visit covered, so it is skipped. Under DFS the same
+//! state can be reached first with *less* depth-left and later with
+//! more, forcing a re-expansion ("upgrade") whose bookkeeping depends
+//! on visit order — which a parallel schedule does not preserve.
+//! Layered BFS removes upgrades *by construction*: all states with
+//! depth-left `D` are expanded before any state with `D - 1`, so the
+//! first time a fingerprint is inserted is always its maximal-depth
+//! visit, and every later encounter is dominated. Dominance then needs
+//! no ordering argument at all — which is exactly what makes the
+//! parallel run's state counts equal to the sequential run's (see
+//! `tests/parallel_equivalence.rs`).
+//!
+//! # Determinism under work stealing
+//!
+//! Workers steal frontier slots from a shared atomic cursor, so *which*
+//! worker expands a state — and which worker's insert wins when two
+//! same-layer parents generate the same child — is scheduling noise.
+//! The merge step erases it:
+//!
+//! * every generated child is recorded as a [`ChildRec`] keyed by its
+//!   canonical generation coordinates `(job, event index)`;
+//! * per fingerprint, the **canonical parent** is the minimum
+//!   `(job, event index)` over all same-layer generators (the insert
+//!   winner only contributes the state value);
+//! * new states are appended to the arena and the next frontier in
+//!   canonical-coordinate order, and terminal hits are sorted the same
+//!   way.
+//!
+//! Totals, frontier order, parent pointers, and hit traces are
+//! therefore identical for every thread count; only wall-clock-budget
+//! truncation is machine-dependent (as it already was sequentially).
+//!
+//! # Budget under concurrency
+//!
+//! The wall clock is polled against a deadline every
+//! [`crate::explore::BUDGET_POLL_MASK`]-masked transition of a *shared*
+//! atomic transition counter, and expiry raises a shared flag that all
+//! workers observe per transition — one slow worker cannot overrun the
+//! deadline unobserved, and small layers cannot dodge the poll (the
+//! counter never resets). After truncation the hits the workers already
+//! produced are still recorded — so a truncated report is well-formed:
+//! counts are consistent and every recorded hit has a replayable trace
+//! — but the never-to-be-expanded next frontier is not built, and the
+//! merge loop re-polls the deadline so it cannot overrun the budget on
+//! a huge layer. What remains outside the deadline's reach is teardown:
+//! freeing a multi-gigabyte frontier costs wall clock proportional to
+//! the memory the run allocated, not to the budget.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::CheckEvent;
+use crate::explore::BUDGET_POLL_MASK;
+use crate::symmetry::SymmetryGroup;
+
+/// A state space the engine can explore: cloneable states, a canonical
+/// event enumeration, a step function whose non-empty result marks the
+/// transition terminal, and a (possibly symmetry-quotiented)
+/// fingerprint.
+pub(crate) trait Space: Clone + Send + Sync {
+    /// What a terminal transition yields (violations, mismatches, …).
+    type Hit: Clone + Send;
+
+    /// Applicable events, in canonical order.
+    fn events(&self) -> Vec<CheckEvent>;
+
+    /// Applies `event` in place. A non-empty result makes the resulting
+    /// state terminal: it is recorded and never expanded or
+    /// fingerprinted.
+    fn step(&mut self, event: CheckEvent) -> Vec<Self::Hit>;
+
+    /// The state's deduplication fingerprint — canonical under
+    /// `symmetry` when one is supplied.
+    fn fingerprint(&self, symmetry: Option<&SymmetryGroup>) -> u64;
+}
+
+/// Engine parameters, independent of the particular [`Space`].
+pub(crate) struct EngineConfig {
+    /// Maximum number of events per path.
+    pub depth: usize,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Quotient fingerprints under this symmetry group.
+    pub symmetry: Option<SymmetryGroup>,
+    /// Wall-clock deadline; `None` explores exhaustively.
+    pub deadline: Option<Instant>,
+    /// At most this many hits keep their traces (all are counted).
+    pub max_traced: usize,
+}
+
+/// One terminal transition, in canonical discovery order.
+pub(crate) struct HitRec<H> {
+    /// Everything the terminal step reported.
+    pub hits: Vec<H>,
+    /// The event path that reached the hit; `None` past `max_traced`.
+    pub trace: Option<Vec<CheckEvent>>,
+}
+
+/// What an exploration returns.
+pub(crate) struct EngineReport<H> {
+    /// Distinct states visited (the root included).
+    pub states_explored: u64,
+    /// Transitions that landed on an already-covered state.
+    pub dedup_hits: u64,
+    /// Total transitions applied.
+    pub transitions: u64,
+    /// Whether the wall-clock budget truncated the search.
+    pub truncated: bool,
+    /// Terminal transitions, canonically ordered.
+    pub hits: Vec<HitRec<H>>,
+}
+
+/// Clamps a depth to the `u8` the seen map stores.
+pub(crate) fn depth_u8(depth: usize) -> u8 {
+    u8::try_from(depth.min(usize::from(u8::MAX))).expect("clamped")
+}
+
+/// The fingerprint memo, sharded so concurrent workers rarely contend:
+/// fingerprint → largest depth-left the state was seen with, with
+/// insert-or-max semantics applied atomically under the shard lock.
+pub(crate) struct ShardedSeen {
+    shards: Vec<Mutex<HashMap<u64, u8>>>,
+}
+
+/// What a [`ShardedSeen::probe`] found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Probe {
+    /// First visit at a dominant depth — the caller owns expansion.
+    New,
+    /// Already seen *at the same depth-left* — a same-layer collision;
+    /// the caller is a canonical-parent candidate but not the owner.
+    Tied,
+    /// Already seen with at least as much depth-left — skip.
+    Covered,
+}
+
+impl ShardedSeen {
+    const SHARDS: usize = 64;
+
+    pub(crate) fn new() -> ShardedSeen {
+        ShardedSeen {
+            shards: (0..ShardedSeen::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Records that `fingerprint` is being visited with `depth_left`
+    /// remaining and classifies the visit. The max update is atomic
+    /// with the read (both happen under the shard lock), so two
+    /// concurrent visitors agree on exactly one `New` owner per
+    /// (fingerprint, dominant depth).
+    pub(crate) fn probe(&self, fingerprint: u64, depth_left: u8) -> Probe {
+        let shard = (fingerprint ^ (fingerprint >> 32)) as usize % ShardedSeen::SHARDS;
+        let mut map = self.shards[shard].lock().expect("seen shard poisoned");
+        match map.get_mut(&fingerprint) {
+            None => {
+                map.insert(fingerprint, depth_left);
+                Probe::New
+            }
+            Some(covered) if *covered == depth_left => Probe::Tied,
+            Some(covered) if *covered > depth_left => Probe::Covered,
+            Some(covered) => {
+                // Unreachable under layered BFS (depth-left only ever
+                // shrinks across layers); kept correct regardless.
+                *covered = depth_left;
+                Probe::New
+            }
+        }
+    }
+
+    /// Total distinct fingerprints recorded.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("seen shard poisoned").len())
+            .sum()
+    }
+}
+
+/// A `CheckEvent` packed into one byte for the parent arena: 3-bit tag,
+/// 5-bit argument (site index or partition index — both < 32 at the
+/// checker's scope).
+#[derive(Clone, Copy)]
+struct PackedEvent(u8);
+
+impl PackedEvent {
+    fn pack(event: CheckEvent) -> PackedEvent {
+        let (tag, arg) = match event {
+            CheckEvent::Crash(site) => (0, site.index()),
+            CheckEvent::Repair(site) => (1, site.index()),
+            CheckEvent::Recover(site) => (2, site.index()),
+            CheckEvent::Partition(index) => (3, index),
+            CheckEvent::Heal => (4, 0),
+            CheckEvent::Read(site) => (5, site.index()),
+            CheckEvent::Write(site) => (6, site.index()),
+        };
+        debug_assert!(arg < 32, "packed event argument out of range");
+        PackedEvent(((tag as u8) << 5) | (arg as u8 & 0x1F))
+    }
+
+    fn unpack(self) -> CheckEvent {
+        let arg = usize::from(self.0 & 0x1F);
+        match self.0 >> 5 {
+            0 => CheckEvent::Crash(dynvote_types::SiteId::new(arg)),
+            1 => CheckEvent::Repair(dynvote_types::SiteId::new(arg)),
+            2 => CheckEvent::Recover(dynvote_types::SiteId::new(arg)),
+            3 => CheckEvent::Partition(arg),
+            4 => CheckEvent::Heal,
+            5 => CheckEvent::Read(dynvote_types::SiteId::new(arg)),
+            _ => CheckEvent::Write(dynvote_types::SiteId::new(arg)),
+        }
+    }
+}
+
+/// One arena entry: enough to reconstruct the event path to any
+/// explored state (parent id + the event that produced it).
+struct ArenaEntry {
+    parent: u32,
+    event: PackedEvent,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One generated (non-terminal) child, keyed by canonical generation
+/// coordinates. `state` is `Some` iff this record's probe owned the
+/// seen-map insertion.
+struct ChildRec<S> {
+    fingerprint: u64,
+    job: u32,
+    event_idx: u16,
+    event: CheckEvent,
+    state: Option<S>,
+}
+
+/// One terminal transition as a worker saw it.
+struct RawHit<H> {
+    job: u32,
+    event_idx: u16,
+    event: CheckEvent,
+    hits: Vec<H>,
+}
+
+/// Everything one worker produced over one layer.
+struct WorkerOut<S: Space> {
+    children: Vec<ChildRec<S>>,
+    raw_hits: Vec<RawHit<S::Hit>>,
+    dedup_old: u64,
+}
+
+/// Expands frontier slots stolen from `next_job` until the layer (or
+/// the budget) is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn expand_layer<S: Space>(
+    frontier: &[(u32, S)],
+    next_job: &AtomicUsize,
+    seen: &ShardedSeen,
+    depth_left: u8,
+    symmetry: Option<&SymmetryGroup>,
+    transitions: &AtomicU64,
+    truncated: &AtomicBool,
+    deadline: Option<Instant>,
+) -> WorkerOut<S> {
+    let mut out = WorkerOut {
+        children: Vec::new(),
+        raw_hits: Vec::new(),
+        dedup_old: 0,
+    };
+    loop {
+        let job = next_job.fetch_add(1, Ordering::Relaxed);
+        if job >= frontier.len() || truncated.load(Ordering::Relaxed) {
+            break;
+        }
+        let (_, state) = &frontier[job];
+        for (event_idx, &event) in state.events().iter().enumerate() {
+            let total = transitions.fetch_add(1, Ordering::Relaxed);
+            if total & BUDGET_POLL_MASK == 0 {
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        truncated.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            if truncated.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut child = state.clone();
+            let hits = child.step(event);
+            if !hits.is_empty() {
+                // Terminal: record, never fingerprint or expand.
+                out.raw_hits.push(RawHit {
+                    job: u32::try_from(job).expect("frontier fits u32"),
+                    event_idx: u16::try_from(event_idx).expect("alphabet fits u16"),
+                    event,
+                    hits,
+                });
+                continue;
+            }
+            let fingerprint = child.fingerprint(symmetry);
+            match seen.probe(fingerprint, depth_left) {
+                Probe::Covered => out.dedup_old += 1,
+                owned => out.children.push(ChildRec {
+                    fingerprint,
+                    job: u32::try_from(job).expect("frontier fits u32"),
+                    event_idx: u16::try_from(event_idx).expect("alphabet fits u16"),
+                    event,
+                    state: (owned == Probe::New).then_some(child),
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Reconstructs the event path from the root to arena entry `id`.
+fn path_of(arena: &[ArenaEntry], mut id: u32) -> Vec<CheckEvent> {
+    let mut path = Vec::new();
+    while id != NO_PARENT {
+        let entry = &arena[id as usize];
+        if entry.parent == NO_PARENT {
+            break; // the root carries no event
+        }
+        path.push(entry.event.unpack());
+        id = entry.parent;
+    }
+    path.reverse();
+    path
+}
+
+/// Explores `root` to `config.depth`, layer by layer.
+pub(crate) fn explore<S: Space>(root: S, config: &EngineConfig) -> EngineReport<S::Hit> {
+    let symmetry = config.symmetry.as_ref();
+    let threads = config.threads.max(1);
+    let seen = ShardedSeen::new();
+    seen.probe(root.fingerprint(symmetry), depth_u8(config.depth));
+
+    let mut arena = vec![ArenaEntry {
+        parent: NO_PARENT,
+        event: PackedEvent(0),
+    }];
+    let transitions = AtomicU64::new(0);
+    let truncated = AtomicBool::new(false);
+    let mut states_explored: u64 = 1;
+    let mut dedup_hits: u64 = 0;
+    let mut hit_recs: Vec<HitRec<S::Hit>> = Vec::new();
+    let mut frontier: Vec<(u32, S)> = vec![(0, root)];
+
+    let mut depth_left = config.depth;
+    while depth_left > 0 && !frontier.is_empty() && !truncated.load(Ordering::Relaxed) {
+        let child_depth = depth_u8(depth_left - 1);
+        let next_job = AtomicUsize::new(0);
+        let workers = threads.min(frontier.len()).max(1);
+        let mut outs: Vec<WorkerOut<S>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        expand_layer(
+                            &frontier,
+                            &next_job,
+                            &seen,
+                            child_depth,
+                            symmetry,
+                            &transitions,
+                            &truncated,
+                            config.deadline,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("engine worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: canonical-coordinate order erases the
+        // worker schedule.
+        let mut children = Vec::new();
+        let mut raw_hits = Vec::new();
+        for out in &mut outs {
+            dedup_hits += out.dedup_old;
+            children.append(&mut out.children);
+            raw_hits.append(&mut out.raw_hits);
+        }
+        children.sort_by_key(|c| (c.job, c.event_idx));
+        raw_hits.sort_by_key(|r| (r.job, r.event_idx));
+
+        // Once the budget has expired, inserting the surviving children
+        // into the arena buys nothing — the next layer will never be
+        // expanded — and on a large layer it can cost multiples of the
+        // budget itself. Skip straight to recording this layer's hits.
+        // The merge below also re-polls the deadline periodically so a
+        // merge that *starts* inside the budget cannot overrun it
+        // unboundedly either.
+        let merge_children = !truncated.load(Ordering::Relaxed);
+
+        let mut state_of: HashMap<u64, S> = HashMap::new();
+        if merge_children {
+            for child in &mut children {
+                if let Some(state) = child.state.take() {
+                    state_of.insert(child.fingerprint, state);
+                }
+            }
+        }
+        let mut next_frontier: Vec<(u32, S)> = Vec::new();
+        let mut placed: HashMap<u64, ()> = HashMap::new();
+        for (merged, child) in children.iter().enumerate() {
+            if !merge_children {
+                break;
+            }
+            if merged & 0x1FFF == 0 {
+                if let Some(deadline) = config.deadline {
+                    if Instant::now() >= deadline {
+                        truncated.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            if placed.contains_key(&child.fingerprint) {
+                dedup_hits += 1; // same-layer collision
+                continue;
+            }
+            let Some(state) = state_of.remove(&child.fingerprint) else {
+                dedup_hits += 1; // depth-clamp corner: treat as covered
+                continue;
+            };
+            placed.insert(child.fingerprint, ());
+            let id = u32::try_from(arena.len()).expect("arena fits u32");
+            arena.push(ArenaEntry {
+                parent: frontier[child.job as usize].0,
+                event: PackedEvent::pack(child.event),
+            });
+            states_explored += 1;
+            next_frontier.push((id, state));
+        }
+        for raw in raw_hits {
+            let trace = (hit_recs.len() < config.max_traced).then(|| {
+                let mut path = path_of(&arena, frontier[raw.job as usize].0);
+                path.push(raw.event);
+                path
+            });
+            hit_recs.push(HitRec {
+                hits: raw.hits,
+                trace,
+            });
+        }
+
+        frontier = next_frontier;
+        depth_left -= 1;
+    }
+
+    EngineReport {
+        states_explored,
+        dedup_hits,
+        transitions: transitions.load(Ordering::Relaxed),
+        truncated: truncated.load(Ordering::Relaxed),
+        hits: hit_recs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_event_roundtrips() {
+        for event in [
+            CheckEvent::Crash(dynvote_types::SiteId::new(7)),
+            CheckEvent::Repair(dynvote_types::SiteId::new(0)),
+            CheckEvent::Recover(dynvote_types::SiteId::new(15)),
+            CheckEvent::Partition(3),
+            CheckEvent::Heal,
+            CheckEvent::Read(dynvote_types::SiteId::new(2)),
+            CheckEvent::Write(dynvote_types::SiteId::new(31)),
+        ] {
+            assert_eq!(PackedEvent::pack(event).unpack(), event);
+        }
+    }
+
+    #[test]
+    fn sharded_seen_dominance() {
+        let seen = ShardedSeen::new();
+        assert_eq!(seen.probe(42, 5), Probe::New);
+        assert_eq!(seen.probe(42, 5), Probe::Tied);
+        assert_eq!(seen.probe(42, 4), Probe::Covered);
+        assert_eq!(seen.probe(42, 6), Probe::New, "deeper visit re-owns");
+        assert_eq!(seen.probe(42, 5), Probe::Covered);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen.probe(7, 1), Probe::New);
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,30 +1,40 @@
 //! Bounded exhaustive exploration with memoized deduplication.
 //!
-//! Depth-first search over every interleaving of the event alphabet, to
-//! a configurable depth. Branching clones the [`World`] (clusters share
+//! Layered breadth-first search over every interleaving of the event
+//! alphabet, to a configurable depth, on the shared engine
+//! ([`crate::engine`]): optionally multi-threaded (`threads`) and
+//! optionally quotiented by site symmetry (`symmetry`, see
+//! [`crate::symmetry`]). Branching clones the [`World`] (clusters share
 //! their reachability memo, so clones are cheap); deduplication hashes
-//! every reached state with [`World::fingerprint`] and skips a state
-//! already explored with at least as much remaining depth
-//! (*depth-left dominance* — a weaker revisit can only reach a subset
-//! of what the stronger visit already covered).
+//! every reached state with [`World::fingerprint`] — or its canonical
+//! form under symmetry — and skips a state already explored with at
+//! least as much remaining depth (*depth-left dominance*: a weaker
+//! revisit can only reach a subset of what the stronger visit already
+//! covered; the engine's layer order makes the first visit always the
+//! strongest, which is what keeps parallel counts identical to
+//! sequential ones).
 //!
 //! Violating states are terminal: the violation is recorded with its
-//! full event path and the search backtracks, so every finding's trace
+//! full event path and never expanded further, so every finding's trace
 //! ends at the exact step that surfaced it.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use dynvote_core::check::{StateInvariant, Violation};
 
+use crate::engine::{self, EngineConfig, Space};
 use crate::event::CheckEvent;
 use crate::scenario::Scenario;
 use crate::shrink::ddmin;
+use crate::symmetry::{canonical_fingerprint, SymmetryGroup};
 use crate::trace::regression_snippet;
 use crate::world::{apply_and_detect, classify_known_hazard, default_suite, World};
 
 /// How often (in applied transitions) the wall-clock budget is polled.
-const BUDGET_POLL_MASK: u64 = 0x3FF;
+/// The counter is shared across workers (a single atomic), so the poll
+/// cadence holds fleet-wide: no worker can overrun the deadline by more
+/// than one poll interval, however the layer is partitioned.
+pub const BUDGET_POLL_MASK: u64 = 0x3FF;
 
 /// One run of the checker.
 #[derive(Clone, Debug)]
@@ -42,11 +52,18 @@ pub struct CheckConfig {
     pub max_findings: usize,
     /// Minimize each recorded trace with delta debugging.
     pub shrink: bool,
+    /// Worker threads for frontier expansion (1 = sequential; any
+    /// value yields identical reports, see
+    /// `tests/parallel_equivalence.rs`).
+    pub threads: usize,
+    /// Deduplicate states up to permutations of interchangeable
+    /// same-segment sites (see [`crate::symmetry`]).
+    pub symmetry: bool,
 }
 
 impl CheckConfig {
-    /// A default configuration: exhaustive, up to 8 recorded findings,
-    /// shrinking on.
+    /// A default configuration: exhaustive, sequential, no symmetry
+    /// quotient, up to 8 recorded findings, shrinking on.
     #[must_use]
     pub fn new(scenario: Scenario, depth: usize) -> CheckConfig {
         CheckConfig {
@@ -55,7 +72,23 @@ impl CheckConfig {
             budget: None,
             max_findings: 8,
             shrink: true,
+            threads: 1,
+            symmetry: false,
         }
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> CheckConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Turns the symmetry quotient on or off.
+    #[must_use]
+    pub fn symmetry(mut self, on: bool) -> CheckConfig {
+        self.symmetry = on;
+        self
     }
 }
 
@@ -83,7 +116,8 @@ pub struct Report {
     pub scenario: Scenario,
     /// The depth bound the run used.
     pub depth: usize,
-    /// Distinct states visited (the root included).
+    /// Distinct states visited (the root included; orbit
+    /// representatives when symmetry is on).
     pub states_explored: u64,
     /// Transitions that landed on an already-covered state.
     pub dedup_hits: u64,
@@ -154,6 +188,48 @@ pub fn enumerate_events(world: &World) -> Vec<CheckEvent> {
     out
 }
 
+/// The invariant checker's [`Space`]: a [`World`] stepped through
+/// [`apply_and_detect`], with violations classified against the
+/// policy's documented hazards at the transition that surfaced them.
+#[derive(Clone)]
+struct CheckSpace<'a> {
+    world: World,
+    suite: &'a [Box<dyn StateInvariant>],
+    scenario: Scenario,
+}
+
+impl Space for CheckSpace<'_> {
+    type Hit = (Violation, bool);
+
+    fn events(&self) -> Vec<CheckEvent> {
+        enumerate_events(&self.world)
+    }
+
+    fn step(&mut self, event: CheckEvent) -> Vec<(Violation, bool)> {
+        let was_forked = self.world.forked();
+        let found = apply_and_detect(&mut self.world, self.suite, event);
+        if found.is_empty() {
+            return Vec::new();
+        }
+        let now_forked = self.world.forked();
+        found
+            .into_iter()
+            .map(|violation| {
+                let hazard =
+                    classify_known_hazard(self.scenario.policy, was_forked, now_forked, &violation);
+                (violation, hazard)
+            })
+            .collect()
+    }
+
+    fn fingerprint(&self, symmetry: Option<&SymmetryGroup>) -> u64 {
+        match symmetry {
+            None => self.world.fingerprint(),
+            Some(group) => canonical_fingerprint(&[&self.world.sym_view()], group),
+        }
+    }
+}
+
 /// Runs the checker on the scenario's canonical cluster.
 #[must_use]
 pub fn run(config: &CheckConfig) -> Report {
@@ -171,34 +247,54 @@ pub fn run_with_factory(
     factory: &dyn Fn(&Scenario) -> dynvote_replica::Cluster<u64>,
 ) -> Report {
     let suite = default_suite();
-    let mut explorer = Explorer {
-        config,
+    let root = CheckSpace {
+        world: World::with_cluster(factory(&config.scenario)),
         suite: &suite,
-        deadline: config.budget.map(|b| Instant::now() + b),
-        seen: HashMap::new(),
-        path: Vec::new(),
-        report: Report {
-            scenario: config.scenario,
-            depth: config.depth,
-            states_explored: 0,
-            dedup_hits: 0,
-            transitions: 0,
-            truncated: false,
-            real_violations: 0,
-            known_hazards: 0,
-            findings: Vec::new(),
-        },
+        scenario: config.scenario,
     };
+    let engine_config = EngineConfig {
+        depth: config.depth,
+        threads: config.threads,
+        symmetry: config.symmetry.then(|| SymmetryGroup::of(&config.scenario)),
+        deadline: config.budget.map(|budget| Instant::now() + budget),
+        max_traced: config.max_findings,
+    };
+    let result = engine::explore(root, &engine_config);
 
-    let root = World::with_cluster(factory(&config.scenario));
-    explorer.report.states_explored = 1;
-    explorer
-        .seen
-        .insert(root.fingerprint(), depth_u8(config.depth));
-    explorer.dfs(&root, config.depth);
+    let mut report = Report {
+        scenario: config.scenario,
+        depth: config.depth,
+        states_explored: result.states_explored,
+        dedup_hits: result.dedup_hits,
+        transitions: result.transitions,
+        truncated: result.truncated,
+        real_violations: 0,
+        known_hazards: 0,
+        findings: Vec::new(),
+    };
+    for rec in result.hits {
+        for (violation, hazard) in rec.hits {
+            if hazard {
+                report.known_hazards += 1;
+            } else {
+                report.real_violations += 1;
+            }
+            if report.findings.len() < config.max_findings {
+                if let Some(trace) = &rec.trace {
+                    report.findings.push(Finding {
+                        violation,
+                        known_hazard: hazard,
+                        trace: trace.clone(),
+                        shrunk: trace.clone(),
+                        regression: String::new(),
+                    });
+                }
+            }
+        }
+    }
 
     if config.shrink {
-        for finding in &mut explorer.report.findings {
+        for finding in &mut report.findings {
             finding.shrunk = shrink_finding(config, factory, &suite, finding);
             finding.regression = regression_snippet(
                 &config.scenario,
@@ -208,97 +304,7 @@ pub fn run_with_factory(
             );
         }
     }
-    explorer.report
-}
-
-fn depth_u8(depth: usize) -> u8 {
-    u8::try_from(depth.min(usize::from(u8::MAX))).expect("clamped")
-}
-
-struct Explorer<'a> {
-    config: &'a CheckConfig,
-    suite: &'a [Box<dyn StateInvariant>],
-    deadline: Option<Instant>,
-    /// fingerprint → largest depth-left this state was explored with.
-    seen: HashMap<u64, u8>,
-    path: Vec<CheckEvent>,
-    report: Report,
-}
-
-impl Explorer<'_> {
-    fn out_of_budget(&mut self) -> bool {
-        if self.report.truncated {
-            return true;
-        }
-        if self.report.transitions & BUDGET_POLL_MASK == 0 {
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    self.report.truncated = true;
-                    return true;
-                }
-            }
-        }
-        false
-    }
-
-    fn dfs(&mut self, world: &World, depth_left: usize) {
-        if depth_left == 0 {
-            return;
-        }
-        for event in enumerate_events(world) {
-            self.report.transitions += 1;
-            if self.out_of_budget() {
-                return;
-            }
-            let was_forked = world.forked();
-            let mut child = world.clone();
-            let found = apply_and_detect(&mut child, self.suite, event);
-            self.path.push(event);
-            if found.is_empty() {
-                let fingerprint = child.fingerprint();
-                let remaining = depth_u8(depth_left - 1);
-                match self.seen.get(&fingerprint) {
-                    Some(&covered) if covered >= remaining => {
-                        self.report.dedup_hits += 1;
-                    }
-                    _ => {
-                        self.seen.insert(fingerprint, remaining);
-                        self.report.states_explored += 1;
-                        self.dfs(&child, depth_left - 1);
-                    }
-                }
-            } else {
-                // Violating states are terminal: record and backtrack.
-                let now_forked = child.forked();
-                for violation in found {
-                    let hazard = classify_known_hazard(
-                        self.config.scenario.policy,
-                        was_forked,
-                        now_forked,
-                        &violation,
-                    );
-                    if hazard {
-                        self.report.known_hazards += 1;
-                    } else {
-                        self.report.real_violations += 1;
-                    }
-                    if self.report.findings.len() < self.config.max_findings {
-                        self.report.findings.push(Finding {
-                            violation,
-                            known_hazard: hazard,
-                            trace: self.path.clone(),
-                            shrunk: self.path.clone(),
-                            regression: String::new(),
-                        });
-                    }
-                }
-            }
-            self.path.pop();
-            if self.report.truncated {
-                return;
-            }
-        }
-    }
+    report
 }
 
 /// Replays `events` on a fresh factory-built world and reports whether
@@ -407,5 +413,40 @@ mod tests {
         assert!(finding.known_hazard);
         assert!(finding.shrunk.len() <= finding.trace.len());
         assert_eq!(finding.shrunk.len(), 5, "the 2-site fork needs 5 events");
+    }
+
+    #[test]
+    fn threads_and_symmetry_flags_preserve_verdicts() {
+        let scenario = Scenario::new(Protocol::Tdv, 3, 1).unwrap();
+        let base = run(&CheckConfig::new(scenario, 5));
+        let par = run(&CheckConfig::new(scenario, 5).threads(4));
+        assert_eq!(base.states_explored, par.states_explored);
+        assert_eq!(base.dedup_hits, par.dedup_hits);
+        assert_eq!(base.transitions, par.transitions);
+        assert_eq!(base.known_hazards, par.known_hazards);
+        assert_eq!(base.real_violations, par.real_violations);
+
+        // TDV's lexicographic tie-break degenerates the group to the
+        // identity, so symmetry-on must be byte-for-byte equivalent.
+        let sym = run(&CheckConfig::new(scenario, 5).symmetry(true));
+        assert_eq!(base.states_explored, sym.states_explored);
+        assert_eq!(base.known_hazards, sym.known_hazards);
+        assert_eq!(base.real_violations, sym.real_violations);
+
+        // DV is site-symmetric: the quotient must genuinely shrink the
+        // state space without changing the verdict.
+        let dv = Scenario::new(Protocol::Dv, 3, 1).unwrap();
+        let dv_base = run(&CheckConfig::new(dv, 5));
+        let dv_sym = run(&CheckConfig::new(dv, 5).symmetry(true));
+        assert!(
+            dv_sym.states_explored < dv_base.states_explored,
+            "the quotient must actually shrink a symmetric scenario \
+             ({} vs {})",
+            dv_sym.states_explored,
+            dv_base.states_explored,
+        );
+        assert!(dv_base.clean() && dv_sym.clean());
+        assert_eq!(dv_base.known_hazards, 0);
+        assert_eq!(dv_sym.known_hazards, 0);
     }
 }

@@ -37,10 +37,12 @@
 //! `--deny-hazards` CLI flag turns them back into failures.
 
 pub mod diff;
+pub(crate) mod engine;
 pub mod event;
 pub mod explore;
 pub mod scenario;
 pub mod shrink;
+pub mod symmetry;
 pub mod trace;
 pub mod world;
 
@@ -49,6 +51,7 @@ pub use event::CheckEvent;
 pub use explore::{enumerate_events, run, run_with_factory, CheckConfig, Finding, Report};
 pub use scenario::{parse_policy, policy_name, Scenario, ALL_POLICIES};
 pub use shrink::ddmin;
+pub use symmetry::{canonical_fingerprint, SymView, SymmetryGroup};
 pub use trace::{replay, verify, Expectation, TraceFile};
 pub use world::{
     apply_and_detect, classify_known_hazard, default_suite, groups_of, state_table_of, World,

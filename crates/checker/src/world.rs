@@ -134,6 +134,12 @@ impl World {
                 result
             }
         };
+        // The checker never reads the message trace, but every explored
+        // state would otherwise retain its whole message history —
+        // thousands of World clones in a BFS frontier turn that into
+        // gigabytes. The trace is not part of the fingerprint, so
+        // dropping it cannot merge distinct states.
+        self.cluster.clear_trace();
         match result {
             Ok(Some(value)) => {
                 if value != self.last_committed {
@@ -170,6 +176,54 @@ impl World {
                 self.oracle_violations,
             ))
             .rotate_left(7)
+    }
+
+    /// Extracts everything [`World::fingerprint`] depends on into plain
+    /// site-indexed data, so the symmetry layer can relabel sites and
+    /// recompute fingerprints without touching the live cluster (see
+    /// [`crate::symmetry`]).
+    #[must_use]
+    pub fn sym_view(&self) -> crate::symmetry::SymView {
+        let participants = self.cluster.participants();
+        let sites = participants.max().map_or(0, |s| s.index() + 1);
+        let up = self.cluster.up_sites();
+        let mut nodes = Vec::with_capacity(sites);
+        for index in 0..sites {
+            let site = dynvote_types::SiteId::new(index);
+            if !participants.contains(site) {
+                nodes.push(crate::symmetry::NodeView {
+                    participant: false,
+                    up: false,
+                    pending: false,
+                    op: 0,
+                    version: 0,
+                    partition: SiteSet::EMPTY,
+                    value: 0,
+                });
+                continue;
+            }
+            let state = self.cluster.state_at(site);
+            nodes.push(crate::symmetry::NodeView {
+                participant: true,
+                up: up.contains(site),
+                pending: self.cluster.pending_at(site).is_some(),
+                op: state.op,
+                version: state.version,
+                partition: state.partition,
+                value: self.cluster.value_at(site),
+            });
+        }
+        let checker = self.cluster.checker();
+        crate::symmetry::SymView {
+            sites,
+            up,
+            forced: self.forced,
+            nodes,
+            commits: checker.commit_entries(),
+            versions: checker.version_entries(),
+            monitor: (checker.latest_written(), checker.violations().len() as u64),
+            scalars: [self.next_token, self.last_committed, self.oracle_violations],
+        }
     }
 }
 

@@ -1,0 +1,95 @@
+//! Figure 8 acceptance: the paper's 8-site, 3-segment topology
+//! (segments {S0,S1,S2} | {S3,S4,S5} | {S6,S7}, gateways S2 and S5),
+//! explored exhaustively and reproducibly by the parallel + symmetry
+//! engine.
+//!
+//! The exhaustive depth-6 runs pin exact state counts: the layered-BFS
+//! engine is deterministic for any thread count, so a count drift is a
+//! behavioral change, not noise. The deep runs are `#[ignore]`d in
+//! debug builds (they cost minutes unoptimized); CI's `check` job runs
+//! the same configurations through the release binary, and
+//! `cargo test --release -p dynvote-check --test figure8 -- --include-ignored`
+//! runs everything locally.
+
+use dynvote_check::{run, CheckConfig, Scenario};
+use dynvote_replica::Protocol;
+
+fn figure8(policy: Protocol) -> Scenario {
+    Scenario::new(policy, 8, 3).unwrap()
+}
+
+/// Fast smoke at depth 5 (hazard-free on this topology): pinned counts,
+/// identical at 1 and 4 threads.
+#[test]
+fn figure8_depth_five_is_clean_and_pinned() {
+    let base = run(&CheckConfig::new(figure8(Protocol::Tdv), 5));
+    assert_eq!(base.states_explored, 38_066);
+    assert_eq!(base.transitions, 178_734);
+    assert_eq!(base.real_violations, 0);
+    assert_eq!(base.known_hazards, 0, "the fork kernels need depth 6");
+    assert!(!base.truncated);
+
+    let par = run(&CheckConfig::new(figure8(Protocol::Tdv), 5).threads(4));
+    assert_eq!(base.states_explored, par.states_explored);
+    assert_eq!(base.dedup_hits, par.dedup_hits);
+    assert_eq!(base.transitions, par.transitions);
+}
+
+/// The symmetry quotient pays on Figure 8 for the site-symmetric
+/// policies: DV explores strictly fewer states with identical verdicts.
+#[test]
+fn figure8_dv_symmetry_quotient_saves_states() {
+    let plain = run(&CheckConfig::new(figure8(Protocol::Dv), 4));
+    let quotient = run(&CheckConfig::new(figure8(Protocol::Dv), 4).symmetry(true));
+    assert!(
+        quotient.states_explored < plain.states_explored,
+        "quotient saved nothing: {} vs {}",
+        quotient.states_explored,
+        plain.states_explored
+    );
+    assert_eq!(plain.real_violations, quotient.real_violations);
+    assert_eq!(plain.known_hazards, quotient.known_hazards);
+    assert_eq!(plain.real_violations, 0);
+}
+
+/// Exhaustive Figure 8 at depth 6 — the depth where the sequential-
+/// claim fork kernels surface on this topology. Pinned end to end:
+/// state count, hazard count, zero real violations, untruncated.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "minutes without optimization; run with --release"
+)]
+fn figure8_depth_six_exhaustive_tdv() {
+    let mut config = CheckConfig::new(figure8(Protocol::Tdv), 6)
+        .threads(4)
+        .symmetry(true);
+    config.shrink = false;
+    config.max_findings = 1;
+    let report = run(&config);
+    assert!(!report.truncated, "run must be exhaustive, not budgeted");
+    assert_eq!(report.states_explored, 243_062);
+    assert_eq!(report.transitions, 1_139_115);
+    assert_eq!(report.real_violations, 0);
+    assert_eq!(report.known_hazards, 88);
+}
+
+/// The same depth-6 space, sequential vs 4 threads, bit-identical.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "minutes without optimization; run with --release"
+)]
+fn figure8_depth_six_parallel_matches_sequential() {
+    let mut seq = CheckConfig::new(figure8(Protocol::Tdv), 6);
+    seq.shrink = false;
+    seq.max_findings = 1;
+    let mut par = seq.clone().threads(4);
+    par.shrink = false;
+    let a = run(&seq);
+    let b = run(&par);
+    assert_eq!(a.states_explored, b.states_explored);
+    assert_eq!(a.dedup_hits, b.dedup_hits);
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.known_hazards, b.known_hazards);
+}

@@ -97,7 +97,7 @@ impl ProtocolSnapshot<'_> {
 /// Implementations should be pure: both hooks may be called on any
 /// state in any order (the explorer memoizes and backtracks), so no
 /// internal mutable bookkeeping is allowed.
-pub trait StateInvariant {
+pub trait StateInvariant: Send + Sync {
     /// Short stable name, used in reports and trace files.
     fn name(&self) -> &'static str;
 

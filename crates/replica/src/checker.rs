@@ -163,6 +163,36 @@ impl Checker {
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
+
+    /// The commit log as `(op, participants)` pairs, sorted by
+    /// operation number — the detection-relevant history a symmetry
+    /// canonicalization must relabel site-by-site (see the checker
+    /// crate's `symmetry` module). Sorted so callers can hash the
+    /// entries sequentially without re-introducing `HashMap` order.
+    #[must_use]
+    pub fn commit_entries(&self) -> Vec<(u64, SiteSet)> {
+        let mut entries: Vec<_> = self
+            .committed_ops
+            .iter()
+            .map(|(&op, &participants)| (op, participants))
+            .collect();
+        entries.sort_unstable_by_key(|&(op, _)| op);
+        entries
+    }
+
+    /// The written-version multiset as `(version, times)` pairs, sorted
+    /// by version — the site-free half of the detection-relevant
+    /// history (companion to [`Checker::commit_entries`]).
+    #[must_use]
+    pub fn version_entries(&self) -> Vec<(u64, u64)> {
+        let mut entries: Vec<_> = self
+            .written_versions
+            .iter()
+            .map(|(&version, &times)| (version, times))
+            .collect();
+        entries.sort_unstable_by_key(|&(version, _)| version);
+        entries
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@
 
 use std::path::PathBuf;
 
-use dynvote_check::{verify, CheckEvent, Expectation, Scenario, TraceFile, World};
+use dynvote_check::{
+    run, verify, CheckConfig, CheckEvent, Expectation, Scenario, TraceFile, World,
+};
 use dynvote_replica::Protocol;
 use dynvote_types::{AccessError, SiteId};
 
@@ -88,6 +90,57 @@ fn corpus_files_roundtrip_through_the_renderer() {
         let reparsed = TraceFile::parse(&rendered)
             .unwrap_or_else(|error| panic!("{name}: re-render broke parsing: {error}"));
         assert_eq!(reparsed, file, "{name}: render/parse is not a fixpoint");
+    }
+}
+
+/// Every pinned lineage-fork kernel is *rediscovered* by the parallel,
+/// symmetry-quotiented checker — not merely replayed. For each fork
+/// trace the checker runs at exactly the trace's depth with 4 worker
+/// threads and `--symmetry on`, and must (a) classify the hazard and
+/// (b) shrink some finding to the corpus trace's length, proving the
+/// engine rewrite neither hid a kernel behind the quotient nor lost
+/// ddmin minimality under parallel merge order.
+#[test]
+fn fork_kernels_survive_the_parallel_symmetric_checker() {
+    let forks: Vec<_> = corpus()
+        .into_iter()
+        .filter(|(_, f)| {
+            matches!(
+                &f.expect,
+                Expectation::Violation { invariant, .. } if invariant == "lineage-fork"
+            )
+        })
+        .collect();
+    assert!(forks.len() >= 4, "expected ≥4 fork kernels, got {forks:?}");
+    for (name, file) in forks {
+        let depth = file.events.len();
+        let mut config = CheckConfig::new(file.scenario, depth)
+            .threads(4)
+            .symmetry(true);
+        // Generous cap: on the two-segment topology dozens of
+        // at-most-one-majority hazards surface a layer before the
+        // lineage fork and would otherwise crowd it out of the record.
+        config.max_findings = 256;
+        let report = run(&config);
+        assert!(
+            report.known_hazards > 0,
+            "{name}: the quotiented run lost the hazard"
+        );
+        assert_eq!(
+            report.real_violations, 0,
+            "{name}: unexpected real violation"
+        );
+        let minimal = report
+            .findings
+            .iter()
+            .filter(|f| f.violation.invariant == "lineage-fork")
+            .map(|f| f.shrunk.len())
+            .min()
+            .unwrap_or_else(|| panic!("{name}: no lineage-fork finding recorded"));
+        assert_eq!(
+            minimal, depth,
+            "{name}: minimal shrunk length changed (corpus pins {depth})"
+        );
     }
 }
 
