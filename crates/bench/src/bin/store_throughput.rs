@@ -18,8 +18,19 @@
 //! ```text
 //! cargo run --release -p dynvote-bench --bin store_throughput -- \
 //!     [--clients N] [--pipeline D] [--write-pct P] [--secs S] \
-//!     [--policy odv] [--sites 3] [--quick] [--out PATH]
+//!     [--policy odv] [--sites 3] [--shards N] [--quick] [--out PATH]
 //! ```
+//!
+//! With `--shards N` the fleet runs N independent shard groups and the
+//! drivers speak the *keyed* protocol: each client thread owns one
+//! shard, pre-hashes a key pool onto it, and pipelines
+//! `PutKey`/`GetKey` batches at that shard's coordinator — the
+//! multi-shard aggregate lands in `BENCH_shard.json` with a per-shard
+//! latency breakdown. On a multi-core box the aggregate is expected to
+//! scale with shards (independent quorums, independent batch fsyncs);
+//! on a single core the gated property is *fairness* instead — every
+//! shard gets an even slice of the one core (`fairness.max_over_min`
+//! close to 1), and the aggregate stays within noise of one shard.
 
 use std::collections::VecDeque;
 use std::net::TcpListener;
@@ -39,7 +50,10 @@ struct Args {
     secs: f64,
     policy: String,
     sites: usize,
-    out: String,
+    /// 0 = the classic unsharded store; N ≥ 1 = keyed workload over N
+    /// shard groups.
+    shards: usize,
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -50,7 +64,8 @@ fn parse_args() -> Args {
         secs: 5.0,
         policy: "odv".to_string(),
         sites: 3,
-        out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json").to_string(),
+        shards: 0,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -67,13 +82,14 @@ fn parse_args() -> Args {
             "--secs" => args.secs = value("--secs").parse().expect("--secs"),
             "--policy" => args.policy = value("--policy"),
             "--sites" => args.sites = value("--sites").parse().expect("--sites"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
             "--quick" => args.secs = 2.0,
-            "--out" => args.out = value("--out"),
+            "--out" => args.out = Some(value("--out")),
             other => {
                 eprintln!(
                     "error: unknown flag {other:?}\nusage: store_throughput \
                      [--clients N] [--pipeline D] [--write-pct P] [--secs S] \
-                     [--policy NAME] [--sites N] [--quick] [--out PATH]"
+                     [--policy NAME] [--sites N] [--shards N] [--quick] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -88,7 +104,7 @@ fn parse_args() -> Args {
 /// names real addresses), then one daemon per site, then a status poll
 /// until all accept. `--quiet` keeps the grant log off stderr — at the
 /// rates this harness drives, the terminal would be the bottleneck.
-fn boot_fleet(policy: &str, sites: usize) -> (Vec<ServiceHandle>, Vec<String>) {
+fn boot_fleet(policy: &str, sites: usize, shards: usize) -> (Vec<ServiceHandle>, Vec<String>) {
     let listeners: Vec<TcpListener> = (0..sites)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
         .collect();
@@ -106,8 +122,13 @@ fn boot_fleet(policy: &str, sites: usize) -> (Vec<ServiceHandle>, Vec<String>) {
         .into_iter()
         .enumerate()
         .map(|(i, listener)| {
+            let sharding = if shards > 0 {
+                format!("--shards {shards} --shard-placement ring:3 ")
+            } else {
+                "--value v0 ".to_string()
+            };
             let flags = format!(
-                "--site {i} --policy {policy} --peers {peers} --value v0 --quiet \
+                "--site {i} --policy {policy} --peers {peers} {sharding}--quiet \
                  --connect-timeout-ms 250 --read-timeout-ms 2000 \
                  --backoff-ms 10 --backoff-cap-ms 100"
             );
@@ -191,6 +212,80 @@ fn drive_client(addr: &str, depth: usize, write_pct: u64, seed: u64, end: Instan
     run
 }
 
+/// One closed-loop *keyed* client: owns one shard, cycles a pre-hashed
+/// key pool, and pipelines `PutKey`/`GetKey` at the shard's
+/// coordinator. The epoch is fixed for the run — the bench never
+/// rebalances, so a stale answer would be a bug and lands in `errors`
+/// via the refused path.
+#[allow(clippy::too_many_arguments)] // one call site; the args are the run parameters
+fn drive_keyed_client(
+    addr: &str,
+    shard: u16,
+    epoch: u64,
+    keys: &[String],
+    depth: usize,
+    write_pct: u64,
+    seed: u64,
+    end: Instant,
+) -> ClientRun {
+    let conn = Connection::new(addr, ConnOptions::default());
+    let mut jitter = dynvote_store::jitter::Jitter::new(seed);
+    let payload = vec![b'x'; 32];
+    let mut run = ClientRun {
+        samples: Vec::with_capacity(1 << 16),
+        refused: 0,
+        errors: 0,
+    };
+    let mut next_key = 0usize;
+    let mut inflight = VecDeque::with_capacity(depth);
+    let reap =
+        |run: &mut ClientRun,
+         (pending, started, is_write): (dynvote_store::conn::Pending, Instant, bool)| {
+            let wait_deadline = Deadline::within(Duration::from_secs(10));
+            match conn.wait(&pending, &wait_deadline) {
+                Ok(outcome) if outcome.granted() => {
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    run.samples.push((micros, is_write));
+                }
+                Ok(_) => run.refused += 1,
+                Err(_) => run.errors += 1,
+            }
+        };
+    while Instant::now() < end {
+        while inflight.len() < depth {
+            let is_write = jitter.in_range(0, 99) < write_pct;
+            let key = keys[next_key % keys.len()].clone();
+            next_key += 1;
+            let frame = if is_write {
+                Frame::PutKey {
+                    epoch,
+                    shard,
+                    key,
+                    value: payload.clone(),
+                }
+            } else {
+                Frame::GetKey { epoch, shard, key }
+            };
+            let submit_deadline = Deadline::within(Duration::from_secs(10));
+            match conn.submit(&frame, &submit_deadline) {
+                Ok(pending) => inflight.push_back((pending, Instant::now(), is_write)),
+                Err(_) => {
+                    run.errors += 1;
+                    break;
+                }
+            }
+        }
+        let Some(oldest) = inflight.pop_front() else {
+            break;
+        };
+        reap(&mut run, oldest);
+    }
+    for leftover in inflight {
+        reap(&mut run, leftover);
+    }
+    run
+}
+
 /// The `q`-th percentile (0.0–1.0) of a sorted sample vector, in µs.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -200,10 +295,10 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-fn histogram_json(label: &str, mut samples: Vec<u64>) -> String {
+fn histogram_object(mut samples: Vec<u64>) -> String {
     samples.sort_unstable();
     format!(
-        r#""{label}": {{ "count": {count}, "p50_us": {p50}, "p99_us": {p99}, "p999_us": {p999}, "max_us": {max} }}"#,
+        r#"{{ "count": {count}, "p50_us": {p50}, "p99_us": {p99}, "p999_us": {p999}, "max_us": {max} }}"#,
         count = samples.len(),
         p50 = percentile(&samples, 0.50),
         p99 = percentile(&samples, 0.99),
@@ -212,14 +307,196 @@ fn histogram_json(label: &str, mut samples: Vec<u64>) -> String {
     )
 }
 
+fn histogram_json(label: &str, samples: Vec<u64>) -> String {
+    format!(r#""{label}": {}"#, histogram_object(samples))
+}
+
+/// The `--shards N` mode: keyed workload, one coordinator connection
+/// per shard, per-shard latency breakdown and a fairness summary in
+/// `BENCH_shard.json`.
+fn run_sharded(args: &Args) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "booting {} x {} loopback fleet ({} shards) ...",
+        args.sites, args.policy, args.shards
+    );
+    let (handles, addrs) = boot_fleet(&args.policy, args.sites, args.shards);
+    let map = dynvote_store::router::fetch_map(&addrs[0], Duration::from_secs(5))
+        .expect("shard map from the fleet");
+    assert_eq!(map.shards.len(), args.shards, "fleet built the wrong map");
+
+    // Pre-hash a key pool onto every shard, then warm each key with
+    // one routed write — a `GetKey` on a never-written key is a typed
+    // refusal, which the fault-free gate below counts as a failure.
+    const KEYS_PER_SHARD: usize = 64;
+    let mut pools: Vec<Vec<String>> = vec![Vec::new(); args.shards];
+    let mut probe = 0u64;
+    while pools.iter().any(|pool| pool.len() < KEYS_PER_SHARD) {
+        let key = format!("bench-{probe}");
+        probe += 1;
+        let shard = map.shard_of(key.as_bytes()) as usize;
+        if pools[shard].len() < KEYS_PER_SHARD {
+            pools[shard].push(key);
+        }
+    }
+    let router =
+        dynvote_store::router::ShardRouter::new(vec![addrs[0].clone()], ConnOptions::default());
+    for pool in &pools {
+        for key in pool {
+            let deadline = Deadline::within(Duration::from_secs(10));
+            let outcome = router.put(key, b"warm", &deadline).expect("warmup put");
+            assert!(outcome.granted(), "warmup put {key}: {outcome:?}");
+        }
+    }
+
+    // One driver thread per shard slice; thread i owns shard i % N, so
+    // every shard always has at least one closed loop on it.
+    let threads = args.clients.max(args.shards);
+    eprintln!(
+        "driving: {threads} keyed clients x pipeline {} at {}% writes for {:.1}s ...",
+        args.pipeline, args.write_pct, args.secs
+    );
+    let started = Instant::now();
+    let end = started + Duration::from_secs_f64(args.secs);
+    let runs: Vec<(usize, ClientRun)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..threads)
+            .map(|i| {
+                let shard = i % args.shards;
+                let addr = map
+                    .coordinator_addr(shard as u16)
+                    .expect("coordinator addr");
+                let pool = &pools[shard];
+                let epoch = map.epoch;
+                scope.spawn(move || {
+                    (
+                        shard,
+                        drive_keyed_client(
+                            addr,
+                            shard as u16,
+                            epoch,
+                            pool,
+                            args.pipeline,
+                            args.write_pct,
+                            0x5eed_1000 + i as u64,
+                            end,
+                        ),
+                    )
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|t| t.join().expect("keyed client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = Vec::new();
+    let mut writes: Vec<u64> = Vec::new();
+    let mut reads: Vec<u64> = Vec::new();
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); args.shards];
+    let mut refused = 0u64;
+    let mut errors = 0u64;
+    for (shard, run) in runs {
+        refused += run.refused;
+        errors += run.errors;
+        for (micros, is_write) in run.samples {
+            all.push(micros);
+            per_shard[shard].push(micros);
+            if is_write {
+                writes.push(micros);
+            } else {
+                reads.push(micros);
+            }
+        }
+    }
+    let completed = all.len() as u64;
+    let rps = completed as f64 / wall;
+    assert!(
+        errors == 0 && refused == 0,
+        "fault-free sharded run saw {refused} refusals / {errors} errors"
+    );
+
+    // The per-shard breakdown and the single-core fairness summary.
+    let shard_rps: Vec<f64> = per_shard
+        .iter()
+        .map(|samples| samples.len() as f64 / wall)
+        .collect();
+    let min_rps = shard_rps.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_rps = shard_rps.iter().copied().fold(0.0f64, f64::max);
+    let per_shard_json = per_shard
+        .iter()
+        .enumerate()
+        .map(|(shard, samples)| {
+            format!(
+                r#"    "{shard}": {{ "requests_per_sec": {rps:.0}, "latency": {hist} }}"#,
+                rps = shard_rps[shard],
+                hist = histogram_object(samples.clone()),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let json = format!(
+        r#"{{
+  "generated_by": "cargo run --release -p dynvote-bench --bin store_throughput -- --shards {shards}",
+  "machine": {{ "cores": {cores} }},
+  "cluster": {{ "policy": "{policy}", "sites": {sites}, "shards": {shards}, "placement": "ring:3", "durable": false }},
+  "workload": {{ "clients": {threads}, "pipeline_depth": {pipeline}, "write_pct": {write_pct}, "payload_bytes": 32, "keys_per_shard": {keys_per_shard}, "secs": {wall:.3} }},
+  "completed_requests": {completed},
+  "requests_per_sec": {rps:.0},
+  {hist_all},
+  {hist_writes},
+  {hist_reads},
+  "per_shard": {{
+{per_shard_json}
+  }},
+  "fairness": {{ "min_shard_rps": {min_rps:.0}, "max_shard_rps": {max_rps:.0}, "max_over_min": {ratio:.3} }},
+  "note": "keyed closed-loop over {shards} independent shard groups, one pipelined coordinator connection per shard; on a multi-core host the aggregate scales with shards (independent quorums and batch commits) — on a single core the gated property is fairness (max_over_min near 1) with the aggregate within noise of one shard"
+}}
+"#,
+        shards = args.shards,
+        policy = args.policy,
+        sites = args.sites,
+        pipeline = args.pipeline,
+        write_pct = args.write_pct,
+        keys_per_shard = KEYS_PER_SHARD,
+        hist_all = histogram_json("latency", all),
+        hist_writes = histogram_json("write_latency", writes),
+        hist_reads = histogram_json("read_latency", reads),
+        ratio = if min_rps > 0.0 {
+            max_rps / min_rps
+        } else {
+            f64::INFINITY
+        },
+    );
+
+    for handle in handles {
+        handle.stop();
+    }
+    let out = args.out.clone().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json").to_string()
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {out}: {e}");
+        std::process::exit(1);
+    });
+    eprint!("{json}");
+    eprintln!("wrote {out} ({rps:.0} req/s over {} shards)", args.shards);
+}
+
 fn main() {
     let args = parse_args();
+    if args.shards > 0 {
+        run_sharded(&args);
+        return;
+    }
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     eprintln!(
         "booting {} x {} loopback fleet ...",
         args.sites, args.policy
     );
-    let (handles, addrs) = boot_fleet(&args.policy, args.sites);
+    let (handles, addrs) = boot_fleet(&args.policy, args.sites, 0);
     let target = addrs[0].clone();
 
     eprintln!(
@@ -301,10 +578,13 @@ fn main() {
     for handle in handles {
         handle.stop();
     }
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
-        eprintln!("error: writing {}: {e}", args.out);
+    let out = args.out.clone().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json").to_string()
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {out}: {e}");
         std::process::exit(1);
     });
     eprint!("{json}");
-    eprintln!("wrote {} ({rps:.0} req/s)", args.out);
+    eprintln!("wrote {out} ({rps:.0} req/s)");
 }

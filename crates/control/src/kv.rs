@@ -1,0 +1,113 @@
+//! Codec for the replicated value each shard group votes on.
+//!
+//! A shard's single replicated object is an ordered `key → bytes` map,
+//! so one quorum round (one COMMIT, one fsync) can carry a whole batch
+//! of keyed writes. The encoding is length-prefixed and *total*: every
+//! byte is accounted for, and any truncation, trailing garbage, or
+//! invalid UTF-8 key decodes to `None` rather than a partial map.
+//!
+//! Layout: `u32 entry count`, then per entry `u16 key len, key bytes
+//! (UTF-8), u32 value len, value bytes`. All integers big-endian, to
+//! match the wire protocol's dialect.
+
+use std::collections::BTreeMap;
+
+/// Encodes a KV map into the shard group's replicated value.
+#[must_use]
+pub fn encode_kv(map: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + map.len() * 8);
+    out.extend_from_slice(
+        &u32::try_from(map.len())
+            .expect("kv map entry count fits u32")
+            .to_be_bytes(),
+    );
+    for (key, value) in map {
+        let key_len = u16::try_from(key.len()).expect("kv key fits u16 length prefix");
+        out.extend_from_slice(&key_len.to_be_bytes());
+        out.extend_from_slice(key.as_bytes());
+        let value_len = u32::try_from(value.len()).expect("kv value fits u32 length prefix");
+        out.extend_from_slice(&value_len.to_be_bytes());
+        out.extend_from_slice(value);
+    }
+    out
+}
+
+/// Decodes a replicated value back into a KV map.
+///
+/// An empty input decodes to an empty map (a freshly-placed shard has
+/// the empty value). Returns `None` on any malformed input.
+#[must_use]
+pub fn decode_kv(bytes: &[u8]) -> Option<BTreeMap<String, Vec<u8>>> {
+    if bytes.is_empty() {
+        return Some(BTreeMap::new());
+    }
+    let mut cursor = bytes;
+    let count = read_u32(&mut cursor)?;
+    let mut map = BTreeMap::new();
+    for _ in 0..count {
+        let key_len = read_u16(&mut cursor)? as usize;
+        let key = String::from_utf8(take(&mut cursor, key_len)?.to_vec()).ok()?;
+        let value_len = read_u32(&mut cursor)? as usize;
+        let value = take(&mut cursor, value_len)?.to_vec();
+        map.insert(key, value);
+    }
+    cursor.is_empty().then_some(map)
+}
+
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if cursor.len() < n {
+        return None;
+    }
+    let (head, tail) = cursor.split_at(n);
+    *cursor = tail;
+    Some(head)
+}
+
+fn read_u16(cursor: &mut &[u8]) -> Option<u16> {
+    take(cursor, 2).map(|b| u16::from_be_bytes([b[0], b[1]]))
+}
+
+fn read_u32(cursor: &mut &[u8]) -> Option<u32> {
+    take(cursor, 4).map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BTreeMap<String, Vec<u8>> {
+        let mut map = BTreeMap::new();
+        map.insert("alpha".to_string(), b"one".to_vec());
+        map.insert("beta".to_string(), vec![0u8; 300]);
+        map.insert(String::new(), Vec::new());
+        map
+    }
+
+    #[test]
+    fn round_trips() {
+        let map = sample();
+        assert_eq!(decode_kv(&encode_kv(&map)), Some(map));
+        assert_eq!(decode_kv(&[]), Some(BTreeMap::new()));
+        assert_eq!(
+            decode_kv(&encode_kv(&BTreeMap::new())),
+            Some(BTreeMap::new())
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let encoded = encode_kv(&sample());
+        for cut in 1..encoded.len() {
+            assert_eq!(decode_kv(&encoded[..cut]), None, "truncated at {cut}");
+        }
+        let mut padded = encoded;
+        padded.push(0);
+        assert_eq!(decode_kv(&padded), None);
+    }
+
+    #[test]
+    fn bogus_counts_do_not_panic() {
+        // Claims 2^32-1 entries with no bodies.
+        assert_eq!(decode_kv(&[0xFF, 0xFF, 0xFF, 0xFF]), None);
+    }
+}

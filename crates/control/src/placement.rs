@@ -1,0 +1,134 @@
+//! Placement policies: how shards map onto sites.
+//!
+//! Two policies ship:
+//!
+//! * [`Placement::Ring`] — shard `k` lands on `replicas` consecutive
+//!   sites starting at `k mod sites` (coordinator first). Spreads both
+//!   copies *and* coordinator duty evenly, which is what gives a
+//!   multi-shard fleet parallel quorum rounds.
+//! * [`Placement::Paper`] — shard `k` takes the copy set of the
+//!   paper's configuration `A + (k mod 8)` (Table 3's eight placements
+//!   on the Figure 8 network). Needs a fleet of ≥ 8 sites; it turns
+//!   the availability study's placements into live per-shard layouts.
+
+use dynvote_availability::config::ALL_CONFIGS;
+
+use crate::map::ShardSpec;
+
+/// A per-shard placement policy (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// `replicas` consecutive sites starting at `shard mod sites`.
+    Ring {
+        /// Copies per shard (clamped to the fleet size).
+        replicas: usize,
+    },
+    /// The paper's configurations A–H, cycled over shards.
+    Paper,
+}
+
+impl Placement {
+    /// Parses the `--shard-placement` flag dialect: `ring:R` (or just
+    /// `ring`, defaulting to 3 replicas) and `paper`.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Placement> {
+        match text {
+            "paper" => Some(Placement::Paper),
+            "ring" => Some(Placement::Ring { replicas: 3 }),
+            other => {
+                let replicas = other.strip_prefix("ring:")?.parse::<usize>().ok()?;
+                (replicas >= 1).then_some(Placement::Ring { replicas })
+            }
+        }
+    }
+
+    /// The stable token this policy round-trips through flags as.
+    #[must_use]
+    pub fn token(&self) -> String {
+        match self {
+            Placement::Ring { replicas } => format!("ring:{replicas}"),
+            Placement::Paper => "paper".to_string(),
+        }
+    }
+
+    /// Builds the per-shard placements for `shards` shards over a fleet
+    /// of `sites` sites (site indices `0..sites`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the policy cannot place on this
+    /// fleet (paper placements need ≥ 8 sites; a ring needs ≥ 1).
+    pub fn build(&self, shards: usize, sites: usize) -> Result<Vec<ShardSpec>, String> {
+        if sites == 0 || shards == 0 {
+            return Err("placement needs at least one site and one shard".to_string());
+        }
+        match self {
+            Placement::Ring { replicas } => {
+                let width = (*replicas).min(sites);
+                Ok((0..shards)
+                    .map(|shard| ShardSpec {
+                        placement: (0..width).map(|i| (shard + i) % sites).collect(),
+                    })
+                    .collect())
+            }
+            Placement::Paper => {
+                if sites < 8 {
+                    return Err(format!(
+                        "paper placements are the Figure 8 configurations A-H and need 8 sites; this fleet has {sites}"
+                    ));
+                }
+                Ok((0..shards)
+                    .map(|shard| {
+                        let config = ALL_CONFIGS[shard % ALL_CONFIGS.len()];
+                        ShardSpec {
+                            // Paper sites are 1-based; the fleet is 0-based.
+                            placement: config.paper_sites.iter().map(|&s| s - 1).collect(),
+                        }
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_spreads_coordinators() {
+        let specs = Placement::Ring { replicas: 3 }.build(4, 4).unwrap();
+        let coordinators: Vec<usize> = specs.iter().map(ShardSpec::coordinator).collect();
+        assert_eq!(coordinators, vec![0, 1, 2, 3]);
+        assert_eq!(specs[3].placement, vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn ring_clamps_to_the_fleet() {
+        let specs = Placement::Ring { replicas: 5 }.build(2, 3).unwrap();
+        assert!(specs.iter().all(|s| s.placement.len() == 3));
+    }
+
+    #[test]
+    fn paper_cycles_configurations_a_through_h() {
+        let specs = Placement::Paper.build(9, 8).unwrap();
+        // Configuration A is paper sites {1, 2, 4} → 0-based {0, 1, 3}.
+        assert_eq!(specs[0].placement, vec![0, 1, 3]);
+        assert_eq!(specs[8].placement, specs[0].placement);
+        assert!(Placement::Paper.build(2, 4).is_err());
+    }
+
+    #[test]
+    fn flag_dialect_round_trips() {
+        for token in ["ring:2", "ring:5", "paper"] {
+            let policy = Placement::parse(token).unwrap();
+            assert_eq!(policy.token(), token);
+        }
+        assert_eq!(
+            Placement::parse("ring"),
+            Some(Placement::Ring { replicas: 3 })
+        );
+        assert_eq!(Placement::parse("ring:0"), None);
+        assert_eq!(Placement::parse("hash"), None);
+    }
+}

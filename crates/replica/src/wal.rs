@@ -60,6 +60,17 @@ pub const SNAPSHOT_PREV_CORRUPT_FILE: &str = "snapshot.prev.bin.corrupt";
 /// The boot-epoch counter's file name inside a site's data directory.
 pub const EPOCH_FILE: &str = "epoch.bin";
 
+/// The durable namespace of one shard group under a site's base data
+/// directory: `<base>/shard-<k>/`. Every shard hosted at a site gets
+/// its own WAL, snapshot generation, boot-epoch counter, and operation
+/// ledger — the groups vote independently, so their stable storage
+/// must be independent too (one shard's snapshot/truncate cycle can
+/// never tear another's log).
+#[must_use]
+pub fn shard_dir(base: &Path, shard: u16) -> PathBuf {
+    base.join(format!("shard-{shard}"))
+}
+
 /// Upper bound on one record's body — matches the store's frame cap, so
 /// any value that fit on the wire fits in the log, and a corrupted
 /// length prefix cannot trigger a huge allocation.

@@ -10,6 +10,24 @@
 //! dynvote-ctl --nodes 0=127.0.0.1:7100,1=127.0.0.1:7101 replay fork.trace
 //! ```
 //!
+//! Against a *sharded* store (`dynvote-stored --shards N`):
+//!
+//! ```text
+//! dynvote-ctl --node 127.0.0.1:7100 putk user:42 "contents"   # routed by key
+//! dynvote-ctl --node 127.0.0.1:7100 getk user:42
+//! dynvote-ctl --node 127.0.0.1:7100 shardmap                  # print the map
+//! dynvote-ctl --node 127.0.0.1:7100 rebalance 1 --add 3       # grow shard 1
+//! dynvote-ctl --node 127.0.0.1:7100 rebalance 1 --drop 0      # shrink shard 1
+//! dynvote-ctl --node 127.0.0.1:7100 --shard 1 status          # one shard group
+//! ```
+//!
+//! `putk`/`getk` fetch the shard map from `--node`, hash the key, and
+//! talk to the owning shard's coordinator directly — retrying through
+//! typed `StaleShardMap` answers, so they work across a concurrent
+//! rebalance. `--shard K` wraps a plain command (put/get/recover/
+//! status) in a shard envelope, addressing shard `K`'s group at
+//! `--node` without routing.
+//!
 //! `--repeat N` (put/get only) issues the operation N times over ONE
 //! persistent, pipelined connection with up to `--pipeline D` (default
 //! 16) requests outstanding — what a script loop of one-shot
@@ -32,6 +50,7 @@ use dynvote_check::TraceFile;
 use dynvote_store::client::{request_deadline, ClientError, Deadline, Outcome};
 use dynvote_store::conn::{ConnOptions, Connection};
 use dynvote_store::replay;
+use dynvote_store::router::ShardRouter;
 use dynvote_store::wire::Frame;
 use dynvote_types::SiteId;
 
@@ -39,8 +58,10 @@ fn fail(message: &str) -> ! {
     eprintln!("dynvote-ctl: {message}");
     eprintln!(
         "usage: dynvote-ctl --node ADDR (put VALUE | get | recover | status | \
-         deny SITE | allow SITE | heal-links) [--timeout-ms N] \
+         deny SITE | allow SITE | heal-links) [--shard K] [--timeout-ms N] \
          [--repeat N [--pipeline D]]\n       \
+         dynvote-ctl --node ADDR (putk KEY VALUE | getk KEY | shardmap | \
+         rebalance SHARD [--add SITE] [--drop SITE]) [--timeout-ms N]\n       \
          dynvote-ctl --nodes 0=ADDR,1=ADDR,… replay FILE.trace [--timeout-ms N] \
          [--crash-cmd CMD]\n       \
          (--crash-cmd maps crash/repair events to `sh -c \"CMD crash S\"` / \
@@ -81,6 +102,29 @@ fn report(outcome: &Outcome) -> ! {
         }
         Outcome::Unavailable { reason, message } => {
             eprintln!("unavailable ({reason}): {message}");
+            std::process::exit(1);
+        }
+        Outcome::ShardMap(bytes) => match dynvote_control::ShardMap::decode(bytes) {
+            Ok(map) => {
+                println!("epoch={}", map.epoch);
+                println!("shards={}", map.shards.len());
+                for (shard, spec) in map.shards.iter().enumerate() {
+                    let placement: Vec<String> =
+                        spec.placement.iter().map(usize::to_string).collect();
+                    println!("shard.{shard}.placement={}", placement.join(","));
+                }
+                for (site, addr) in &map.sites {
+                    println!("site.{site}.addr={addr}");
+                }
+                std::process::exit(0);
+            }
+            Err(error) => {
+                eprintln!("dynvote-ctl: undecodable shard map: {error}");
+                std::process::exit(2);
+            }
+        },
+        Outcome::Stale { epoch } => {
+            eprintln!("stale shard map: daemon is at epoch {epoch}");
             std::process::exit(1);
         }
     }
@@ -150,6 +194,9 @@ fn main() {
     let mut crash_cmd: Option<String> = None;
     let mut repeat = 1u64;
     let mut pipeline = 16usize;
+    let mut shard: Option<u16> = None;
+    let mut add_site: Option<usize> = None;
+    let mut drop_site: Option<usize> = None;
     let mut rest = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -195,6 +242,22 @@ fn main() {
                     fail("--repeat must be at least 1");
                 }
             }
+            "--shard" => {
+                let k = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--shard requires a value"));
+                shard = Some(k.parse().unwrap_or_else(|_| fail("bad --shard value")));
+            }
+            "--add" => {
+                let s = iter.next().unwrap_or_else(|| fail("--add requires a site"));
+                add_site = Some(parse_site(&s).index());
+            }
+            "--drop" => {
+                let s = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--drop requires a site"));
+                drop_site = Some(parse_site(&s).index());
+            }
             "--pipeline" => {
                 let d = iter
                     .next()
@@ -234,6 +297,59 @@ fn main() {
         std::process::exit(0);
     }
     let node = node.unwrap_or_else(|| fail("--node is required"));
+    match command.as_str() {
+        // Routed keyed operations: map fetch + key hash + coordinator
+        // dispatch, with typed stale-map retry — live across a
+        // concurrent rebalance.
+        "putk" | "getk" => {
+            let key = rest
+                .next()
+                .unwrap_or_else(|| fail(&format!("{command} needs a key")));
+            let router = ShardRouter::new(vec![node.clone()], ConnOptions::default());
+            let deadline = Deadline::within(timeout);
+            let result = if command == "putk" {
+                let value = rest.next().unwrap_or_else(|| fail("putk needs a value"));
+                router.put(&key, value.as_bytes(), &deadline)
+            } else {
+                router.get(&key, &deadline)
+            };
+            match result {
+                Ok(outcome) => report(&outcome),
+                Err(error @ ClientError::Timeout { .. }) => {
+                    eprintln!("dynvote-ctl: {node}: {error}");
+                    std::process::exit(3);
+                }
+                Err(error) => {
+                    eprintln!("dynvote-ctl: {node}: {error}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "rebalance" => {
+            let shard_arg = rest
+                .next()
+                .unwrap_or_else(|| fail("rebalance needs a shard index"));
+            let target: u16 = shard_arg
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad shard index {shard_arg:?}")));
+            if add_site.is_none() && drop_site.is_none() {
+                fail("rebalance needs --add SITE and/or --drop SITE");
+            }
+            match dynvote_store::router::rebalance(&node, target, add_site, drop_site, timeout) {
+                Ok(steps) => {
+                    for step in steps {
+                        println!("ok: {step}");
+                    }
+                    std::process::exit(0);
+                }
+                Err(error) => {
+                    eprintln!("dynvote-ctl: rebalance failed: {error}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {}
+    }
     let frame = match command.as_str() {
         "put" => Frame::Put {
             value: rest
@@ -251,10 +367,34 @@ fn main() {
             site: parse_site(&rest.next().unwrap_or_else(|| fail("allow needs a site"))),
         },
         "heal-links" => Frame::HealLinks,
+        "shardmap" => Frame::GetShardMap,
         other => fail(&format!("unknown command {other:?}")),
     };
+    // `--shard K` addresses one shard group directly: wrap the plain
+    // frame in a shard envelope (the daemon refuses nested envelopes,
+    // so only plain commands qualify).
+    let frame = match shard {
+        Some(shard)
+            if matches!(
+                frame,
+                Frame::Put { .. } | Frame::Get | Frame::Recover | Frame::Status
+            ) =>
+        {
+            Frame::Shard {
+                shard,
+                inner: Box::new(frame),
+            }
+        }
+        Some(_) => fail("--shard applies to put, get, recover, and status"),
+        None => frame,
+    };
     if repeat > 1 {
-        if !matches!(frame, Frame::Put { .. } | Frame::Get) {
+        let repeatable = match &frame {
+            Frame::Put { .. } | Frame::Get => true,
+            Frame::Shard { inner, .. } => matches!(**inner, Frame::Put { .. } | Frame::Get),
+            _ => false,
+        };
+        if !repeatable {
             fail("--repeat applies to put and get only");
         }
         run_repeated(&node, &frame, repeat, pipeline, timeout);

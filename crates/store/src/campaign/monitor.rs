@@ -111,7 +111,7 @@ fn poll_loop(addrs: &[String], interval: Duration, stop: &AtomicBool) -> Monitor
                     ));
                 }
             }
-            if high_water[site].map_or(true, |mark| seen > mark) {
+            if high_water[site].is_none_or(|mark| seen > mark) {
                 high_water[site] = Some(seen);
             }
         }

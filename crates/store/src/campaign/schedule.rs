@@ -295,7 +295,7 @@ pub fn generate(seed: u64, sites: usize, partitions: usize, duration: Duration) 
         });
         t += (0.35 + rng.exponential(0.9)).min(3.0);
     }
-    faults.sort_by(|a, b| a.at.cmp(&b.at));
+    faults.sort_by_key(|f| f.at);
     Schedule {
         seed,
         sites,
@@ -378,7 +378,7 @@ mod tests {
         let schedule = generate(11, 8, 5, Duration::from_secs(60));
         for fault in &schedule.faults {
             if let FaultAction::Partition(index) = fault.action {
-                assert!(index >= 1 && index < 5, "partition {index} out of range");
+                assert!((1..5).contains(&index), "partition {index} out of range");
             }
         }
     }

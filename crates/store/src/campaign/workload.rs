@@ -191,6 +191,10 @@ fn client_loop(
             Ok(Outcome::Refused(_)) => OpResult::Refused,
             Ok(Outcome::Unavailable { reason, .. }) => OpResult::Unavailable(reason),
             Ok(Outcome::Report(_)) => OpResult::Protocol("report to a data op".to_string()),
+            Ok(Outcome::ShardMap(_)) => OpResult::Protocol("shard map to a data op".to_string()),
+            Ok(Outcome::Stale { epoch }) => {
+                OpResult::Protocol(format!("stale-map (epoch {epoch}) to an unsharded op"))
+            }
             Err(ClientError::Timeout { .. }) => OpResult::TimedOut,
             // request_retry only surfaces Timeout or Protocol; spell it
             // out rather than swallow a future variant.

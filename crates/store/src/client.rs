@@ -123,13 +123,26 @@ pub enum Outcome {
     },
     /// A status report (key=value lines).
     Report(String),
+    /// The daemon's shard map, as encoded `dynvote-control` bytes.
+    ShardMap(Vec<u8>),
+    /// The keyed operation routed by a map epoch the daemon no longer
+    /// holds. Retryable: refetch the map and reissue.
+    Stale {
+        /// The daemon's current map epoch.
+        epoch: u64,
+    },
 }
 
 impl Outcome {
-    /// Whether the cluster granted the command.
+    /// Whether the cluster granted the command. A stale-map answer is
+    /// not a grant — the operation did not happen — but routers treat
+    /// it as retryable rather than failed.
     #[must_use]
     pub fn granted(&self) -> bool {
-        !matches!(self, Outcome::Refused(_) | Outcome::Unavailable { .. })
+        !matches!(
+            self,
+            Outcome::Refused(_) | Outcome::Unavailable { .. } | Outcome::Stale { .. }
+        )
     }
 }
 
@@ -195,6 +208,8 @@ pub fn decode_outcome(frame: Frame) -> Result<Outcome, ClientError> {
         Frame::Refused { message } => Ok(Outcome::Refused(message)),
         Frame::Unavailable { reason, message } => Ok(Outcome::Unavailable { reason, message }),
         Frame::Report { text } => Ok(Outcome::Report(text)),
+        Frame::ShardMapRep { map } => Ok(Outcome::ShardMap(map)),
+        Frame::StaleShardMap { epoch } => Ok(Outcome::Stale { epoch }),
         unexpected => Err(ClientError::Protocol {
             detail: format!("unexpected response frame {unexpected:?}"),
         }),

@@ -33,6 +33,7 @@
 use std::time::Duration;
 
 use dynvote_check::parse_policy;
+use dynvote_control::Placement;
 use dynvote_replica::Protocol;
 use dynvote_topology::{Network, NetworkBuilder};
 use dynvote_types::SiteId;
@@ -80,6 +81,13 @@ pub struct Config {
     /// append + fsync but *before* the acknowledgement leaves — proves
     /// the fsync-before-ack ordering from the outside.
     pub crash_after_wal_append: bool,
+    /// How many independent shard groups the fleet runs (`--shards N`).
+    /// `None` keeps the legacy single-object store, byte-identical on
+    /// the wire; `Some(n)` boots the sharded service with `n` voting
+    /// groups placed by `shard_placement`.
+    pub shards: Option<usize>,
+    /// How shards map onto sites (`--shard-placement ring:R|paper`).
+    pub shard_placement: Placement,
 }
 
 fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
@@ -124,6 +132,8 @@ impl Config {
         let mut boot_recover = Duration::from_millis(5000);
         let mut bind_retry = Duration::ZERO;
         let mut crash_after_wal_append = false;
+        let mut shards = None;
+        let mut shard_placement = Placement::Ring { replicas: 3 };
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value = |flag: &str| {
@@ -190,6 +200,19 @@ impl Config {
                     bind_retry = parse_ms("--bind-retry-ms", &value("--bind-retry-ms")?)?;
                 }
                 "--crash-after-wal-append" => crash_after_wal_append = true,
+                "--shards" => {
+                    let count = parse_usize("--shards", &value("--shards")?)?;
+                    if count == 0 || count > u16::MAX as usize {
+                        return Err(format!("--shards: {count} out of range (1..=65535)"));
+                    }
+                    shards = Some(count);
+                }
+                "--shard-placement" => {
+                    let spec = value("--shard-placement")?;
+                    shard_placement = Placement::parse(&spec).ok_or_else(|| {
+                        format!("--shard-placement: expected ring:R or paper, got {spec:?}")
+                    })?;
+                }
                 "--connect-timeout-ms" => {
                     timeouts.connect =
                         parse_ms("--connect-timeout-ms", &value("--connect-timeout-ms")?)?;
@@ -234,6 +257,8 @@ impl Config {
             boot_recover,
             bind_retry,
             crash_after_wal_append,
+            shards,
+            shard_placement,
         })
     }
 
@@ -348,6 +373,31 @@ mod tests {
         assert_eq!(config.boot_recover, Duration::ZERO);
         assert_eq!(config.bind_retry, Duration::from_millis(1500));
         assert!(config.crash_after_wal_append);
+    }
+
+    #[test]
+    fn shard_flags_parse_and_validate() {
+        let config = Config::parse_args(args("--site 0 --policy odv --peers 0=a:1")).unwrap();
+        assert_eq!(config.shards, None);
+        assert_eq!(config.shard_placement, Placement::Ring { replicas: 3 });
+
+        let config = Config::parse_args(args(
+            "--site 0 --policy odv --peers 0=a:1 --shards 4 --shard-placement ring:2",
+        ))
+        .unwrap();
+        assert_eq!(config.shards, Some(4));
+        assert_eq!(config.shard_placement, Placement::Ring { replicas: 2 });
+
+        assert!(
+            Config::parse_args(args("--site 0 --policy odv --peers 0=a:1 --shards 0"))
+                .unwrap_err()
+                .contains("--shards")
+        );
+        assert!(Config::parse_args(args(
+            "--site 0 --policy odv --peers 0=a:1 --shard-placement hash"
+        ))
+        .unwrap_err()
+        .contains("--shard-placement"));
     }
 
     #[test]

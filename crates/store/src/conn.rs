@@ -351,20 +351,15 @@ impl Drop for Connection {
 /// submit reconnects.
 fn demux_loop(inner: &Arc<Inner>, stream: TcpStream, generation: u64) {
     let mut reader = BufReader::with_capacity(128 * 1024, stream);
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Frame::Tagged { id, inner: reply }) => {
-                let slot = inner.slots.lock().expect("slot table poisoned").remove(&id);
-                if let Some(slot) = slot {
-                    // A full reply channel cannot happen (capacity 1,
-                    // one reply per id); a dropped receiver just means
-                    // the waiter gave up — both are fine to ignore.
-                    let _ = slot.reply.send(*reply);
-                }
-            }
-            // An untagged frame on a pipelined stream is protocol
-            // confusion; treat it as a dead stream.
-            Ok(_) | Err(_) => break,
+    // Any read error — and any *untagged* frame, which on a pipelined
+    // stream is protocol confusion — ends the generation.
+    while let Ok(Frame::Tagged { id, inner: reply }) = read_frame(&mut reader) {
+        let slot = inner.slots.lock().expect("slot table poisoned").remove(&id);
+        if let Some(slot) = slot {
+            // A full reply channel cannot happen (capacity 1,
+            // one reply per id); a dropped receiver just means
+            // the waiter gave up — both are fine to ignore.
+            let _ = slot.reply.send(*reply);
         }
     }
     let mut live = inner.live.lock().expect("connection state poisoned");

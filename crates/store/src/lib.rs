@@ -20,6 +20,9 @@
 //! * [`client`] — one-shot framed requests, as `dynvote-ctl` sends;
 //! * [`conn`] — the persistent, pipelined library client: one
 //!   connection, N outstanding correlation-id-tagged requests;
+//! * [`router`] — the shard-map router: cached, epoch-tagged map;
+//!   key-to-shard hashing; per-shard coordinator routing with typed
+//!   stale-map retry; and the scripted rebalance driver;
 //! * [`replay`] — drive a live cluster through minimized model-checker
 //!   counterexample traces;
 //! * [`campaign`] — the live nemesis: seeded, time-bounded randomized
@@ -53,6 +56,7 @@ pub mod conn;
 pub mod jitter;
 pub mod probe;
 pub mod replay;
+pub mod router;
 pub mod server;
 pub mod tcp;
 pub mod wire;
@@ -63,6 +67,7 @@ pub use client::{
 pub use config::Config;
 pub use conn::{ConnOptions, Connection, ConnectionPool};
 pub use replay::{run as run_replay, ReplayStep};
+pub use router::ShardRouter;
 pub use server::{refusal_clause, start, start_on, unavailable_reason, ServiceHandle};
 pub use tcp::{LinkRules, PeerStats, TcpTimeouts, TcpTransport};
 pub use wire::{read_frame, write_frame, Frame, FrameError, UnavailableReason, MAX_FRAME};

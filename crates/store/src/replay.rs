@@ -189,6 +189,8 @@ fn describe(outcome: &Outcome) -> String {
             format!("unavailable ({reason}): {message}")
         }
         Outcome::Report(_) => "report".to_string(),
+        Outcome::ShardMap(_) => "shard map".to_string(),
+        Outcome::Stale { epoch } => format!("stale shard map (daemon epoch {epoch})"),
     }
 }
 

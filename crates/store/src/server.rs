@@ -51,13 +51,14 @@
 use std::fs::File;
 use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use dynvote_replica::wal::{SiteStore, WalRecord};
+use dynvote_control::{decode_kv, encode_kv, ShardMap};
+use dynvote_replica::wal::{shard_dir, SiteStore, WalRecord};
 use dynvote_replica::{Cluster, ClusterBuilder, MessageKind, Reply};
 use dynvote_types::{AccessError, SiteId, SiteSet};
 
@@ -138,9 +139,18 @@ impl Logger {
 
 /// A client data operation, decoupled from the session that carried
 /// it: the batch worker executes these in queue order.
+///
+/// The keyed variants exist only on sharded daemons, whose replicated
+/// value is an encoded KV map ([`dynvote_control::encode_kv`]): the
+/// batch worker folds a run of keyed puts into one quorum
+/// read-modify-write — sound because the shard's *coordinator funnel*
+/// (only `placement[0]` of the current epoch accepts keyed operations)
+/// serializes every mutation of the image through this one queue.
 enum DataOp {
     Put(Vec<u8>),
     Get,
+    PutKey { key: String, value: Vec<u8> },
+    GetKey { key: String },
 }
 
 /// One queued data operation plus the completion that routes its reply
@@ -155,7 +165,18 @@ struct Daemon {
     links: Arc<LinkRules>,
     local: SiteId,
     policy_name: &'static str,
-    log: Logger,
+    log: Arc<Logger>,
+    /// Which shard group this daemon hosts (`None` = the legacy
+    /// single-object store). Outbound peer frames are wrapped in
+    /// [`Frame::Shard`] so the receiving service routes them to its
+    /// matching per-shard daemon.
+    shard: Option<u16>,
+    /// Non-zero once a shard-map install replaced this daemon: the map
+    /// epoch that retired it. Checked under the cluster lock by every
+    /// path that could still commit or touch the (now shared) durable
+    /// directory — queued data operations answer `StaleShardMap` with
+    /// this epoch, and the background loops exit.
+    retired: AtomicU64,
     /// Durable storage — `None` runs the pre-durability in-memory mode.
     store: Option<Mutex<SiteStore>>,
     /// Crash-test hook: abort after a client write's WAL fsync, before
@@ -199,6 +220,14 @@ fn sync_durable(
     let Some(store) = &daemon.store else {
         return Ok(false);
     };
+    if daemon.retired.load(Ordering::SeqCst) != 0 {
+        // A shard-map install replaced this daemon and its successor
+        // now owns the shard's data directory; writing here would
+        // interleave two WAL writers. The install captured this
+        // cluster's state under its lock *after* setting the flag, so
+        // nothing acknowledged through the successor is lost.
+        return Ok(false);
+    }
     let mut store = store.lock().expect("site store poisoned");
     let state = cluster.state_at(daemon.local);
     let pending = cluster.pending_at(daemon.local);
@@ -279,60 +308,109 @@ pub fn start(config: Config) -> std::io::Result<ServiceHandle> {
     start_on(config, listener)
 }
 
-/// Starts a daemon on an already-bound listener — tests bind port 0
-/// everywhere first, learn the real addresses, then hand each daemon
-/// its listener.
-///
-/// # Errors
-///
-/// Bad topology descriptions surface as `InvalidInput`.
-pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<ServiceHandle> {
+/// The sharded half of a service: one slot per shard in the map, each
+/// holding the per-shard [`Daemon`] when the local site is in that
+/// shard's placement.
+struct ShardedService {
+    /// `slots[k]` is shard `k`'s daemon — `None` when this site is not
+    /// in its placement. A shard-map install takes the write lock to
+    /// swap a slot; every per-frame route holds the read lock, so a
+    /// swap waits out in-flight dispatches.
+    slots: Vec<RwLock<Option<Arc<Daemon>>>>,
+    /// The current shard map. Keyed operations carry the epoch they
+    /// routed by; a mismatch answers `StaleShardMap{current}`.
+    map: Mutex<ShardMap>,
+    /// Where the map persists (`<data-dir>/shardmap.bin`), if durable.
+    map_path: Option<PathBuf>,
+}
+
+/// What one `dynvote-stored` process hosts: the legacy single-object
+/// daemon, or the sharded service (`--shards N`).
+enum Role {
+    Legacy(Arc<Daemon>),
+    Sharded(ShardedService),
+}
+
+/// One `dynvote-stored` process: the shared fault fabric, the logger,
+/// and the hosted role.
+struct Service {
+    config: Config,
+    links: Arc<LinkRules>,
+    log: Arc<Logger>,
+    role: Role,
+    /// Shared with every daemon's background threads — successor
+    /// daemons booted by a map install must observe the same stop flag.
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Builds and starts one [`Daemon`]: transport (shard-wrapped when
+/// `shard` is set), durable restore or seed under the (per-shard)
+/// data directory, ticket salting, and the three background threads.
+/// `override_state` installs captured in-process state on top of
+/// whatever the disk held — the shard-map install path hands the old
+/// incarnation's image to its successor this way.
+#[allow(clippy::too_many_arguments)] // one call site per role; a builder would obscure the boot order
+fn boot_daemon(
+    config: &Config,
+    links: &Arc<LinkRules>,
+    log: &Arc<Logger>,
+    shutdown: &Arc<AtomicBool>,
+    shard: Option<u16>,
+    copies: Vec<usize>,
+    witnesses: Vec<usize>,
+    override_state: Option<(dynvote_core::state::ReplicaState, Vec<u8>, Option<u64>)>,
+) -> std::io::Result<Arc<Daemon>> {
     let network = config
         .network()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-    let addr = listener.local_addr()?;
-    let links = Arc::new(LinkRules::new());
-    let transport = TcpTransport::new(
+    let mut transport = TcpTransport::new(
         config.local,
         &config.peers,
-        Arc::clone(&links),
+        Arc::clone(links),
         config.timeouts,
     );
+    if let Some(shard) = shard {
+        transport = transport.with_shard(shard);
+    }
     let ledger = transport.ledger();
+    // Each shard group gets its own durable namespace under the base
+    // data directory — independent voting groups, independent WALs.
+    let data_dir: Option<PathBuf> = config.data_dir.as_ref().map(|base| match shard {
+        Some(shard) => shard_dir(Path::new(base), shard),
+        None => PathBuf::from(base),
+    });
     // The durable operation ledger: replay what every dead incarnation
     // recorded at its commit points (the vote-probe answers and the
     // high-water mark of the dead-epoch rule), then swap it into the
     // transport's shared handle so this incarnation's commit points
     // keep appending to it.
     let mut boot_fence = None;
-    if let Some(dir) = &config.data_dir {
+    if let Some(dir) = &data_dir {
         std::fs::create_dir_all(dir)?;
-        let durable = OpLedger::open(Path::new(dir))?;
+        let durable = OpLedger::open(dir)?;
         boot_fence = Some(durable.high_water());
         *ledger.lock().expect("op ledger poisoned") = durable;
     }
+    // The legacy store replicates `--value`; a shard's replicated value
+    // is its KV image, which starts out as the empty map's encoding.
+    let initial = match shard {
+        Some(_) => Vec::new(),
+        None => config.initial.clone(),
+    };
     let mut cluster = ClusterBuilder::new()
         .network(network)
-        .copies(config.copies())
-        .witnesses(config.witnesses.iter().copied())
+        .copies(copies)
+        .witnesses(witnesses)
         .protocol(config.policy)
-        .build_remote(config.local.index(), transport, config.initial.clone());
-    let log = Logger {
-        site: config.local.index(),
-        file: match &config.log {
-            Some(path) => Some(Mutex::new(File::create(path)?)),
-            None => None,
-        },
-        quiet: config.quiet,
-    };
+        .build_remote(config.local.index(), transport, initial);
 
     // Durable boot: restore snapshot + WAL replay into the local node,
     // or seed a fresh data directory with the boot state.
     let mut restored_from_disk = false;
     let mut boot_epoch = None;
-    let store = match &config.data_dir {
+    let store = match &data_dir {
         Some(dir) => {
-            let (mut store, restored) = SiteStore::open(Path::new(dir), config.snapshot_every)?;
+            let (mut store, restored) = SiteStore::open(dir, config.snapshot_every)?;
             if restored.snapshot_was_corrupt {
                 log.log("durable restore: snapshot failed validation, moved aside; falling back");
             }
@@ -373,7 +451,10 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
                         .contains(config.local)
                         .then(|| cluster.value_at(config.local));
                     store.seed(state, cluster.pending_at(config.local), value)?;
-                    log.log(&format!("durable boot: fresh data dir seeded at {dir}"));
+                    log.log(&format!(
+                        "durable boot: fresh data dir seeded at {}",
+                        dir.display()
+                    ));
                 }
             }
             // Salt the vote-ticket namespace with the boot epoch: a
@@ -396,10 +477,12 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
     let (batch_tx, batch_rx) = mpsc::channel();
     let daemon = Arc::new(Daemon {
         cluster: Mutex::new(cluster),
-        links,
+        links: Arc::clone(links),
         local: config.local,
         policy_name,
-        log,
+        log: Arc::clone(log),
+        shard,
+        retired: AtomicU64::new(0),
         store,
         crash_after_wal_append: config.crash_after_wal_append,
         ledger,
@@ -413,19 +496,25 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
         batch_ops: AtomicU64::new(0),
         batch_max: AtomicU64::new(0),
     });
-    daemon.log.log(&format!(
-        "dynvote-stored up: policy={policy_name} listen={addr} peers={} durable={}",
-        config.peers.len(),
-        daemon.store.is_some(),
-    ));
-    let shutdown = Arc::new(AtomicBool::new(false));
+    // A successor daemon inherits the retired incarnation's in-process
+    // state — at least as fresh as the disk image restored above, and
+    // the only copy in the in-memory mode.
+    if let Some((state, value, pending)) = override_state {
+        let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+        cluster.install_durable_state(daemon.local, state, Some(value), pending);
+        if let Err(error) = sync_durable(&daemon, &cluster) {
+            log.log(&format!(
+                "shard handoff: captured state not persisted: {error}"
+            ));
+        }
+    }
     // The batch worker: the single consumer of the data-operation
     // queue. Every client put/get — pipelined or legacy — funnels
     // through it, which is what lets the daemon amortize one quorum
     // exchange and one fsync over a run of concurrent operations.
     {
         let batch_daemon = Arc::clone(&daemon);
-        let batch_shutdown = Arc::clone(&shutdown);
+        let batch_shutdown = Arc::clone(shutdown);
         let _ = std::thread::Builder::new()
             .name(format!("dynvote-batch-{}", config.local.index()))
             .spawn(move || batch_loop(&batch_daemon, &batch_shutdown, &batch_rx));
@@ -435,7 +524,7 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
     // (serving is already safe — quorum logic refuses what it must).
     if restored_from_disk && !config.boot_recover.is_zero() {
         let recover_daemon = Arc::clone(&daemon);
-        let recover_shutdown = Arc::clone(&shutdown);
+        let recover_shutdown = Arc::clone(shutdown);
         let window = config.boot_recover;
         let _ = std::thread::Builder::new()
             .name(format!("dynvote-boot-recover-{}", config.local.index()))
@@ -447,16 +536,147 @@ pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<Servic
     // frame wedges the site until an operator intervenes.
     if !config.peers.is_empty() {
         let probe_daemon = Arc::clone(&daemon);
-        let probe_shutdown = Arc::clone(&shutdown);
+        let probe_shutdown = Arc::clone(shutdown);
         let _ = std::thread::Builder::new()
             .name(format!("dynvote-wedge-probe-{}", config.local.index()))
             .spawn(move || wedge_probe_loop(&probe_daemon, &probe_shutdown));
     }
+    Ok(daemon)
+}
+
+/// Builds the boot shard map: the persisted generation when the data
+/// directory holds one, else epoch 1 from the placement policy over
+/// the peer list.
+fn boot_shard_map(config: &Config, shards: usize) -> std::io::Result<(ShardMap, Option<PathBuf>)> {
+    let map_path = config.data_dir.as_ref().map(|base| {
+        let base = Path::new(base);
+        base.join("shardmap.bin")
+    });
+    if let Some(path) = &map_path {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        if let Some(map) = ShardMap::load(path)? {
+            return Ok((map, map_path));
+        }
+    }
+    let site_count = config
+        .peers
+        .iter()
+        .map(|(id, _)| id.index())
+        .max()
+        .map_or(0, |max| max + 1);
+    let specs = config
+        .shard_placement
+        .build(shards, site_count)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let map = ShardMap {
+        epoch: 1,
+        shards: specs,
+        sites: config
+            .peers
+            .iter()
+            .map(|(id, addr)| (id.index(), addr.clone()))
+            .collect(),
+    };
+    if let Some(path) = &map_path {
+        map.persist(path)?;
+    }
+    Ok((map, map_path))
+}
+
+/// Starts a daemon on an already-bound listener — tests bind port 0
+/// everywhere first, learn the real addresses, then hand each daemon
+/// its listener.
+///
+/// # Errors
+///
+/// Bad topology descriptions surface as `InvalidInput`.
+pub fn start_on(config: Config, listener: TcpListener) -> std::io::Result<ServiceHandle> {
+    // Validate the topology up front (every per-shard boot reuses it).
+    config
+        .network()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let addr = listener.local_addr()?;
+    let links = Arc::new(LinkRules::new());
+    let log = Arc::new(Logger {
+        site: config.local.index(),
+        file: match &config.log {
+            Some(path) => Some(Mutex::new(File::create(path)?)),
+            None => None,
+        },
+        quiet: config.quiet,
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let role = match config.shards {
+        None => Role::Legacy(boot_daemon(
+            &config,
+            &links,
+            &log,
+            &shutdown,
+            None,
+            config.copies(),
+            config.witnesses.clone(),
+            None,
+        )?),
+        Some(shards) => {
+            let (map, map_path) = boot_shard_map(&config, shards)?;
+            let mut slots = Vec::with_capacity(map.shards.len());
+            for (shard, spec) in map.shards.iter().enumerate() {
+                let slot = if spec.placement.contains(&config.local.index()) {
+                    Some(boot_daemon(
+                        &config,
+                        &links,
+                        &log,
+                        &shutdown,
+                        Some(shard as u16),
+                        spec.placement.clone(),
+                        Vec::new(),
+                        None,
+                    )?)
+                } else {
+                    None
+                };
+                slots.push(RwLock::new(slot));
+            }
+            log.log(&format!(
+                "shard map: epoch {} with {} shards ({} hosted here)",
+                map.epoch,
+                map.shards.len(),
+                slots
+                    .iter()
+                    .filter(|s| s.read().expect("slot poisoned").is_some())
+                    .count(),
+            ));
+            Role::Sharded(ShardedService {
+                slots,
+                map: Mutex::new(map),
+                map_path,
+            })
+        }
+    };
+    let service = Arc::new(Service {
+        links,
+        log,
+        role,
+        config,
+        shutdown: Arc::clone(&shutdown),
+    });
+    service.log.log(&format!(
+        "dynvote-stored up: policy={} listen={addr} peers={} durable={} shards={}",
+        service.config.policy.name(),
+        service.config.peers.len(),
+        service.config.data_dir.is_some(),
+        service
+            .config
+            .shards
+            .map_or_else(|| "-".to_string(), |n| n.to_string()),
+    ));
     let accept_shutdown = Arc::clone(&shutdown);
-    let idle = config.timeouts.read;
+    let idle = service.config.timeouts.read;
     let accept_thread = std::thread::Builder::new()
-        .name(format!("dynvote-accept-{}", config.local.index()))
-        .spawn(move || accept_loop(&listener, &daemon, &accept_shutdown, idle))?;
+        .name(format!("dynvote-accept-{}", service.config.local.index()))
+        .spawn(move || accept_loop(&listener, &service, &accept_shutdown, idle))?;
     Ok(ServiceHandle {
         addr,
         shutdown,
@@ -472,7 +692,7 @@ fn boot_recover(daemon: &Arc<Daemon>, shutdown: &AtomicBool, window: Duration) {
     let deadline = Instant::now() + window;
     let mut logged_refusal = false;
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::SeqCst) || daemon.retired.load(Ordering::SeqCst) != 0 {
             return;
         }
         {
@@ -583,7 +803,7 @@ fn probe_exchange(addr: &str, frame: &Frame, deadline: Duration) -> std::io::Res
 fn wedge_probe_loop(daemon: &Arc<Daemon>, shutdown: &AtomicBool) {
     loop {
         std::thread::sleep(WEDGE_PROBE_INTERVAL);
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::SeqCst) || daemon.retired.load(Ordering::SeqCst) != 0 {
             return;
         }
         let pending = {
@@ -680,6 +900,15 @@ fn wedge_probe_loop(daemon: &Arc<Daemon>, shutdown: &AtomicBool) {
             from: daemon.local,
             to,
         };
+        // A sharded daemon's probe must reach the peer's *matching*
+        // shard daemon (each shard has its own operation ledger).
+        let probe = match daemon.shard {
+            Some(shard) => Frame::Shard {
+                shard,
+                inner: Box::new(probe),
+            },
+            None => probe,
+        };
         match probe_exchange(&addr, &probe, WEDGE_PROBE_DEADLINE) {
             Ok(Frame::Release {
                 ticket: answered,
@@ -720,7 +949,7 @@ fn wedge_probe_loop(daemon: &Arc<Daemon>, shutdown: &AtomicBool) {
 
 fn accept_loop(
     listener: &TcpListener,
-    daemon: &Arc<Daemon>,
+    service: &Arc<Service>,
     shutdown: &Arc<AtomicBool>,
     idle: Duration,
 ) {
@@ -729,11 +958,11 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
-        let daemon = Arc::clone(daemon);
+        let service = Arc::clone(service);
         let shutdown = Arc::clone(shutdown);
         let _ = std::thread::Builder::new()
             .name("dynvote-conn".to_string())
-            .spawn(move || handle_connection(&daemon, stream, &shutdown, idle));
+            .spawn(move || handle_connection(&service, stream, &shutdown, idle));
     }
 }
 
@@ -758,7 +987,7 @@ fn wait_readable(stream: &TcpStream, shutdown: &AtomicBool) -> bool {
 }
 
 fn handle_connection(
-    daemon: &Arc<Daemon>,
+    service: &Arc<Service>,
     stream: TcpStream,
     shutdown: &AtomicBool,
     idle: Duration,
@@ -784,70 +1013,513 @@ fn handle_connection(
             Ok(frame) => frame,
             Err(e) => {
                 if e.kind() == std::io::ErrorKind::InvalidData {
-                    daemon
+                    service
                         .log
                         .log(&format!("conn: malformed frame ({e}), closing"));
                 }
                 return;
             }
         };
-        match frame {
-            // Tagged data frames pipeline: queue for the batch worker
-            // and read the next frame immediately; the completion
-            // writes the tagged reply whenever the worker finishes, in
-            // whatever order that happens.
-            Frame::Tagged { id, inner } => match *inner {
-                Frame::Put { value } => {
-                    if !enqueue_data(daemon, DataOp::Put(value), tagged_completion(&writer, id)) {
-                        return;
-                    }
-                }
-                Frame::Get => {
-                    if !enqueue_data(daemon, DataOp::Get, tagged_completion(&writer, id)) {
-                        return;
-                    }
-                }
-                // Every other tagged frame answers inline on this
-                // thread — admin and status stay snappy even while the
-                // batch worker sits in a slow quorum round (which is
-                // exactly what the out-of-order pipelining test pins).
-                inner => match dispatch(daemon, inner) {
-                    Dispatch::Reply(reply) => {
-                        let tagged = Frame::Tagged {
-                            id,
-                            inner: Box::new(reply),
-                        };
-                        if write_shared(&writer, &tagged).is_err() {
-                            return;
-                        }
-                    }
-                    Dispatch::Silent => {}
-                    Dispatch::Close => return,
-                },
-            },
-            // Untagged data frames keep the one-at-a-time wire
-            // semantics: queue, wait for the reply, answer, read on.
-            Frame::Put { value } => {
-                if !serve_legacy_data(daemon, &writer, DataOp::Put(value)) {
-                    return;
-                }
-            }
-            Frame::Get => {
-                if !serve_legacy_data(daemon, &writer, DataOp::Get) {
-                    return;
-                }
-            }
-            frame => match dispatch(daemon, frame) {
-                Dispatch::Reply(reply) => {
-                    if write_shared(&writer, &reply).is_err() {
-                        return;
-                    }
-                }
-                Dispatch::Silent => {}
-                Dispatch::Close => return,
-            },
+        let keep_open = match &service.role {
+            Role::Legacy(daemon) => route_legacy(daemon, frame, &writer),
+            Role::Sharded(sharded) => route_sharded(service, sharded, frame, &writer),
+        };
+        if !keep_open {
+            return;
         }
     }
+}
+
+/// Routes one frame in legacy (unsharded) mode — the original wire
+/// behaviour, byte for byte. Returns `false` to close the session.
+fn route_legacy(daemon: &Arc<Daemon>, frame: Frame, writer: &Arc<Mutex<TcpStream>>) -> bool {
+    match frame {
+        // Tagged data frames pipeline: queue for the batch worker
+        // and read the next frame immediately; the completion
+        // writes the tagged reply whenever the worker finishes, in
+        // whatever order that happens.
+        Frame::Tagged { id, inner } => match *inner {
+            Frame::Put { value } => {
+                enqueue_data(daemon, DataOp::Put(value), tagged_completion(writer, id))
+            }
+            Frame::Get => enqueue_data(daemon, DataOp::Get, tagged_completion(writer, id)),
+            // Every other tagged frame answers inline on this
+            // thread — admin and status stay snappy even while the
+            // batch worker sits in a slow quorum round (which is
+            // exactly what the out-of-order pipelining test pins).
+            inner => match dispatch(daemon, inner) {
+                Dispatch::Reply(reply) => {
+                    let tagged = Frame::Tagged {
+                        id,
+                        inner: Box::new(reply),
+                    };
+                    write_shared(writer, &tagged).is_ok()
+                }
+                Dispatch::Silent => true,
+                Dispatch::Close => false,
+            },
+        },
+        // Untagged data frames keep the one-at-a-time wire
+        // semantics: queue, wait for the reply, answer, read on.
+        Frame::Put { value } => serve_legacy_data(daemon, writer, DataOp::Put(value)),
+        Frame::Get => serve_legacy_data(daemon, writer, DataOp::Get),
+        frame => match dispatch(daemon, frame) {
+            Dispatch::Reply(reply) => write_shared(writer, &reply).is_ok(),
+            Dispatch::Silent => true,
+            Dispatch::Close => false,
+        },
+    }
+}
+
+/// Routes one frame in sharded mode. Three frame families:
+///
+/// * **keyed client frames** (`PutKey`/`GetKey`, tagged or not) —
+///   epoch-checked against the current map, coordinator-checked
+///   against the key's shard placement, then queued on that shard
+///   daemon's batch worker;
+/// * **`Shard{k, inner}` envelopes** — addressed to shard `k`'s
+///   daemon: peer protocol frames, per-shard RECOVER/status, and the
+///   shard-scoped data ops. The slot's read lock is held across the
+///   inline dispatch, so a concurrent map install (which takes the
+///   write lock) waits out every in-flight exchange before capturing
+///   the old daemon's state;
+/// * **control-plane frames** (`GetShardMap`/`InstallShardMap`) and
+///   fleet-wide admin (status, link rules) — served by the service.
+fn route_sharded(
+    service: &Arc<Service>,
+    sharded: &ShardedService,
+    frame: Frame,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> bool {
+    match frame {
+        Frame::Tagged { id, inner } => match *inner {
+            Frame::PutKey {
+                epoch,
+                shard,
+                key,
+                value,
+            } => match keyed_route(service, sharded, epoch, shard) {
+                Ok(daemon) => enqueue_data(
+                    &daemon,
+                    DataOp::PutKey { key, value },
+                    tagged_completion(writer, id),
+                ),
+                Err(reply) => write_tagged(writer, id, reply),
+            },
+            Frame::GetKey { epoch, shard, key } => {
+                match keyed_route(service, sharded, epoch, shard) {
+                    Ok(daemon) => enqueue_data(
+                        &daemon,
+                        DataOp::GetKey { key },
+                        tagged_completion(writer, id),
+                    ),
+                    Err(reply) => write_tagged(writer, id, reply),
+                }
+            }
+            Frame::Shard { shard, inner } => match shard_frame(sharded, shard, *inner, writer) {
+                ShardRouted::Reply(reply) => write_tagged(writer, id, reply),
+                ShardRouted::Done(keep) => keep,
+                ShardRouted::Silent => true,
+                ShardRouted::Close => false,
+            },
+            inner => match service_dispatch(service, sharded, inner) {
+                Dispatch::Reply(reply) => write_tagged(writer, id, reply),
+                Dispatch::Silent => true,
+                Dispatch::Close => false,
+            },
+        },
+        Frame::PutKey {
+            epoch,
+            shard,
+            key,
+            value,
+        } => match keyed_route(service, sharded, epoch, shard) {
+            Ok(daemon) => serve_legacy_data(&daemon, writer, DataOp::PutKey { key, value }),
+            Err(reply) => write_shared(writer, &reply).is_ok(),
+        },
+        Frame::GetKey { epoch, shard, key } => match keyed_route(service, sharded, epoch, shard) {
+            Ok(daemon) => serve_legacy_data(&daemon, writer, DataOp::GetKey { key }),
+            Err(reply) => write_shared(writer, &reply).is_ok(),
+        },
+        Frame::Shard { shard, inner } => match shard_frame(sharded, shard, *inner, writer) {
+            ShardRouted::Reply(reply) => write_shared(writer, &reply).is_ok(),
+            ShardRouted::Done(keep) => keep,
+            ShardRouted::Silent => true,
+            ShardRouted::Close => false,
+        },
+        frame => match service_dispatch(service, sharded, frame) {
+            Dispatch::Reply(reply) => write_shared(writer, &reply).is_ok(),
+            Dispatch::Silent => true,
+            Dispatch::Close => false,
+        },
+    }
+}
+
+/// Writes a reply wrapped in the request's correlation id.
+fn write_tagged(writer: &Arc<Mutex<TcpStream>>, id: u64, reply: Frame) -> bool {
+    let tagged = Frame::Tagged {
+        id,
+        inner: Box::new(reply),
+    };
+    write_shared(writer, &tagged).is_ok()
+}
+
+/// How a `Shard{k, inner}` envelope resolved.
+enum ShardRouted {
+    /// An inline answer for the caller to write (tagged if the
+    /// envelope was).
+    Reply(Frame),
+    /// The inner data op was served through the shard's batch worker
+    /// and wrote its own reply; the bool is "keep the session open".
+    Done(bool),
+    Silent,
+    Close,
+}
+
+/// Routes the inner frame of a `Shard{k, …}` envelope to shard `k`'s
+/// daemon. The slot read lock is held across inline dispatch — see
+/// [`route_sharded`] for why that ordering makes map installs sound.
+fn shard_frame(
+    sharded: &ShardedService,
+    shard: u16,
+    inner: Frame,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> ShardRouted {
+    let Some(slot) = sharded.slots.get(shard as usize) else {
+        return match inner {
+            // A peer frame for a shard this fleet does not have:
+            // protocol confusion, drop the session.
+            Frame::Recover | Frame::Status | Frame::Put { .. } | Frame::Get => {
+                ShardRouted::Reply(Frame::Refused {
+                    message: format!("shard {shard} out of range"),
+                })
+            }
+            _ => ShardRouted::Close,
+        };
+    };
+    let guard = slot.read().expect("shard slot poisoned");
+    let Some(daemon) = &*guard else {
+        return match inner {
+            Frame::Recover | Frame::Status | Frame::Put { .. } | Frame::Get => {
+                ShardRouted::Reply(Frame::Unavailable {
+                    reason: UnavailableReason::OriginDown,
+                    message: format!("shard {shard} is not hosted at this site"),
+                })
+            }
+            // Peer frames for an unhosted shard: stay silent, exactly
+            // as a partitioned link would (the coordinator's bounded
+            // retry absorbs it).
+            _ => ShardRouted::Silent,
+        };
+    };
+    match inner {
+        // Shard-scoped raw data ops (the whole KV image): block like
+        // the legacy path, on this shard's batch worker. The reply is
+        // written by the completion, after the guard drops.
+        Frame::Put { value } => {
+            let daemon = Arc::clone(daemon);
+            drop(guard);
+            ShardRouted::Done(serve_legacy_data(&daemon, writer, DataOp::Put(value)))
+        }
+        Frame::Get => {
+            let daemon = Arc::clone(daemon);
+            drop(guard);
+            ShardRouted::Done(serve_legacy_data(&daemon, writer, DataOp::Get))
+        }
+        inner => match dispatch(daemon, inner) {
+            Dispatch::Reply(reply) => ShardRouted::Reply(reply),
+            Dispatch::Silent => ShardRouted::Silent,
+            Dispatch::Close => ShardRouted::Close,
+        },
+    }
+}
+
+/// Checks a keyed operation's routing facts against the current map:
+/// the client's epoch must match, the shard must exist, and this site
+/// must be the shard's coordinator (the funnel that makes the batched
+/// read-modify-write sound). Returns the shard's daemon, or the typed
+/// answer to send instead.
+fn keyed_route(
+    service: &Arc<Service>,
+    sharded: &ShardedService,
+    epoch: u64,
+    shard: u16,
+) -> Result<Arc<Daemon>, Frame> {
+    let local = service.config.local.index();
+    {
+        let map = sharded.map.lock().expect("shard map poisoned");
+        if epoch != map.epoch {
+            return Err(Frame::StaleShardMap { epoch: map.epoch });
+        }
+        let Some(spec) = map.shards.get(shard as usize) else {
+            return Err(Frame::Refused {
+                message: format!(
+                    "shard {shard} out of range ({} shards at epoch {})",
+                    map.shards.len(),
+                    map.epoch
+                ),
+            });
+        };
+        if spec.coordinator() != local {
+            return Err(Frame::Unavailable {
+                reason: UnavailableReason::OriginDown,
+                message: format!(
+                    "site {local} is not the coordinator for shard {shard} at epoch {} (site {} is)",
+                    map.epoch,
+                    spec.coordinator()
+                ),
+            });
+        }
+    }
+    let guard = sharded.slots[shard as usize]
+        .read()
+        .expect("shard slot poisoned");
+    match &*guard {
+        Some(daemon) => Ok(Arc::clone(daemon)),
+        None => Err(Frame::Unavailable {
+            reason: UnavailableReason::OriginDown,
+            message: format!("shard {shard} is not hosted at this site"),
+        }),
+    }
+}
+
+/// Serves the frames a sharded service answers *as a service* — the
+/// control plane (shard map fetch/install), fleet-wide admin, and the
+/// typed refusals for unsharded data ops.
+fn service_dispatch(service: &Arc<Service>, sharded: &ShardedService, frame: Frame) -> Dispatch {
+    match frame {
+        Frame::GetShardMap => {
+            let map = sharded.map.lock().expect("shard map poisoned");
+            Dispatch::Reply(Frame::ShardMapRep { map: map.encode() })
+        }
+        Frame::InstallShardMap { map } => {
+            Dispatch::Reply(install_shard_map(service, sharded, &map))
+        }
+        Frame::Status => Dispatch::Reply(Frame::Report {
+            text: sharded_status_text(service, sharded),
+        }),
+        // The link rules are the *process's* fault surface, shared by
+        // every shard transport — one deny cuts the site pair for all
+        // shards, exactly like pulling the cable.
+        Frame::Deny { site } => {
+            service.links.block(site);
+            service
+                .log
+                .log(&format!("link cut: S{} denied", site.index()));
+            Dispatch::Reply(Frame::Done {
+                detail: format!("link to site {} cut", site.index()),
+            })
+        }
+        Frame::Allow { site } => {
+            service.links.unblock(site);
+            service
+                .log
+                .log(&format!("link restored: S{} allowed", site.index()));
+            Dispatch::Reply(Frame::Done {
+                detail: format!("link to site {} restored", site.index()),
+            })
+        }
+        Frame::HealLinks => {
+            service.links.clear();
+            service.log.log("links healed: all rules dropped");
+            Dispatch::Reply(Frame::Done {
+                detail: "all links restored".to_string(),
+            })
+        }
+        // Unsharded data ops against a sharded store: a typed refusal
+        // telling the client what dialect to speak.
+        Frame::Put { .. } | Frame::Get | Frame::Recover => Dispatch::Reply(Frame::Refused {
+            message: "this store is sharded: use putk/getk (keyed frames) or address a shard \
+                      with a shard envelope"
+                .to_string(),
+        }),
+        // Bare peer frames (no shard envelope) cannot be routed.
+        _ => Dispatch::Close,
+    }
+}
+
+/// Installs a new shard map (the rebalance commit point at one site).
+///
+/// The map must decode, checksum, and carry a *newer* epoch. For every
+/// shard whose placement changed, the slot is rebuilt under its write
+/// lock: set the old daemon's `retired` epoch, capture its ⟨o, v, P⟩ +
+/// image under the cluster lock (so every commit that beat the capture
+/// is in it, and every queued op that missed it answers
+/// `StaleShardMap`), then boot the successor with the captured state —
+/// or drop the slot to `None` when this site left the placement.
+///
+/// A site *joining* a placement boots fresh at ⟨0, 0, P₀⟩; the
+/// rebalance driver then runs the protocol-level RECOVER at it, which
+/// is the paper's own machinery for a copy that lost its state —
+/// Algorithm 1 takes P_m from the max-`o` responder, so the fresh copy
+/// neither serves nor distorts a quorum until the RECOVER completes.
+fn install_shard_map(service: &Arc<Service>, sharded: &ShardedService, bytes: &[u8]) -> Frame {
+    let new = match ShardMap::decode(bytes) {
+        Ok(map) => map,
+        Err(error) => {
+            return Frame::Refused {
+                message: format!("shard map rejected: {error}"),
+            }
+        }
+    };
+    let mut map = sharded.map.lock().expect("shard map poisoned");
+    if new.epoch <= map.epoch {
+        return if new == *map {
+            Frame::Done {
+                detail: format!("shard map already at epoch {}", map.epoch),
+            }
+        } else {
+            Frame::Refused {
+                message: format!(
+                    "shard map epoch {} is not newer than the installed epoch {}",
+                    new.epoch, map.epoch
+                ),
+            }
+        };
+    }
+    if new.shards.len() != map.shards.len() {
+        return Frame::Refused {
+            message: format!(
+                "shard count change ({} -> {}) is not a rebalance; split/merge is out of scope",
+                map.shards.len(),
+                new.shards.len()
+            ),
+        };
+    }
+    let local = service.config.local.index();
+    for (shard, (old_spec, new_spec)) in map.shards.iter().zip(&new.shards).enumerate() {
+        if old_spec == new_spec {
+            continue;
+        }
+        let hosted_after = new_spec.placement.contains(&local);
+        let mut slot = sharded.slots[shard].write().expect("shard slot poisoned");
+        let captured = slot.take().map(|old| {
+            // Order matters: set the flag *before* taking the cluster
+            // lock. A batch worker that wins the lock race commits
+            // normally and the capture below includes it; one that
+            // loses sees the flag and answers StaleShardMap. Either
+            // way no acknowledged write misses the successor.
+            old.retired.store(new.epoch, Ordering::SeqCst);
+            let cluster = old.cluster.lock().expect("cluster poisoned");
+            (
+                cluster.state_at(old.local),
+                cluster.value_at(old.local),
+                cluster.pending_at(old.local),
+            )
+        });
+        if hosted_after {
+            match boot_daemon(
+                &service.config,
+                &service.links,
+                &service.log,
+                &service.shutdown,
+                Some(shard as u16),
+                new_spec.placement.clone(),
+                Vec::new(),
+                captured,
+            ) {
+                Ok(daemon) => *slot = Some(daemon),
+                Err(error) => {
+                    service.log.log(&format!(
+                        "shard map install FAILED at shard {shard}: {error}"
+                    ));
+                    return Frame::Refused {
+                        message: format!("shard {shard}: successor daemon failed to boot: {error}"),
+                    };
+                }
+            }
+        }
+        service.log.log(&format!(
+            "shard {shard}: placement {:?} -> {:?} at epoch {} ({})",
+            old_spec.placement,
+            new_spec.placement,
+            new.epoch,
+            if hosted_after { "hosting" } else { "released" },
+        ));
+    }
+    *map = new.clone();
+    if let Some(path) = &sharded.map_path {
+        if let Err(error) = new.persist(path) {
+            service.log.log(&format!(
+                "shard map epoch {}: persist failed: {error}",
+                new.epoch
+            ));
+        }
+    }
+    service
+        .log
+        .log(&format!("shard map installed: epoch {}", new.epoch));
+    Frame::Done {
+        detail: format!("shard map installed: epoch {}", new.epoch),
+    }
+}
+
+/// The sharded `status` body: service-level shard fields (`shard.*`)
+/// plus a per-hosted-shard state sample. Uses `try_lock` throughout —
+/// `status` is the fleet's liveness probe and must answer even while a
+/// shard sits in a slow quorum round.
+fn sharded_status_text(service: &Arc<Service>, sharded: &ShardedService) -> String {
+    let mut out = String::new();
+    let mut line = |k: &str, v: String| {
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    line("site", service.config.local.index().to_string());
+    line("policy", service.config.policy.name().to_string());
+    let (epoch, specs) = {
+        let map = sharded.map.lock().expect("shard map poisoned");
+        (map.epoch, map.shards.clone())
+    };
+    line("shard.map_epoch", epoch.to_string());
+    line("shard.count", specs.len().to_string());
+    let local = service.config.local.index();
+    let mut hosted = Vec::new();
+    for (shard, spec) in specs.iter().enumerate() {
+        if spec.placement.contains(&local) {
+            hosted.push(shard.to_string());
+        }
+    }
+    line(
+        "shard.hosted",
+        if hosted.is_empty() {
+            "-".to_string()
+        } else {
+            hosted.join(",")
+        },
+    );
+    for (shard, spec) in specs.iter().enumerate() {
+        if !spec.placement.contains(&local) {
+            continue;
+        }
+        let prefix = format!("shard.{shard}");
+        line(
+            &format!("{prefix}.role"),
+            if spec.coordinator() == local {
+                "coordinator".to_string()
+            } else {
+                "replica".to_string()
+            },
+        );
+        let slot = sharded.slots[shard].read().expect("shard slot poisoned");
+        if let Some(daemon) = &*slot {
+            if let Ok(cluster) = daemon.cluster.try_lock() {
+                let state = cluster.state_at(daemon.local);
+                line(&format!("{prefix}.op"), state.op.to_string());
+                line(&format!("{prefix}.version"), state.version.to_string());
+                line(&format!("{prefix}.partition"), fmt_sites(state.partition));
+            } else {
+                line(&format!("{prefix}.busy"), "1".to_string());
+            }
+        }
+    }
+    line("links_blocked", fmt_sites(service.links.blocked()));
+    line(
+        "durability.enabled",
+        service.config.data_dir.is_some().to_string(),
+    );
+    out
 }
 
 /// Writes one frame through a session's shared writer.
@@ -911,7 +1583,25 @@ fn batch_loop(daemon: &Arc<Daemon>, shutdown: &AtomicBool, queue: &mpsc::Receive
         };
         // Take the lock first, then drain: every operation that queued
         // while the previous batch held it joins this one.
-        let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
+        let cluster = daemon.cluster.lock().expect("cluster poisoned");
+        // Checked *under* the cluster lock: a map install sets the flag
+        // before capturing state under this same lock, so a batch that
+        // reaches here after the capture must not commit — its writes
+        // would be invisible to the successor daemon. The typed stale
+        // answer sends the client back for the new map.
+        let retired = daemon.retired.load(Ordering::SeqCst);
+        if retired != 0 {
+            drop(cluster);
+            let mut stale = vec![first];
+            while let Ok(item) = queue.try_recv() {
+                stale.push(item);
+            }
+            for item in stale {
+                (item.done)(Frame::StaleShardMap { epoch: retired });
+            }
+            return;
+        }
+        let mut cluster = cluster;
         let mut items = vec![first];
         while items.len() < BATCH_CAP {
             match queue.try_recv() {
@@ -976,6 +1666,126 @@ fn run_batch(
                         Err(err) => (refuse(daemon, "write", &err), None),
                     };
                     replies.push((done, staged.0, staged.1));
+                }
+            }
+            DataOp::PutKey { key, value } => {
+                wrote = true;
+                let mut entries = vec![(key, value)];
+                let mut dones = vec![item.done];
+                while matches!(
+                    iter.peek().map(|next| &next.op),
+                    Some(DataOp::PutKey { .. })
+                ) {
+                    let next = iter.next().expect("peeked");
+                    if let DataOp::PutKey { key, value } = next.op {
+                        entries.push((key, value));
+                        dones.push(next.done);
+                    }
+                }
+                // The coordinator-funnel read-modify-write: one quorum
+                // read of the shard's KV image, the whole run's puts
+                // folded in (queue order, later put wins), one batched
+                // quorum write. Sound because only this worker — at the
+                // shard's coordinator of the current epoch — mutates
+                // the image.
+                let count = entries.len();
+                let staged: (Frame, Option<&'static str>) = match cluster.read(daemon.local) {
+                    Ok(bytes) => match decode_kv(&bytes) {
+                        Some(mut kv) => {
+                            for (key, value) in entries {
+                                kv.insert(key, value);
+                            }
+                            let results = cluster.write_batch(daemon.local, vec![encode_kv(&kv)]);
+                            match results.into_iter().next().expect("one value, one result") {
+                                Ok(op) => {
+                                    let detail = format!(
+                                        "committed o={} v={} P={{{}}}",
+                                        op.op,
+                                        op.version,
+                                        fmt_sites(op.participants)
+                                    );
+                                    daemon.log.log(&format!(
+                                        "GRANT keyed write ×{count}: {detail} — one folded image commit"
+                                    ));
+                                    (Frame::Done { detail }, Some("write"))
+                                }
+                                Err(err) => (refuse(daemon, "keyed write", &err), None),
+                            }
+                        }
+                        None => (
+                            Frame::Refused {
+                                message: "shard image is not a KV map (corrupt replicated value)"
+                                    .to_string(),
+                            },
+                            None,
+                        ),
+                    },
+                    Err(err) => (refuse(daemon, "keyed write", &err), None),
+                };
+                for done in dones {
+                    replies.push((done, staged.0.clone(), staged.1));
+                }
+            }
+            DataOp::GetKey { key } => {
+                let mut keys = vec![key];
+                let mut dones = vec![item.done];
+                while matches!(
+                    iter.peek().map(|next| &next.op),
+                    Some(DataOp::GetKey { .. })
+                ) {
+                    let next = iter.next().expect("peeked");
+                    if let DataOp::GetKey { key } = next.op {
+                        keys.push(key);
+                        dones.push(next.done);
+                    }
+                }
+                // One quorum read of the image serves the whole run;
+                // each key resolves against it. A missing key is a
+                // *refusal* (the read itself was granted — the quorum
+                // ruled, the key just is not there).
+                match cluster.read(daemon.local) {
+                    Ok(bytes) => match decode_kv(&bytes) {
+                        Some(kv) => {
+                            let version = cluster.history().last().map_or_else(
+                                || cluster.state_at(daemon.local).version,
+                                |op| op.version,
+                            );
+                            daemon
+                                .log
+                                .log(&format!("GRANT keyed read ×{}: v={version}", keys.len()));
+                            for (key, done) in keys.into_iter().zip(dones) {
+                                let frame = match kv.get(&key) {
+                                    Some(value) => Frame::Value {
+                                        version,
+                                        value: value.clone(),
+                                    },
+                                    None => Frame::Refused {
+                                        message: format!("key {key:?} not found"),
+                                    },
+                                };
+                                replies.push((done, frame, Some("read")));
+                            }
+                        }
+                        None => {
+                            for done in dones {
+                                replies.push((
+                                    done,
+                                    Frame::Refused {
+                                        message:
+                                            "shard image is not a KV map (corrupt replicated value)"
+                                                .to_string(),
+                                    },
+                                    None,
+                                ));
+                            }
+                        }
+                    },
+                    Err(err) => {
+                        let frame = refuse(daemon, "keyed read", &err);
+                        for done in dones {
+                            replies.push((done, frame.clone(), None));
+                        }
+                    }
                 }
             }
             DataOp::Get => {
@@ -1241,8 +2051,17 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
         // ---- client data frames: the coordinator side ---------------
         // Put/Get never reach dispatch: `handle_connection` intercepts
         // them (tagged or not) and queues them for the batch worker.
+        // Likewise the keyed/shard-map frames and envelopes are routed
+        // at the service layer before a per-shard daemon sees them.
         // Arriving here means a peer-loop path sent one — confusion.
-        Frame::Put { .. } | Frame::Get | Frame::Tagged { .. } => Dispatch::Close,
+        Frame::Put { .. }
+        | Frame::Get
+        | Frame::Tagged { .. }
+        | Frame::Shard { .. }
+        | Frame::PutKey { .. }
+        | Frame::GetKey { .. }
+        | Frame::GetShardMap
+        | Frame::InstallShardMap { .. } => Dispatch::Close,
         Frame::Recover => {
             let mut cluster = daemon.cluster.lock().expect("cluster poisoned");
             match cluster.recover(daemon.local) {
@@ -1340,7 +2159,9 @@ fn dispatch(daemon: &Arc<Daemon>, frame: Frame) -> Dispatch {
         | Frame::Value { .. }
         | Frame::Refused { .. }
         | Frame::Unavailable { .. }
-        | Frame::Report { .. } => Dispatch::Close,
+        | Frame::Report { .. }
+        | Frame::ShardMapRep { .. }
+        | Frame::StaleShardMap { .. } => Dispatch::Close,
     }
 }
 
@@ -1399,6 +2220,9 @@ fn status_text(daemon: &Arc<Daemon>, cluster: &Cluster<Vec<u8>, TcpTransport>) -
         out.push('\n');
     };
     line("site", daemon.local.index().to_string());
+    if let Some(shard) = daemon.shard {
+        line("shard", shard.to_string());
+    }
     line("policy", daemon.policy_name.to_string());
     line("op", state.op.to_string());
     line("version", state.version.to_string());

@@ -252,9 +252,7 @@ impl PeerLink {
             self.note_failure();
             return None;
         }
-        if job.reply.is_none() {
-            return None;
-        }
+        job.reply.as_ref()?;
         match read_frame(stream) {
             Ok(frame) => Some(frame),
             Err(_) => {
@@ -293,6 +291,12 @@ pub struct TcpTransport {
     /// point. Durable (replayed across restarts) when the daemon has a
     /// data directory.
     ledger: Arc<Mutex<OpLedger>>,
+    /// When set, every outbound peer frame travels inside a
+    /// [`Frame::Shard`] envelope naming this shard group, so one
+    /// remote listener can demultiplex traffic for the many voting
+    /// groups it hosts. Replies come back unwrapped (they are
+    /// correlated by connection), so only the outbound side changes.
+    shard: Option<u16>,
 }
 
 impl TcpTransport {
@@ -335,6 +339,28 @@ impl TcpTransport {
             links,
             reply_wait: timeouts.connect + timeouts.read + Duration::from_millis(500),
             ledger: Arc::new(Mutex::new(OpLedger::default())),
+            shard: None,
+        }
+    }
+
+    /// Addresses every outbound peer frame to `shard`: the sharded
+    /// store gives each voting group its own transport, all wrapped
+    /// onto the same per-site listeners.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u16) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Wraps an outbound frame in this transport's shard envelope,
+    /// when it has one.
+    fn address(&self, frame: Frame) -> Frame {
+        match self.shard {
+            Some(shard) => Frame::Shard {
+                shard,
+                inner: Box::new(frame),
+            },
+            None => frame,
         }
     }
 
@@ -438,6 +464,7 @@ impl Transport<Vec<u8>> for TcpTransport {
                 return Carried::silent(Verdict::Drop);
             }
         };
+        let frame = self.address(frame);
         let Some(reply) = self.roundtrip(message.to, &frame) else {
             return Carried::silent(Verdict::Drop);
         };
@@ -524,11 +551,11 @@ impl Transport<Vec<u8>> for TcpTransport {
             .lock()
             .expect("op ledger poisoned")
             .note_release(ticket, keep);
-        let frame = Frame::Release {
+        let frame = self.address(Frame::Release {
             ticket,
             from: self.local,
             keep,
-        };
+        });
         let targets: Vec<SiteId> = self.peers.keys().copied().collect();
         for site in targets {
             if self.links.is_blocked(site) {

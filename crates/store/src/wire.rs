@@ -20,8 +20,24 @@
 //! sessions send many tagged requests down one connection without
 //! waiting; the daemon answers each with a tagged response carrying the
 //! *same* id, possibly out of order, and the client matches replies to
-//! callers by id. Envelopes do not nest — a `Tagged` inside a `Tagged`
-//! is a decode error, which keeps decoding non-recursive and canonical.
+//! callers by id.
+//!
+//! The sharded store adds a second envelope and a handful of plain
+//! frames. [`Frame::Shard`] (`0x31`) prefixes a frame with the shard
+//! group it addresses, so one listener can host many independent
+//! voting groups: peer traffic and admin commands for shard `k` arrive
+//! as `Shard{k, …}`. Keyed client operations ([`Frame::PutKey`],
+//! [`Frame::GetKey`]) instead carry their shard *and* the client's map
+//! epoch inline — the daemon answers a wrong epoch with the typed
+//! [`Frame::StaleShardMap`] so the client can refetch and retry
+//! instead of writing through a stale route. The map itself travels as
+//! opaque checksummed bytes ([`Frame::GetShardMap`] /
+//! [`Frame::ShardMapRep`] / [`Frame::InstallShardMap`]) whose format
+//! belongs to `dynvote-control`.
+//!
+//! Envelope nesting is canonical and bounded: a `Tagged` may wrap a
+//! `Shard`, a `Shard` wraps only plain frames, and any other nesting
+//! is a decode error — decoding never recurses more than two levels.
 //!
 //! Decoding is *total* over untrusted bytes: every malformed input
 //! returns a [`FrameError`] — never a panic — and no allocation is
@@ -63,8 +79,12 @@ pub enum FrameError {
     BadReason(u8),
     /// A text field was not valid UTF-8.
     BadUtf8,
-    /// A correlation-id envelope wrapped another envelope.
+    /// A correlation-id envelope wrapped another correlation-id
+    /// envelope.
     NestedTag,
+    /// A shard envelope appeared somewhere it may not: inside another
+    /// shard envelope, or wrapping a non-plain frame.
+    NestedShard,
 }
 
 impl std::fmt::Display for FrameError {
@@ -83,6 +103,7 @@ impl std::fmt::Display for FrameError {
             FrameError::BadReason(b) => write!(f, "unknown unavailability reason 0x{b:02x}"),
             FrameError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
             FrameError::NestedTag => write!(f, "correlation-id envelopes do not nest"),
+            FrameError::NestedShard => write!(f, "shard envelopes wrap only plain frames"),
         }
     }
 }
@@ -287,6 +308,39 @@ pub enum Frame {
     /// Admin: drop every link rule (heal all partitions).
     HealLinks,
 
+    /// Client: WRITE one key of a shard's replicated KV map. Carries
+    /// the client's map epoch so a stale route is refused typed
+    /// ([`Frame::StaleShardMap`]) instead of landing on the wrong
+    /// shard group.
+    PutKey {
+        /// The map epoch the client routed by.
+        epoch: u64,
+        /// The shard the key hashed to under that epoch's map.
+        shard: u16,
+        /// The key.
+        key: String,
+        /// The new value for the key.
+        value: Vec<u8>,
+    },
+    /// Client: READ one key of a shard's replicated KV map.
+    GetKey {
+        /// The map epoch the client routed by.
+        epoch: u64,
+        /// The shard the key hashed to under that epoch's map.
+        shard: u16,
+        /// The key.
+        key: String,
+    },
+    /// Client: fetch the daemon's current shard map.
+    GetShardMap,
+    /// Admin: install a new shard map (an epoch bump). The bytes are
+    /// a `dynvote-control` encoded map — checksummed, so the daemon
+    /// validates before adopting.
+    InstallShardMap {
+        /// The encoded [`dynvote_control::ShardMap`].
+        map: Vec<u8>,
+    },
+
     /// Response: the command succeeded.
     Done {
         /// Human-readable outcome detail.
@@ -320,6 +374,20 @@ pub enum Frame {
         message: String,
     },
 
+    /// Response: the daemon's current shard map, as checksummed
+    /// `dynvote-control` bytes.
+    ShardMapRep {
+        /// The encoded [`dynvote_control::ShardMap`].
+        map: Vec<u8>,
+    },
+    /// Response: the keyed operation carried a map epoch other than
+    /// the daemon's current one. The client refetches the map and
+    /// retries — a typed, retryable condition, not a failure.
+    StaleShardMap {
+        /// The daemon's current map epoch.
+        epoch: u64,
+    },
+
     /// A correlation-id envelope around any other frame. A pipelined
     /// session tags each request with a caller-chosen id; the daemon
     /// echoes the id on the matching response, so many requests can be
@@ -327,7 +395,20 @@ pub enum Frame {
     Tagged {
         /// The correlation id, echoed verbatim on the response.
         id: u64,
-        /// The wrapped frame (never itself a `Tagged`).
+        /// The wrapped frame (never itself a `Tagged`; may be a
+        /// [`Frame::Shard`]).
+        inner: Box<Frame>,
+    },
+    /// A shard-address envelope: the wrapped frame is for shard
+    /// group `shard` at the receiving site. Peer protocol traffic and
+    /// per-shard admin commands travel wrapped; the daemon replies
+    /// unwrapped, because replies are correlated by connection (peer
+    /// exchanges) or by tag (pipelined clients), not by shard.
+    Shard {
+        /// The shard group the inner frame addresses.
+        shard: u16,
+        /// The wrapped frame (always plain: never a `Tagged` or
+        /// another `Shard`).
         inner: Box<Frame>,
     },
 }
@@ -348,12 +429,19 @@ const T_STATUS: u8 = 0x13;
 const T_DENY: u8 = 0x14;
 const T_ALLOW: u8 = 0x15;
 const T_HEAL_LINKS: u8 = 0x16;
+const T_PUT_KEY: u8 = 0x17;
+const T_GET_KEY: u8 = 0x18;
+const T_GET_SHARD_MAP: u8 = 0x19;
+const T_INSTALL_SHARD_MAP: u8 = 0x1A;
 const T_DONE: u8 = 0x20;
 const T_VALUE: u8 = 0x21;
 const T_REFUSED: u8 = 0x22;
 const T_REPORT: u8 = 0x23;
 const T_UNAVAILABLE: u8 = 0x24;
+const T_SHARD_MAP_REP: u8 = 0x25;
+const T_STALE_SHARD_MAP: u8 = 0x26;
 const T_TAGGED: u8 = 0x30;
+const T_SHARD: u8 = 0x31;
 
 fn put_site(out: &mut Vec<u8>, site: SiteId) {
     // SiteId indices are bounded by MAX_SITES (64), far under u16.
@@ -540,6 +628,37 @@ impl Frame {
                 put_site(out, *site);
             }
             Frame::HealLinks => put_u8(out, T_HEAL_LINKS),
+            Frame::PutKey {
+                epoch,
+                shard,
+                key,
+                value,
+            } => {
+                put_u8(out, T_PUT_KEY);
+                put_u64(out, *epoch);
+                put_u16(out, *shard);
+                put_text(out, key);
+                put_bytes(out, value);
+            }
+            Frame::GetKey { epoch, shard, key } => {
+                put_u8(out, T_GET_KEY);
+                put_u64(out, *epoch);
+                put_u16(out, *shard);
+                put_text(out, key);
+            }
+            Frame::GetShardMap => put_u8(out, T_GET_SHARD_MAP),
+            Frame::InstallShardMap { map } => {
+                put_u8(out, T_INSTALL_SHARD_MAP);
+                put_bytes(out, map);
+            }
+            Frame::ShardMapRep { map } => {
+                put_u8(out, T_SHARD_MAP_REP);
+                put_bytes(out, map);
+            }
+            Frame::StaleShardMap { epoch } => {
+                put_u8(out, T_STALE_SHARD_MAP);
+                put_u64(out, *epoch);
+            }
             Frame::Done { detail } => {
                 put_u8(out, T_DONE);
                 put_text(out, detail);
@@ -567,6 +686,15 @@ impl Frame {
                 put_u64(out, *id);
                 inner.encode_body(out);
             }
+            Frame::Shard { shard, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Frame::Tagged { .. } | Frame::Shard { .. }),
+                    "shard envelopes wrap only plain frames"
+                );
+                put_u8(out, T_SHARD);
+                put_u16(out, *shard);
+                inner.encode_body(out);
+            }
         }
     }
 
@@ -577,7 +705,7 @@ impl Frame {
     /// [`FrameError`] on any malformed input; never panics.
     pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
         let mut r = Reader::new(body);
-        let frame = Frame::decode_one(&mut r, true)?;
+        let frame = Frame::decode_one(&mut r, true, true)?;
         if !r.is_exhausted() {
             return Err(FrameError::TrailingBytes {
                 extra: r.remaining(),
@@ -586,11 +714,16 @@ impl Frame {
         Ok(frame)
     }
 
-    /// Decodes one frame from the reader. `allow_tag` is true only at
-    /// the top level: a [`Frame::Tagged`] wraps exactly one plain
-    /// frame, so the decoder never recurses more than one level and a
-    /// nested envelope is a [`FrameError::NestedTag`].
-    fn decode_one(r: &mut Reader<'_>, allow_tag: bool) -> Result<Frame, FrameError> {
+    /// Decodes one frame from the reader. The flags enforce canonical
+    /// envelope nesting: `allow_tag` is true only at the top level and
+    /// `allow_shard` is true at the top level and directly under a
+    /// `Tagged`, so `Tagged{Shard{plain}}` is the deepest legal shape
+    /// and the decoder never recurses more than two levels.
+    fn decode_one(
+        r: &mut Reader<'_>,
+        allow_tag: bool,
+        allow_shard: bool,
+    ) -> Result<Frame, FrameError> {
         let frame = match r.u8()? {
             T_START_REQ => Frame::StartReq {
                 ticket: r.u64()?,
@@ -667,6 +800,21 @@ impl Frame {
                 site: read_site(r)?,
             },
             T_HEAL_LINKS => Frame::HealLinks,
+            T_PUT_KEY => Frame::PutKey {
+                epoch: r.u64()?,
+                shard: r.u16()?,
+                key: read_text(r)?,
+                value: read_blob(r)?,
+            },
+            T_GET_KEY => Frame::GetKey {
+                epoch: r.u64()?,
+                shard: r.u16()?,
+                key: read_text(r)?,
+            },
+            T_GET_SHARD_MAP => Frame::GetShardMap,
+            T_INSTALL_SHARD_MAP => Frame::InstallShardMap { map: read_blob(r)? },
+            T_SHARD_MAP_REP => Frame::ShardMapRep { map: read_blob(r)? },
+            T_STALE_SHARD_MAP => Frame::StaleShardMap { epoch: r.u64()? },
             T_DONE => Frame::Done {
                 detail: read_text(r)?,
             },
@@ -695,7 +843,16 @@ impl Frame {
                 }
                 Frame::Tagged {
                     id: r.u64()?,
-                    inner: Box::new(Frame::decode_one(r, false)?),
+                    inner: Box::new(Frame::decode_one(r, false, true)?),
+                }
+            }
+            T_SHARD => {
+                if !allow_shard {
+                    return Err(FrameError::NestedShard);
+                }
+                Frame::Shard {
+                    shard: r.u16()?,
+                    inner: Box::new(Frame::decode_one(r, false, false)?),
                 }
             }
             other => return Err(FrameError::UnknownType(other)),
@@ -851,6 +1008,83 @@ mod tests {
             Frame::decode(&body),
             Err(FrameError::TrailingBytes { extra: 1 })
         );
+    }
+
+    #[test]
+    fn shard_frames_round_trip() {
+        let frames = [
+            Frame::PutKey {
+                epoch: 3,
+                shard: 7,
+                key: "user:42".to_string(),
+                value: b"payload".to_vec(),
+            },
+            Frame::GetKey {
+                epoch: 3,
+                shard: 0,
+                key: String::new(),
+            },
+            Frame::GetShardMap,
+            Frame::InstallShardMap { map: vec![1, 2, 3] },
+            Frame::ShardMapRep { map: Vec::new() },
+            Frame::StaleShardMap { epoch: 9 },
+            Frame::Shard {
+                shard: 2,
+                inner: Box::new(Frame::Recover),
+            },
+            Frame::Shard {
+                shard: 2,
+                inner: Box::new(Frame::StartReq {
+                    ticket: 77,
+                    from: SiteId::new(0),
+                    to: SiteId::new(3),
+                    mark_pending: true,
+                }),
+            },
+            Frame::Tagged {
+                id: 5,
+                inner: Box::new(Frame::Shard {
+                    shard: 1,
+                    inner: Box::new(Frame::Status),
+                }),
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            let mut cursor = &bytes[..];
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+            assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn envelope_nesting_is_canonical() {
+        // Shard{Shard{...}} is a decode error.
+        let mut body = Vec::new();
+        put_u8(&mut body, T_SHARD);
+        put_u16(&mut body, 0);
+        put_u8(&mut body, T_SHARD);
+        put_u16(&mut body, 1);
+        put_u8(&mut body, T_GET);
+        assert_eq!(Frame::decode(&body), Err(FrameError::NestedShard));
+
+        // Shard{Tagged{...}} is a decode error: the tag goes outside.
+        let mut body = Vec::new();
+        put_u8(&mut body, T_SHARD);
+        put_u16(&mut body, 0);
+        put_u8(&mut body, T_TAGGED);
+        put_u64(&mut body, 1);
+        put_u8(&mut body, T_GET);
+        assert_eq!(Frame::decode(&body), Err(FrameError::NestedTag));
+
+        // Tagged{Tagged{...}} stays an error.
+        let mut body = Vec::new();
+        put_u8(&mut body, T_TAGGED);
+        put_u64(&mut body, 1);
+        put_u8(&mut body, T_TAGGED);
+        put_u64(&mut body, 2);
+        put_u8(&mut body, T_GET);
+        assert_eq!(Frame::decode(&body), Err(FrameError::NestedTag));
     }
 
     #[test]

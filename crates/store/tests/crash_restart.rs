@@ -121,15 +121,14 @@ fn wait_status(target: &str) {
 fn put_granted(target: &str, value: &str) {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
-        match request(
+        if let Ok(Outcome::Done(_)) = request(
             target,
             &Frame::Put {
                 value: value.as_bytes().to_vec(),
             },
             TIMEOUT,
         ) {
-            Ok(Outcome::Done(_)) => return,
-            Ok(_) | Err(_) => {}
+            return;
         }
         assert!(
             Instant::now() < deadline,

@@ -105,6 +105,39 @@ fn all_frames(
                 value: text.clone().into_bytes(),
             }),
         },
+        // The sharded-store surface: keyed client operations, the
+        // control plane's map exchange, and the shard envelope —
+        // including the canonical Tagged{Shard{plain}} nesting.
+        Frame::PutKey {
+            epoch: version,
+            shard: (mask & 0xFFFF) as u16,
+            key: text.clone(),
+            value: text.clone().into_bytes(),
+        },
+        Frame::GetKey {
+            epoch: version ^ 1,
+            shard: (mask >> 16 & 0xFFFF) as u16,
+            key: text.clone(),
+        },
+        Frame::GetShardMap,
+        Frame::InstallShardMap {
+            map: text.clone().into_bytes(),
+        },
+        Frame::ShardMapRep {
+            map: text.clone().into_bytes(),
+        },
+        Frame::StaleShardMap { epoch: ticket },
+        Frame::Shard {
+            shard: (mask & 0xFFFF) as u16,
+            inner: Box::new(Frame::Recover),
+        },
+        Frame::Tagged {
+            id: ticket.rotate_left(17),
+            inner: Box::new(Frame::Shard {
+                shard: (mask >> 32 & 0xFFFF) as u16,
+                inner: Box::new(Frame::Status),
+            }),
+        },
         Frame::Report { text },
     ]
 }
@@ -189,7 +222,8 @@ proptest! {
                 | FrameError::BadBool(_)
                 | FrameError::BadReason(_)
                 | FrameError::BadUtf8
-                | FrameError::NestedTag,
+                | FrameError::NestedTag
+                | FrameError::NestedShard,
             ) => {}
             Err(FrameError::Oversized { .. }) => {
                 prop_assert!(false, "Oversized is a prefix-layer error");
@@ -211,6 +245,20 @@ proptest! {
         body.extend_from_slice(&outer.to_be_bytes());
         body.extend_from_slice(&once[4..]); // skip the length prefix
         prop_assert_eq!(Frame::decode(&body), Err(FrameError::NestedTag));
+    }
+
+    /// A shard envelope wrapping another shard envelope is rejected as
+    /// [`FrameError::NestedShard`] — the canonical nesting is at most
+    /// `Tagged{Shard{plain}}`, and the decoder enforces it even against
+    /// hand-built bytes the encoder would refuse to produce.
+    #[test]
+    fn nested_shard_envelopes_are_rejected(outer in any::<u16>(), inner in any::<u16>()) {
+        let sharded_once = Frame::Shard { shard: inner, inner: Box::new(Frame::Get) };
+        let once = sharded_once.encode();
+        let mut body = vec![0x31];
+        body.extend_from_slice(&outer.to_be_bytes());
+        body.extend_from_slice(&once[4..]); // skip the length prefix
+        prop_assert_eq!(Frame::decode(&body), Err(FrameError::NestedShard));
     }
 
     /// `encode_tagged(id)` — the hot-path encoder the pipelined client

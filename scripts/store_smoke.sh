@@ -18,10 +18,20 @@
 # the real load driver, `dynvote-bench store_throughput` — this smoke
 # number only proves the batch path works end to end from the CLI.
 #
+# With `--shards`, runs the *multi-shard* phase instead: 2 shard
+# groups over the same 3 nodes (`--shards 2 --shard-placement ring:3`),
+# keyed puts routed across both groups, kill -9 of a replica that
+# serves in both shards mid-stream, restart-from-disk with per-shard
+# WAL namespaces (`--data-dir/shard-<k>/`), per-shard RECOVER through
+# the shard envelope, and a full keyed read-back of every key.
+#
 #   scripts/store_smoke.sh            # full run
+#   scripts/store_smoke.sh --shards   # multi-shard phase
 #   BENCH_OUT=/tmp/b.json scripts/store_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
 
 PORT_BASE="${STORE_SMOKE_PORT_BASE:-7141}"
 LOG_DIR="store-smoke-logs"
@@ -62,7 +72,14 @@ trap cleanup EXIT
 # kill -9 abandoned.
 start_node() {
     local site="$1"
-    "$STORED" --site "$site" --policy odv --peers "$PEERS" --value v0 \
+    local role_flags
+    if [[ "$MODE" == "--shards" ]]; then
+        role_flags="--shards 2 --shard-placement ring:3"
+    else
+        role_flags="--value v0"
+    fi
+    # shellcheck disable=SC2086 # role_flags is a deliberate word list
+    "$STORED" --site "$site" --policy odv --peers "$PEERS" $role_flags \
         --connect-timeout-ms 250 --read-timeout-ms 2000 \
         --backoff-ms 20 --backoff-cap-ms 200 \
         --data-dir "$LOG_DIR/data/node$site" --snapshot-every 8 \
@@ -102,6 +119,7 @@ for site_addr in "0 $A" "1 $B" "2 $C"; do
 done
 echo "== 3-node ODV cluster up on $PEERS (durable data dirs in $LOG_DIR/data)"
 
+
 expect_granted() {
     local what="$1"; shift
     if ! "$@" >/dev/null; then
@@ -132,6 +150,85 @@ expect_value() {
     fi
     echo "ok: $what serves $want"
 }
+
+# ---------------------------------------------------------------------
+# Multi-shard phase (scripts/store_smoke.sh --shards): both shard
+# groups live on all three nodes (ring:3 on 3 sites), with shard 0
+# coordinated by node 0 and shard 1 by node 1 — so killing node 2
+# takes one *replica* out of each group while both coordinator funnels
+# stay up.
+# ---------------------------------------------------------------------
+if [[ "$MODE" == "--shards" ]]; then
+    KEYS=$(seq 1 24 | sed 's/^/key-/')
+
+    echo "== shard map"
+    MAP="$("$CTL" --node "$A" shardmap)"
+    echo "$MAP" | sed 's/^/    /'
+    for want in "epoch=1" "shards=2" "shard.0.placement=0,1,2" "shard.1.placement=1,2,0"; do
+        if ! grep -q "^$want$" <<<"$MAP"; then
+            echo "FAIL: shard map missing $want" >&2
+            exit 1
+        fi
+    done
+
+    echo "== keyed puts across both shard groups"
+    for key in $KEYS; do
+        expect_granted "putk $key" "$CTL" --node "$A" putk "$key" "v1-$key"
+    done
+    STATUS_A="$("$CTL" --node "$A" status)"
+    for field in "shard.map_epoch=1" "shard.count=2" "shard.hosted=0,1"; do
+        if ! grep -q "$field" <<<"$STATUS_A"; then
+            echo "FAIL: sharded status missing $field:" >&2
+            echo "$STATUS_A" >&2
+            exit 1
+        fi
+    done
+    # Both groups must actually have committed keyed writes — a broken
+    # router that funnels every key to one shard fails here, not at
+    # read-back.
+    for shard in 0 1; do
+        version=$(grep "^shard.$shard.version=" <<<"$STATUS_A" | cut -d= -f2)
+        if [[ -z "$version" || "$version" -le 1 ]]; then
+            echo "FAIL: shard $shard never committed a keyed write (version=${version:-missing})" >&2
+            exit 1
+        fi
+    done
+    echo "ok: both shard groups committed keyed writes"
+
+    echo "== kill -9 node 2 (a replica in BOTH shard groups) mid-stream"
+    kill -9 "${PIDS[2]}"
+    PIDS[2]=0
+    for key in $KEYS; do
+        expect_granted "putk $key with node 2 dead" \
+            "$CTL" --node "$A" putk "$key" "v2-$key"
+    done
+
+    echo "== restarting node 2 from its per-shard data dirs"
+    for shard_dir in "$LOG_DIR/data/node2/shard-0" "$LOG_DIR/data/node2/shard-1"; do
+        if [[ ! -d "$shard_dir" ]]; then
+            echo "FAIL: expected per-shard durable namespace $shard_dir" >&2
+            exit 1
+        fi
+    done
+    start_node 2
+    wait_up 2 "$C"
+    for shard in 0 1; do
+        expect_granted "recover shard $shard at restarted node 2" \
+            "$CTL" --node "$C" --shard "$shard" recover
+    done
+
+    echo "== verifying every key after heal"
+    for key in $KEYS; do
+        got="$("$CTL" --node "$A" getk "$key" 2>/dev/null)"
+        if [[ "$got" != "v2-$key" ]]; then
+            echo "FAIL: getk $key: wanted v2-$key, got $got" >&2
+            exit 1
+        fi
+    done
+    echo "ok: all 24 keys serve their post-crash values"
+    echo "PASS: multi-shard store smoke"
+    exit 0
+fi
 
 # Healthy cluster: a write lands and replicates.
 expect_granted "initial put" "$CTL" --node "$A" put hello
